@@ -1,0 +1,87 @@
+// E11 -- the E1/E8 shape on a real network stack: localhost TCP with one
+// reactor thread per process. Wall-clock microseconds; absolute numbers
+// are machine-dependent, the ratios are the reproduction target:
+// abd read ~= 2x fast read; maxmin in between; write ~= fast read.
+#include <cstdio>
+
+#include "benchutil/stats.h"
+#include "benchutil/table.h"
+#include "checker/atomicity.h"
+#include "crypto/sig.h"
+#include "net/cluster.h"
+#include "registers/registry.h"
+
+using namespace fastreg;
+using namespace fastreg::benchutil;
+
+namespace {
+
+struct tcp_result {
+  stats read_us;
+  stats write_us;
+  bool atomic{false};
+};
+
+tcp_result run_tcp(const std::string& proto, std::uint32_t S, std::uint32_t t,
+                   const std::string& sigs, int ops) {
+  system_config cfg;
+  cfg.servers = S;
+  cfg.t_failures = t;
+  cfg.readers = 1;
+  if (!sigs.empty()) cfg.sigs = crypto::make_signature_scheme(sigs);
+  net::cluster c(cfg, *make_protocol(proto));
+  c.start();
+  tcp_result out;
+  // Warmup: establish connections.
+  (void)c.writer().blocking_write("warmup");
+  (void)c.reader(0).blocking_read();
+  for (int k = 0; k < ops; ++k) {
+    auto t0 = std::chrono::steady_clock::now();
+    const bool ok = c.writer().blocking_write("v" + std::to_string(k + 1));
+    auto t1 = std::chrono::steady_clock::now();
+    const auto rd = c.reader(0).blocking_read();
+    auto t2 = std::chrono::steady_clock::now();
+    if (!ok || !rd) continue;
+    out.write_us.add(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    out.read_us.add(
+        std::chrono::duration<double, std::micro>(t2 - t1).count());
+  }
+  out.atomic = checker::check_swmr_atomicity(c.gather_history()).ok;
+  c.stop();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: latency over real TCP sockets (localhost, "
+              "microseconds)\n\n");
+  table t({"proto", "S", "sigs", "read_p50_us", "read_p99_us",
+           "write_p50_us", "read/write", "atomic"});
+  const int ops = 300;
+  struct row {
+    const char* proto;
+    std::uint32_t S, t;
+    const char* sigs;
+  };
+  for (const auto c :
+       {row{"fast_swmr", 5, 1, ""}, row{"abd", 5, 1, ""},
+        row{"maxmin", 5, 1, ""}, row{"fast_bft", 7, 1, "oracle"},
+        row{"fast_bft", 7, 1, "rsa"}}) {
+    const auto res = run_tcp(c.proto, c.S, c.t, c.sigs,
+                             std::string(c.sigs) == "rsa" ? 60 : ops);
+    const double ratio =
+        res.write_us.p50() > 0 ? res.read_us.p50() / res.write_us.p50() : 0;
+    t.add_row({c.proto, std::to_string(c.S),
+               std::string(c.sigs).empty() ? "-" : c.sigs,
+               fmt(res.read_us.p50()), fmt(res.read_us.p99()),
+               fmt(res.write_us.p50()), fmt(ratio, 2),
+               res.atomic ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("\nexpected shape: fast_swmr read/write ~= 1.0 (both one "
+              "RTT); abd ~= 2.0; maxmin between; RSA signing adds a "
+              "visible constant to fast_bft writes and reads.\n");
+  return 0;
+}

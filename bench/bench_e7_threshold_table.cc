@@ -1,0 +1,110 @@
+// E7 -- the paper's summary (Section 9) as one table: for a grid of
+// (S, t, b, R), compare
+//   theory   : the exact feasibility predicates,
+//   measured : randomized stress inside the region (atomicity must hold,
+//              every op 1 round-trip) and the executable lower-bound
+//              construction outside it (must produce a violation).
+// Any disagreement between the two columns is a reproduction failure.
+#include <cstdio>
+
+#include "adversary/bft_lower_bound.h"
+#include "adversary/swmr_lower_bound.h"
+#include "benchutil/table.h"
+#include "checker/atomicity.h"
+#include "crypto/sig.h"
+#include "registers/registry.h"
+#include "sim/world.h"
+
+using namespace fastreg;
+
+namespace {
+
+/// Randomized stress inside the feasible region; returns true if atomic
+/// and fast across all seeds.
+bool stress_ok(const protocol& proto, const system_config& cfg,
+               int seeds = 5) {
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sim::world w(cfg);
+    w.install(proto);
+    rng r(static_cast<std::uint64_t>(seed) * 7919);
+    std::uint32_t writes = 0;
+    std::vector<std::uint32_t> reads(cfg.R(), 0);
+    for (;;) {
+      bool more = false;
+      if (writes < 6 && !w.writer(0)->write_in_progress()) {
+        w.invoke_write("v" + std::to_string(++writes));
+        more = true;
+      }
+      for (std::uint32_t i = 0; i < cfg.R(); ++i) {
+        if (reads[i] < 6 && !w.reader(i)->read_in_progress()) {
+          ++reads[i];
+          w.invoke_read(i);
+          more = true;
+        }
+      }
+      if (!w.in_transit().empty()) {
+        const auto& ms = w.in_transit();
+        w.deliver(ms[r.below(ms.size())].id);
+        more = true;
+      }
+      if (!more) break;
+    }
+    if (!checker::check_swmr_atomicity(w.hist()).ok) return false;
+    if (!checker::check_fastness(w.hist(), 1, 1).ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: the feasibility threshold, theory vs measured "
+              "(Section 9 summary)\n\n");
+  benchutil::table t({"S", "t", "b", "R", "theory", "measured", "agree"});
+  int disagreements = 0;
+  struct c4 {
+    std::uint32_t S, t, b, R;
+  };
+  const c4 grid[] = {
+      // crash-model boundary pairs around S = (R+2)t
+      {9, 2, 0, 2},  {8, 2, 0, 2},  {13, 3, 0, 2}, {12, 3, 0, 2},
+      {11, 2, 0, 3}, {10, 2, 0, 3}, {7, 1, 0, 4},  {6, 1, 0, 4},
+      // byzantine boundary pairs around S = (R+2)t + (R+1)b
+      {12, 2, 1, 2}, {11, 2, 1, 2}, {15, 2, 2, 2}, {14, 2, 2, 2},
+      {19, 3, 2, 2}, {18, 3, 2, 2}, {16, 2, 1, 3}, {13, 2, 1, 3},
+  };
+  for (const auto c : grid) {
+    system_config cfg;
+    cfg.servers = c.S;
+    cfg.t_failures = c.t;
+    cfg.b_malicious = c.b;
+    cfg.readers = c.R;
+    const bool byz = c.b > 0;
+    cfg.sigs = crypto::make_signature_scheme("oracle");
+    auto proto = make_protocol(byz ? "fast_bft" : "fast_swmr");
+    const bool theory = byz ? fast_bft_feasible(c.S, c.t, c.b, c.R)
+                            : fast_swmr_feasible(c.S, c.t, c.R);
+    bool measured;
+    std::string measured_str;
+    if (theory) {
+      measured = stress_ok(*proto, cfg);
+      measured_str = measured ? "stress: atomic+fast" : "stress: FAILED";
+    } else {
+      const auto rep = byz ? adversary::run_bft_lower_bound(*proto, cfg)
+                           : adversary::run_swmr_lower_bound(*proto, cfg);
+      measured = !(rep.applicable && rep.violation);
+      measured_str = rep.violation ? "adversary: violation"
+                                   : "adversary: no violation(!)";
+    }
+    const bool agree = theory == measured;
+    if (!agree) ++disagreements;
+    t.add_row({std::to_string(c.S), std::to_string(c.t), std::to_string(c.b),
+               std::to_string(c.R), theory ? "fast possible" : "impossible",
+               measured_str, agree ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("\nR < (S+b)/(t+b) - 2 <=> S > (R+2)t + (R+1)b; crash model is "
+              "b = 0. disagreements: %d\n",
+              disagreements);
+  return disagreements == 0 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// E8 -- Section 1's protocol landscape: one-way message delays and message
+// complexity per read, for every implementation the paper discusses:
+//   abd           : 4 one-way delays (2 RTT), O(S) msgs/read
+//   maxmin        : 3 one-way delays, O(S^2) msgs/read (server gossip)
+//   fast_swmr     : 2 one-way delays (1 RTT), O(S) msgs/read
+//   single_reader : 2 one-way delays at t < S/2 but only R = 1
+// With constant link delay D, measured read latency should be exactly
+// (#one-way delays) * D.
+#include <cstdio>
+
+#include "benchutil/table.h"
+#include "benchutil/workload.h"
+#include "checker/atomicity.h"
+#include "registers/registry.h"
+
+using namespace fastreg;
+using namespace fastreg::benchutil;
+
+int main() {
+  std::printf("E8: baseline landscape (Section 1)\n\n");
+  const std::uint64_t D = 100;  // constant link delay
+  table t({"proto", "S", "t", "R", "read_p50", "delays(=p50/D)", "write_p50",
+           "msgs/op", "atomic"});
+  struct row {
+    const char* proto;
+    std::uint32_t S, t, R;
+  };
+  for (const auto c : {row{"abd", 9, 4, 2}, row{"maxmin", 9, 4, 2},
+                       row{"fast_swmr", 9, 1, 2},   // needs R < S/t-2
+                       row{"single_reader", 9, 4, 1}}) {
+    system_config cfg;
+    cfg.servers = c.S;
+    cfg.t_failures = c.t;
+    cfg.readers = c.R;
+    workload_options opt;
+    opt.delay_lo = D;
+    opt.delay_hi = D;
+    opt.num_writes = 20;
+    opt.reads_per_reader = 20;
+    const auto rep = run_measured(*make_protocol(c.proto), cfg, opt);
+    t.add_row({c.proto, std::to_string(c.S), std::to_string(c.t),
+               std::to_string(c.R), fmt(rep.read_latency.p50()),
+               fmt(rep.read_latency.p50() / static_cast<double>(D), 2),
+               fmt(rep.write_latency.p50()), fmt(rep.msgs_per_op),
+               checker::check_swmr_atomicity(rep.hist).ok ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf(
+      "\nexpected delays column: abd=4, maxmin=3, fast_swmr=2, "
+      "single_reader=2.\nnote the resilience trade: abd/maxmin/"
+      "single_reader tolerate t<S/2 (t=4 of 9); fast_swmr with R=2 "
+      "tolerates only t<S/4 (t=1 of 9) -- the paper's exact price for "
+      "one-round reads.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E9 -- wait-freedom under failures (Sections 2-4): reads and writes must
+// terminate regardless of which t servers fail and when, including crashes
+// that tear a broadcast in half. Measures latency impact of the crash
+// pattern on the fast register and verifies every op still completes in
+// one round-trip.
+#include <cstdio>
+
+#include "benchutil/table.h"
+#include "benchutil/workload.h"
+#include "checker/atomicity.h"
+#include "registers/registry.h"
+
+using namespace fastreg;
+using namespace fastreg::benchutil;
+
+int main() {
+  std::printf("E9: wait-freedom and latency under server crashes\n\n");
+  table t({"proto", "S", "t", "crashed", "when", "read_p50", "write_p50",
+           "all_complete", "atomic", "fast"});
+  struct c3 {
+    const char* proto;
+    std::uint32_t S, t, R;
+  };
+  for (const auto c : {c3{"fast_swmr", 16, 3, 2}, c3{"abd", 7, 3, 2}}) {
+    for (const std::uint32_t crashes : {0u, c.t / 2 + 1, c.t}) {
+      for (const bool midway : {false, true}) {
+        if (crashes == 0 && midway) continue;
+        system_config cfg;
+        cfg.servers = c.S;
+        cfg.t_failures = c.t;
+        cfg.readers = c.R;
+        workload_options opt;
+        opt.num_writes = 20;
+        opt.reads_per_reader = 10;
+        opt.concurrent = true;
+        opt.crash_servers = crashes;
+        opt.crash_midway = midway;
+        const auto rep = run_measured(*make_protocol(c.proto), cfg, opt);
+        const int rd_limit = std::string(c.proto) == "abd" ? 2 : 1;
+        t.add_row(
+            {c.proto, std::to_string(c.S), std::to_string(c.t),
+             std::to_string(crashes), midway ? "mid-run(torn)" : "up-front",
+             fmt(rep.read_latency.p50()), fmt(rep.write_latency.p50()),
+             rep.all_complete ? "yes" : "NO",
+             checker::check_swmr_atomicity(rep.hist).ok ? "yes" : "NO",
+             checker::check_fastness(rep.hist, rd_limit, 1).ok ? "yes"
+                                                               : "NO"});
+      }
+    }
+  }
+  t.print();
+  std::printf("\nexpected: all_complete/atomic/fast = yes everywhere; "
+              "latency is essentially flat (clients wait for S-t replies "
+              "regardless of crashes -- that is what wait-freedom buys).\n");
+  return 0;
+}

@@ -1,0 +1,256 @@
+#include "adversary/bft_lower_bound.h"
+
+#include "adversary/blocks.h"
+#include "adversary/byzantine.h"
+#include "checker/atomicity.h"
+#include "common/check.h"
+#include "sim/world.h"
+
+namespace fastreg::adversary {
+namespace {
+
+using sim::envelope;
+using sim::world;
+
+void deliver_requests(world& w, const process_id& client,
+                      const std::vector<bool>& allowed) {
+  w.deliver_matching([&](const envelope& e) {
+    return e.from == client && e.to.is_server() && allowed[e.to.index] &&
+           (e.msg.type == msg_type::read_req ||
+            e.msg.type == msg_type::write_req);
+  });
+}
+
+void deliver_acks(world& w, const process_id& client,
+                  const std::vector<bool>& allowed) {
+  w.deliver_matching([&](const envelope& e) {
+    return e.to == client && e.from.is_server() && allowed[e.from.index];
+  });
+}
+
+struct schedule_outcome {
+  std::optional<value_t> last_chain_read;
+  std::optional<value_t> read_pr_a;
+  std::optional<value_t> read_pr_c;
+  checker::check_result check{};
+};
+
+/// Block-index helpers over the bft_partition layout.
+struct layout {
+  const bft_partition& bp;
+  // T_j (1-based) -> partition block index.
+  [[nodiscard]] std::size_t T(std::size_t j) const { return j - 1; }
+  // B_j (1-based) -> partition block index.
+  [[nodiscard]] std::size_t B(std::size_t j) const {
+    return bp.readers_used + 2 + (j - 1);
+  }
+};
+
+/// pr^C schedule (pr^D when with_write = false; then B_{R+1} stays honest).
+schedule_outcome run_schedule(const protocol& proto, const system_config& cfg,
+                              const bft_partition& bp, bool with_write,
+                              const value_t& v1) {
+  const std::uint32_t S = cfg.S();
+  const std::uint32_t rp = bp.readers_used;
+  const auto& part = bp.part;
+  const layout L{bp};
+
+  world w(cfg);
+  w.install(proto);
+  schedule_outcome out;
+
+  if (with_write) {
+    // B_{R'+1} turns two-faced toward r1 at the moment the write arrives:
+    // wrap each of its servers (shadow = clone of the pre-write state).
+    for (const std::uint32_t s : part.block(L.B(rp + 1))) {
+      auto* cur = w.get(server_id(s));
+      w.replace_automaton(
+          server_id(s),
+          std::make_unique<two_faced_server>(
+              cur->clone(), std::unordered_set<process_id>{reader_id(0)}));
+    }
+    // wr_{R'+1}: the write reaches T_{R'+1} and B_{R'+1} only.
+    w.invoke_write(v1);
+    deliver_requests(w, writer_id(0),
+                     part.membership({L.T(rp + 1), L.B(rp + 1)}, S));
+  }
+
+  // Delta-pr_{R'} reads:
+  //   r_h (h < R') skips {T_j : h<=j<=R'} and {B_j : h+1<=j<=R'};
+  //   r_{R'} skips T_{R'} only.
+  for (std::uint32_t h = 1; h <= rp; ++h) {
+    std::vector<std::size_t> allowed_blocks;
+    if (h < rp) {
+      for (std::size_t j = 1; j < h; ++j) allowed_blocks.push_back(L.T(j));
+      allowed_blocks.push_back(L.T(rp + 1));
+      allowed_blocks.push_back(L.T(rp + 2));
+      for (std::size_t j = 1; j <= h; ++j) allowed_blocks.push_back(L.B(j));
+      allowed_blocks.push_back(L.B(rp + 1));
+    } else {
+      for (std::size_t j = 1; j <= rp + 2; ++j) {
+        if (j != rp) allowed_blocks.push_back(L.T(j));
+      }
+      for (std::size_t j = 1; j <= rp + 1; ++j) {
+        allowed_blocks.push_back(L.B(j));
+      }
+    }
+    w.invoke_read(h - 1);
+    deliver_requests(w, reader_id(h - 1), part.membership(allowed_blocks, S));
+    if (h == rp) {
+      // Written blocks' acks first: the adversary's scheduling choice that
+      // guarantees the reader's quorum contains evidence of the write.
+      deliver_acks(w, reader_id(h - 1),
+                   part.membership({L.T(rp + 1), L.B(rp + 1)}, S));
+      deliver_acks(w, reader_id(h - 1), std::vector<bool>(S, true));
+      const auto res = w.last_read(h - 1);
+      FASTREG_CHECK(res.has_value());
+      out.last_chain_read = res->val;
+    }
+  }
+
+  // pr^A: r1 completes, never hearing from T_{R'+1}; from B_{R'+1} it gets
+  // the shadow (write-less) answers.
+  deliver_acks(w, reader_id(0),
+               part.membership({L.T(rp + 2), L.B(1), L.B(rp + 1)}, S));
+  std::vector<std::size_t> step2_blocks;
+  for (std::size_t j = 1; j <= rp; ++j) step2_blocks.push_back(L.T(j));
+  for (std::size_t j = 2; j <= rp; ++j) step2_blocks.push_back(L.B(j));
+  deliver_requests(w, reader_id(0), part.membership(step2_blocks, S));
+  deliver_acks(w, reader_id(0), part.membership(step2_blocks, S));
+  {
+    const auto res = w.last_read(0);
+    FASTREG_CHECK(res.has_value());
+    out.read_pr_a = res->val;
+  }
+
+  // pr^C: r1 reads again, skipping T_{R'+1}.
+  w.invoke_read(0);
+  std::vector<std::size_t> all_but_t_rp1;
+  for (std::size_t j = 0; j < part.block_count(); ++j) {
+    if (j != L.T(rp + 1)) all_but_t_rp1.push_back(j);
+  }
+  deliver_requests(w, reader_id(0), part.membership(all_but_t_rp1, S));
+  deliver_acks(w, reader_id(0), part.membership(all_but_t_rp1, S));
+  {
+    const auto res = w.last_read(0);
+    FASTREG_CHECK(res.has_value());
+    out.read_pr_c = res->val;
+  }
+
+  out.check = checker::check_swmr_atomicity(w.hist());
+  return out;
+}
+
+/// Delta-pr_i standalone: write reaches T_{i+1}..T_{R'+1}, B_{i+1}..B_{R'+1};
+/// reads r_1..r_i with the Section 6.2 skip sets; returns r_i's value.
+value_t run_chain_step(const protocol& proto, const system_config& cfg,
+                       const bft_partition& bp, std::uint32_t i,
+                       const value_t& v1) {
+  const std::uint32_t S = cfg.S();
+  const std::uint32_t rp = bp.readers_used;
+  const auto& part = bp.part;
+  const layout L{bp};
+
+  world w(cfg);
+  w.install(proto);
+
+  w.invoke_write(v1);
+  std::vector<std::size_t> write_blocks;
+  for (std::size_t j = i + 1; j <= rp + 1; ++j) {
+    write_blocks.push_back(L.T(j));
+    write_blocks.push_back(L.B(j));
+  }
+  deliver_requests(w, writer_id(0), part.membership(write_blocks, S));
+
+  for (std::uint32_t h = 1; h <= i; ++h) {
+    std::vector<std::size_t> allowed_blocks;
+    if (h < i) {
+      // skips {T_j : h<=j<=i} and {B_j : h+1<=j<=i}
+      for (std::size_t j = 1; j < h; ++j) allowed_blocks.push_back(L.T(j));
+      for (std::size_t j = i + 1; j <= rp + 2; ++j) {
+        allowed_blocks.push_back(L.T(j));
+      }
+      for (std::size_t j = 1; j <= h; ++j) allowed_blocks.push_back(L.B(j));
+      for (std::size_t j = i + 1; j <= rp + 1; ++j) {
+        allowed_blocks.push_back(L.B(j));
+      }
+    } else {
+      // r_i skips T_i only.
+      for (std::size_t j = 1; j <= rp + 2; ++j) {
+        if (j != i) allowed_blocks.push_back(L.T(j));
+      }
+      for (std::size_t j = 1; j <= rp + 1; ++j) {
+        allowed_blocks.push_back(L.B(j));
+      }
+    }
+    w.invoke_read(h - 1);
+    deliver_requests(w, reader_id(h - 1), part.membership(allowed_blocks, S));
+    if (h == i) {
+      deliver_acks(w, reader_id(h - 1), part.membership(write_blocks, S));
+      deliver_acks(w, reader_id(h - 1), std::vector<bool>(S, true));
+    }
+  }
+  const auto res = w.last_read(i - 1);
+  FASTREG_CHECK(res.has_value());
+  return res->val;
+}
+
+}  // namespace
+
+construction_report run_bft_lower_bound(const protocol& proto,
+                                        const system_config& cfg) {
+  construction_report rep;
+  rep.written_value = "v1";
+  FASTREG_EXPECTS(proto.read_rounds() == 1 && proto.write_rounds() == 1);
+
+  const auto bp = make_bft_partition(cfg.S(), cfg.t(), cfg.b(), cfg.R());
+  if (!bp) {
+    rep.applicable = false;
+    rep.reason = "no block partition exists: S > (R+2)t + (R+1)b for all "
+                 "R' <= R (feasible region, " +
+                 cfg.describe() + ")";
+    return rep;
+  }
+  rep.applicable = true;
+  rep.readers_used = bp->readers_used;
+  {
+    std::vector<std::string> names;
+    for (std::uint32_t j = 1; j <= bp->readers_used + 2; ++j) {
+      names.push_back("T" + std::to_string(j));
+    }
+    for (std::uint32_t j = 1; j <= bp->readers_used + 1; ++j) {
+      names.push_back("B" + std::to_string(j));
+    }
+    rep.partition = bp->part.describe(names);
+  }
+  rep.trace.push_back("partition: " + rep.partition);
+
+  for (std::uint32_t i = 1; i <= bp->readers_used; ++i) {
+    rep.chain.push_back(run_chain_step(proto, cfg, *bp, i, rep.written_value));
+    rep.trace.push_back("Delta-pr_" + std::to_string(i) + ": r" +
+                        std::to_string(i) + " read \"" + rep.chain.back() +
+                        "\"");
+  }
+
+  const auto pr_c =
+      run_schedule(proto, cfg, *bp, /*with_write=*/true, rep.written_value);
+  const auto pr_d =
+      run_schedule(proto, cfg, *bp, /*with_write=*/false, rep.written_value);
+
+  rep.read_pr_a = pr_c.read_pr_a;
+  rep.read_pr_c = pr_c.read_pr_c;
+  rep.indistinguishability_ok = pr_c.read_pr_a == pr_d.read_pr_a &&
+                                pr_c.read_pr_c == pr_d.read_pr_c;
+  rep.trace.push_back("pr^A: r1 read \"" + *pr_c.read_pr_a +
+                      "\" (pr^B sibling: \"" + *pr_d.read_pr_a + "\")");
+  rep.trace.push_back("pr^C: r1 read \"" + *pr_c.read_pr_c +
+                      "\" (pr^D sibling: \"" + *pr_d.read_pr_c + "\")");
+
+  rep.violation = !pr_c.check.ok;
+  rep.checker_error = pr_c.check.error;
+  rep.trace.push_back(rep.violation ? "checker: VIOLATION: " + pr_c.check.error
+                                    : "checker: history is atomic");
+  return rep;
+}
+
+}  // namespace fastreg::adversary

@@ -1,0 +1,48 @@
+// Result of executing a lower-bound construction against a concrete
+// protocol implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastreg::adversary {
+
+struct construction_report {
+  /// False when the configuration is inside the feasible region (the
+  /// required block partition does not exist) -- the paper's bound says no
+  /// schedule can break the protocol there.
+  bool applicable{false};
+  std::string reason{};
+
+  /// R' -- number of readers the construction actually used.
+  std::uint32_t readers_used{0};
+  std::string partition{};
+
+  /// Value returned by r_i's read in the partial run Delta-pr_i, i=1..R'.
+  /// The proof forces all of these to be the written value.
+  std::vector<value_t> chain{};
+  /// r1's first read (run pr^A) -- the proof forces bottom.
+  std::optional<value_t> read_pr_a{};
+  /// r1's second read (run pr^C) -- the proof forces bottom, which
+  /// contradicts r_R' having read the written value.
+  std::optional<value_t> read_pr_c{};
+  value_t written_value{};
+
+  /// Empirical indistinguishability: r1 returned identical values in
+  /// pr^C and in pr^D (the sibling run with no write at all).
+  bool indistinguishability_ok{false};
+
+  /// The atomicity checker's verdict on pr^C's history.
+  bool violation{false};
+  std::string checker_error{};
+
+  std::vector<std::string> trace{};
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace fastreg::adversary

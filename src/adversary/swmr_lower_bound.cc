@@ -1,0 +1,234 @@
+#include "adversary/swmr_lower_bound.h"
+
+#include <functional>
+
+#include "adversary/blocks.h"
+#include "checker/atomicity.h"
+#include "common/check.h"
+#include "sim/world.h"
+
+namespace fastreg::adversary {
+
+std::string construction_report::summary() const {
+  if (!applicable) return "not applicable: " + reason;
+  std::string out = "R'=" + std::to_string(readers_used) + "; chain=[";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + chain[i] + "\"";
+  }
+  out += "]; pr^A read=\"" + (read_pr_a ? *read_pr_a : "?") + "\"";
+  out += "; pr^C read=\"" + (read_pr_c ? *read_pr_c : "?") + "\"";
+  out += violation ? "; VIOLATION (" + checker_error + ")"
+                   : "; no violation";
+  return out;
+}
+
+namespace {
+
+using sim::envelope;
+using sim::world;
+
+/// Delivers `client`'s outstanding request messages (read/write) to every
+/// server in the allowed set.
+void deliver_requests(world& w, const process_id& client,
+                      const std::vector<bool>& allowed) {
+  w.deliver_matching([&](const envelope& e) {
+    return e.from == client && e.to.is_server() && allowed[e.to.index] &&
+           (e.msg.type == msg_type::read_req ||
+            e.msg.type == msg_type::write_req);
+  });
+}
+
+/// Delivers server acks addressed to `client` originating in the allowed
+/// server set.
+void deliver_acks(world& w, const process_id& client,
+                  const std::vector<bool>& allowed) {
+  w.deliver_matching([&](const envelope& e) {
+    return e.to == client && e.from.is_server() && allowed[e.from.index];
+  });
+}
+
+std::vector<bool> all_servers(std::uint32_t S, bool value = true) {
+  return std::vector<bool>(S, value);
+}
+
+struct schedule_outcome {
+  std::optional<value_t> last_chain_read;  // r_{R'}'s read in Delta-pr_{R'}
+  std::optional<value_t> read_pr_a;
+  std::optional<value_t> read_pr_c;
+  checker::check_result check{};
+};
+
+/// Executes the pr^C schedule (or pr^D when with_write = false) and
+/// returns what the readers saw.
+schedule_outcome run_schedule(const protocol& proto, const system_config& cfg,
+                              const swmr_partition& sp, bool with_write,
+                              const value_t& v1) {
+  const std::uint32_t S = cfg.S();
+  const std::uint32_t rp = sp.readers_used;  // R'
+  const auto& part = sp.part;
+  // Block indices: paper's B_j (1-based) is part.block(j-1).
+  const std::size_t b_rp1 = rp;      // B_{R'+1}: the only block written
+  const std::size_t b_rp2 = rp + 1;  // B_{R'+2}: skipped by the write
+
+  world w(cfg);
+  w.install(proto);
+  schedule_outcome out;
+
+  // --- wr_{R'+1}: write(v1) reaches only B_{R'+1}; its acks stay in
+  // transit, so the write never completes in this run family.
+  if (with_write) {
+    w.invoke_write(v1);
+    deliver_requests(w, writer_id(0), part.membership({b_rp1}, S));
+  }
+
+  // --- Delta-pr_{R'}: reads r_1..r_{R'}; r_h skips blocks B_h..B_{R'}.
+  for (std::uint32_t h = 1; h <= rp; ++h) {
+    std::vector<std::size_t> allowed_blocks;
+    for (std::size_t j = 0; j + 1 < h; ++j) allowed_blocks.push_back(j);
+    allowed_blocks.push_back(b_rp1);
+    allowed_blocks.push_back(b_rp2);
+    w.invoke_read(h - 1);
+    deliver_requests(w, reader_id(h - 1), part.membership(allowed_blocks, S));
+    if (h == rp) {
+      // The last read of the chain completes; indistinguishability forces
+      // it to return v1. The adversary schedules acks from the written
+      // block first (a reader that waits for only S - t replies might
+      // otherwise complete before hearing any evidence of the write).
+      deliver_acks(w, reader_id(h - 1), part.membership({b_rp1}, S));
+      deliver_acks(w, reader_id(h - 1), all_servers(S));
+      const auto res = w.last_read(h - 1);
+      FASTREG_CHECK(res.has_value());
+      out.last_chain_read = res->val;
+    }
+  }
+
+  // --- pr^A: r_1's first read completes without ever hearing from
+  // B_{R'+1} (the block that got the write): acks from B_{R'+2} first,
+  // then B_1..B_{R'} receive the request and answer.
+  deliver_acks(w, reader_id(0), part.membership({b_rp2}, S));
+  std::vector<std::size_t> b_1_to_rp;
+  for (std::size_t j = 0; j < rp; ++j) b_1_to_rp.push_back(j);
+  deliver_requests(w, reader_id(0), part.membership(b_1_to_rp, S));
+  deliver_acks(w, reader_id(0), part.membership(b_1_to_rp, S));
+  {
+    const auto res = w.last_read(0);
+    FASTREG_CHECK(res.has_value());
+    out.read_pr_a = res->val;
+  }
+
+  // --- pr^C: r_1 reads once more, skipping B_{R'+1}. This read *succeeds*
+  // r_{R'}'s read.
+  w.invoke_read(0);
+  std::vector<std::size_t> all_but_written;
+  for (std::size_t j = 0; j < part.block_count(); ++j) {
+    if (j != b_rp1) all_but_written.push_back(j);
+  }
+  deliver_requests(w, reader_id(0), part.membership(all_but_written, S));
+  deliver_acks(w, reader_id(0), part.membership(all_but_written, S));
+  {
+    const auto res = w.last_read(0);
+    FASTREG_CHECK(res.has_value());
+    out.read_pr_c = res->val;
+  }
+
+  out.check = checker::check_swmr_atomicity(w.hist());
+  return out;
+}
+
+/// Executes Delta-pr_i standalone (fresh world) and returns r_i's value.
+value_t run_chain_step(const protocol& proto, const system_config& cfg,
+                       const swmr_partition& sp, std::uint32_t i,
+                       const value_t& v1) {
+  const std::uint32_t S = cfg.S();
+  const std::uint32_t rp = sp.readers_used;
+  const auto& part = sp.part;
+
+  world w(cfg);
+  w.install(proto);
+
+  // Write reaches blocks B_{i+1}..B_{R'+1} (0-based: i..rp).
+  w.invoke_write(v1);
+  std::vector<std::size_t> write_blocks;
+  for (std::size_t j = i; j <= rp; ++j) write_blocks.push_back(j);
+  deliver_requests(w, writer_id(0), part.membership(write_blocks, S));
+
+  // Reads r_1..r_i; r_h skips {B_j : h <= j <= i}.
+  for (std::uint32_t h = 1; h <= i; ++h) {
+    std::vector<std::size_t> allowed_blocks;
+    for (std::size_t j = 0; j + 1 < h; ++j) allowed_blocks.push_back(j);
+    for (std::size_t j = i; j <= static_cast<std::size_t>(rp) + 1; ++j) {
+      allowed_blocks.push_back(j);
+    }
+    w.invoke_read(h - 1);
+    deliver_requests(w, reader_id(h - 1), part.membership(allowed_blocks, S));
+    if (h == i) {
+      // Acks from the written blocks first (see run_schedule).
+      deliver_acks(w, reader_id(h - 1), part.membership(write_blocks, S));
+      deliver_acks(w, reader_id(h - 1), all_servers(S));
+    }
+  }
+  const auto res = w.last_read(i - 1);
+  FASTREG_CHECK(res.has_value());
+  return res->val;
+}
+
+}  // namespace
+
+construction_report run_swmr_lower_bound(const protocol& proto,
+                                         const system_config& cfg) {
+  construction_report rep;
+  rep.written_value = "v1";
+  FASTREG_EXPECTS(proto.read_rounds() == 1 && proto.write_rounds() == 1);
+
+  const auto sp = make_swmr_partition(cfg.S(), cfg.t(), cfg.R());
+  if (!sp) {
+    rep.applicable = false;
+    rep.reason = "no block partition exists: S > (R+2)t for all R' <= R "
+                 "(feasible region, " +
+                 cfg.describe() + ")";
+    return rep;
+  }
+  rep.applicable = true;
+  rep.readers_used = sp->readers_used;
+  {
+    std::vector<std::string> names;
+    for (std::uint32_t j = 1; j <= sp->readers_used + 2; ++j) {
+      names.push_back("B" + std::to_string(j));
+    }
+    rep.partition = sp->part.describe(names);
+  }
+  rep.trace.push_back("partition: " + rep.partition);
+
+  // The Delta-pr_i chain, each in a fresh world: the values the proof's
+  // induction forces to v1.
+  for (std::uint32_t i = 1; i <= sp->readers_used; ++i) {
+    rep.chain.push_back(run_chain_step(proto, cfg, *sp, i, rep.written_value));
+    rep.trace.push_back("Delta-pr_" + std::to_string(i) + ": r" +
+                        std::to_string(i) + " read \"" + rep.chain.back() +
+                        "\"");
+  }
+
+  // pr^C (with the write) and pr^D (without): r_1 must not distinguish.
+  const auto pr_c =
+      run_schedule(proto, cfg, *sp, /*with_write=*/true, rep.written_value);
+  const auto pr_d =
+      run_schedule(proto, cfg, *sp, /*with_write=*/false, rep.written_value);
+
+  rep.read_pr_a = pr_c.read_pr_a;
+  rep.read_pr_c = pr_c.read_pr_c;
+  rep.indistinguishability_ok = pr_c.read_pr_a == pr_d.read_pr_a &&
+                                pr_c.read_pr_c == pr_d.read_pr_c;
+  rep.trace.push_back("pr^A: r1 read \"" + *pr_c.read_pr_a +
+                      "\" (pr^B sibling: \"" + *pr_d.read_pr_a + "\")");
+  rep.trace.push_back("pr^C: r1 read \"" + *pr_c.read_pr_c +
+                      "\" (pr^D sibling: \"" + *pr_d.read_pr_c + "\")");
+
+  rep.violation = !pr_c.check.ok;
+  rep.checker_error = pr_c.check.error;
+  rep.trace.push_back(rep.violation ? "checker: VIOLATION: " + pr_c.check.error
+                                    : "checker: history is atomic");
+  return rep;
+}
+
+}  // namespace fastreg::adversary

@@ -1,0 +1,34 @@
+// Latency sample accumulator with percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastreg::benchutil {
+
+class stats {
+ public:
+  void add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Percentile in [0, 100]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50); }
+  [[nodiscard]] double p99() const { return percentile(99); }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{false};
+};
+
+/// "123.4" with the given precision; "-" when no samples.
+[[nodiscard]] std::string fmt(double v, int precision = 1);
+
+}  // namespace fastreg::benchutil

@@ -1,0 +1,47 @@
+#include "benchutil/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fastreg::benchutil {
+
+table::table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto pad = [&](const std::string& s, std::size_t w) {
+    return s + std::string(w - s.size() + 2, ' ');
+  };
+  std::string out;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    out += pad(headers_[i], widths[i]);
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    out += pad(std::string(widths[i], '-'), widths[i]);
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      out += pad(row[i], widths[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void table::print() const { std::printf("%s", render().c_str()); }
+
+}  // namespace fastreg::benchutil

@@ -1,0 +1,25 @@
+// Column-aligned plain-text table printer for the experiment binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastreg::benchutil {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a header rule, e.g.:
+  ///   proto      read_p50  rounds
+  ///   ---------  --------  ------
+  ///   fast_swmr  203.0     1
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastreg::benchutil

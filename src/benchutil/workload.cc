@@ -1,0 +1,98 @@
+#include "benchutil/workload.h"
+
+#include "common/check.h"
+#include "sim/world.h"
+
+namespace fastreg::benchutil {
+
+latency_report run_measured(const protocol& proto, const system_config& cfg,
+                            const workload_options& opt) {
+  sim::world w(cfg);
+  w.install(proto);
+  rng r(opt.seed);
+  sim::uniform_delay delays(opt.delay_lo, opt.delay_hi);
+
+  FASTREG_EXPECTS(opt.crash_servers <= cfg.t());
+  if (!opt.crash_midway) {
+    for (std::uint32_t i = 0; i < opt.crash_servers; ++i) {
+      w.crash(server_id(i));
+    }
+  }
+
+  std::uint32_t writes_invoked = 0;
+  std::vector<std::uint32_t> reads_invoked(cfg.R(), 0);
+  bool crashed_midway = false;
+  std::uint64_t guard = 0;
+
+  auto idle = [&](const process_id& p) { return !w.client_busy(p); };
+  auto anything_in_flight = [&] {
+    if (w.writer(0)->write_in_progress()) return true;
+    for (std::uint32_t i = 0; i < cfg.R(); ++i) {
+      if (w.reader(i)->read_in_progress()) return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    FASTREG_CHECK(++guard < 100'000'000);
+    if (opt.crash_midway && !crashed_midway &&
+        writes_invoked >= opt.num_writes / 2) {
+      crashed_midway = true;
+      for (std::uint32_t i = 0; i < opt.crash_servers; ++i) {
+        // Torn crash: the next send burst of each victim is truncated.
+        w.crash_after_sends(server_id(i), 1);
+      }
+    }
+
+    bool invoked = false;
+    const bool allow_invoke = opt.concurrent || !anything_in_flight();
+    if (allow_invoke) {
+      if (writes_invoked < opt.num_writes && idle(writer_id(0))) {
+        ++writes_invoked;
+        w.invoke_write("v" + std::to_string(writes_invoked));
+        invoked = true;
+      }
+      for (std::uint32_t i = 0; i < cfg.R(); ++i) {
+        if (!opt.concurrent && (invoked || anything_in_flight())) break;
+        if (reads_invoked[i] < opt.reads_per_reader && idle(reader_id(i))) {
+          ++reads_invoked[i];
+          w.invoke_read(i);
+          invoked = true;
+        }
+      }
+    }
+
+    if (w.in_transit().empty()) {
+      if (invoked) continue;
+      break;  // drained and nothing more to start
+    }
+    w.run_timed(r, delays, /*max_steps=*/1);
+  }
+
+  latency_report rep;
+  rep.hist = w.hist();
+  std::uint64_t completed = 0;
+  for (const auto& op : rep.hist.ops()) {
+    if (!op.response_time) {
+      rep.all_complete = false;
+      continue;
+    }
+    ++completed;
+    const double lat =
+        static_cast<double>(*op.response_time - op.invoke_time);
+    if (op.is_write) {
+      rep.write_latency.add(lat);
+      rep.write_rounds.add(op.rounds);
+    } else {
+      rep.read_latency.add(lat);
+      rep.read_rounds.add(op.rounds);
+    }
+  }
+  rep.msgs_per_op =
+      completed == 0 ? 0
+                     : static_cast<double>(w.messages_sent()) /
+                           static_cast<double>(completed);
+  return rep;
+}
+
+}  // namespace fastreg::benchutil

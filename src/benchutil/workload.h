@@ -1,0 +1,48 @@
+// Measured simulation workloads: drive a protocol on the timed simulator
+// and report per-operation latency (in simulated time units), round-trips,
+// and message complexity. One simulated time unit = one "tick" of the
+// uniform link-delay model; with delay U[lo, hi], a request/reply
+// round-trip costs roughly lo+lo .. hi+hi ticks, so shapes (1 RTT vs 2
+// RTT) are directly visible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "benchutil/stats.h"
+#include "checker/history.h"
+#include "registers/automaton.h"
+
+namespace fastreg::benchutil {
+
+struct workload_options {
+  std::uint32_t num_writes{20};
+  std::uint32_t reads_per_reader{20};
+  std::uint64_t seed{1};
+  std::uint64_t delay_lo{50};
+  std::uint64_t delay_hi{150};
+  /// false: ops run one at a time (pure latency). true: every client is
+  /// closed-loop (contention shapes).
+  bool concurrent{false};
+  /// Crash this many servers up front (must be <= cfg.t()).
+  std::uint32_t crash_servers{0};
+  /// Crash them mid-run (after half the writes) instead of up front.
+  bool crash_midway{false};
+};
+
+struct latency_report {
+  stats read_latency;
+  stats write_latency;
+  stats read_rounds;
+  stats write_rounds;
+  double msgs_per_op{0};
+  bool all_complete{true};
+  checker::history hist;
+};
+
+/// Runs the workload on the timed simulator and collects the report.
+[[nodiscard]] latency_report run_measured(const protocol& proto,
+                                          const system_config& cfg,
+                                          const workload_options& opt);
+
+}  // namespace fastreg::benchutil

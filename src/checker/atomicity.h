@@ -1,0 +1,44 @@
+// Verifiers for the correctness conditions of Section 3.
+//
+//  * check_swmr_atomicity -- the four conditions of Section 3.1, verbatim:
+//      (1) every read returns some written value (bottom counts as val_0);
+//      (2) a read that succeeds write_k returns val_l with l >= k;
+//      (3) a read returning val_k (k >= 1) is preceded by or concurrent
+//          with write_k;
+//      (4) if rd2 succeeds rd1 then rd2 returns a value at least as new.
+//    O(n log n); exact for single-writer histories with unique values.
+//
+//  * check_swmr_regular -- conditions (1)-(3) only: a regular register
+//    admits new/old inversions between reads (Section 8), so condition (4)
+//    is dropped.
+//
+//  * check_linearizable -- general MWMR atomicity via a Wing&Gong-style
+//    exhaustive search with memoization. Exponential worst case; intended
+//    for the small adversarial histories of Section 7 (<= 64 ops).
+//
+//  * check_fastness -- every completed operation used at most the stated
+//    number of round-trips (Section 3.2's fast-implementation property,
+//    measured rather than assumed).
+#pragma once
+
+#include <string>
+
+#include "checker/history.h"
+
+namespace fastreg::checker {
+
+struct check_result {
+  bool ok{true};
+  std::string error{};
+
+  explicit operator bool() const { return ok; }
+};
+
+[[nodiscard]] check_result check_swmr_atomicity(const history& h);
+[[nodiscard]] check_result check_swmr_regular(const history& h);
+[[nodiscard]] check_result check_linearizable(const history& h);
+[[nodiscard]] check_result check_fastness(const history& h,
+                                          int max_read_rounds,
+                                          int max_write_rounds);
+
+}  // namespace fastreg::checker

@@ -1,0 +1,37 @@
+// Contract checks in the spirit of the C++ Core Guidelines I.6/I.8
+// (Expects/Ensures). Violations abort with a message: these guard internal
+// invariants, not recoverable user input.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fastreg::detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "fastreg %s failed: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+}  // namespace fastreg::detail
+
+#define FASTREG_EXPECTS(cond)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::fastreg::detail::contract_failure("precondition", #cond, __FILE__,  \
+                                          __LINE__);                        \
+  } while (0)
+
+#define FASTREG_ENSURES(cond)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::fastreg::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                          __LINE__);                        \
+  } while (0)
+
+#define FASTREG_CHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::fastreg::detail::contract_failure("invariant", #cond, __FILE__,     \
+                                          __LINE__);                        \
+  } while (0)

@@ -1,0 +1,50 @@
+// Tiny leveled logger. Off by default so simulations stay fast; enable via
+// fastreg::log_config::set_level or the FASTREG_LOG environment variable
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace fastreg {
+
+enum class log_level : int {
+  trace = 0,
+  debug = 1,
+  info = 2,
+  warn = 3,
+  error = 4,
+  off = 5,
+};
+
+class log_config {
+ public:
+  static log_level level();
+  static void set_level(log_level lv);
+
+ private:
+  static log_level& storage();
+};
+
+void log_write(log_level lv, const char* file, int line, const std::string& msg);
+
+namespace detail {
+std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+}  // namespace fastreg
+
+#define FASTREG_LOG(lv, ...)                                              \
+  do {                                                                    \
+    if (static_cast<int>(lv) >= static_cast<int>(                         \
+                                    ::fastreg::log_config::level())) {    \
+      ::fastreg::log_write(lv, __FILE__, __LINE__,                        \
+                           ::fastreg::detail::log_format(__VA_ARGS__));   \
+    }                                                                     \
+  } while (0)
+
+#define LOG_TRACE(...) FASTREG_LOG(::fastreg::log_level::trace, __VA_ARGS__)
+#define LOG_DEBUG(...) FASTREG_LOG(::fastreg::log_level::debug, __VA_ARGS__)
+#define LOG_INFO(...) FASTREG_LOG(::fastreg::log_level::info, __VA_ARGS__)
+#define LOG_WARN(...) FASTREG_LOG(::fastreg::log_level::warn, __VA_ARGS__)
+#define LOG_ERROR(...) FASTREG_LOG(::fastreg::log_level::error, __VA_ARGS__)

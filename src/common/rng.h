@@ -1,0 +1,79 @@
+// Deterministic seeded RNG (xoshiro256**). Every randomized schedule, crash
+// pattern and workload in fastreg derives from an explicit seed so that any
+// failure is replayable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fastreg {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding, the reference initialization for xoshiro.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound = 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Debiased via rejection; the loop terminates fast for all bounds.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli(p) with p expressed as numerator/denominator.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // UniformRandomBitGenerator interface, so std::shuffle works.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace fastreg

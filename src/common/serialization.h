@@ -1,0 +1,110 @@
+// Minimal, dependency-free binary codec used for wire messages (net
+// transport) and for signature payloads (crypto). Fixed little-endian
+// integer encodings; length-prefixed strings and byte blobs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fastreg {
+
+/// Appends encoded fields to an owned byte buffer.
+class byte_writer {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u32(std::uint32_t v) { put_fixed(v); }
+  void put_u64(std::uint64_t v) { put_fixed(v); }
+  void put_i64(std::int64_t v) { put_fixed(static_cast<std::uint64_t>(v)); }
+  void put_i32(std::int32_t v) { put_fixed(static_cast<std::uint32_t>(v)); }
+
+  void put_bytes(std::span<const std::uint8_t> b) {
+    put_u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_fixed(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads encoded fields from a borrowed byte span. All getters return
+/// nullopt on truncation instead of throwing, so malformed network input
+/// (including bytes crafted by Byzantine peers) is rejected gracefully.
+class byte_reader {
+ public:
+  explicit byte_reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> get_u8() {
+    if (pos_ + 1 > data_.size()) return std::nullopt;
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::optional<std::uint32_t> get_u32() {
+    return get_fixed<std::uint32_t>();
+  }
+  [[nodiscard]] std::optional<std::uint64_t> get_u64() {
+    return get_fixed<std::uint64_t>();
+  }
+  [[nodiscard]] std::optional<std::int64_t> get_i64() {
+    auto v = get_fixed<std::uint64_t>();
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+  [[nodiscard]] std::optional<std::int32_t> get_i32() {
+    auto v = get_fixed<std::uint32_t>();
+    if (!v) return std::nullopt;
+    return static_cast<std::int32_t>(*v);
+  }
+  [[nodiscard]] std::optional<std::string> get_string() {
+    auto n = get_u32();
+    if (!n || pos_ + *n > data_.size()) return std::nullopt;
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *n);
+    pos_ += *n;
+    return s;
+  }
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get_bytes() {
+    auto n = get_u32();
+    if (!n || pos_ + *n > data_.size()) return std::nullopt;
+    std::vector<std::uint8_t> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *n));
+    pos_ += *n;
+    return b;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  [[nodiscard]] std::optional<T> get_fixed() {
+    if (pos_ + sizeof(T) > data_.size()) return std::nullopt;
+    T v{0};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+};
+
+}  // namespace fastreg

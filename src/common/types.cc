@@ -1,0 +1,32 @@
+#include "common/types.h"
+
+#include "common/seen_set.h"
+
+namespace fastreg {
+
+std::string to_string(const process_id& p) {
+  switch (p.r) {
+    case role::writer:
+      return p.index == 0 ? "w" : "w" + std::to_string(p.index + 1);
+    case role::reader:
+      return "r" + std::to_string(p.index + 1);
+    case role::server:
+      return "s" + std::to_string(p.index + 1);
+  }
+  return "?";
+}
+
+std::string seen_set::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::uint32_t slot = 0; slot < max_clients; ++slot) {
+    if ((bits_ & (std::uint64_t{1} << slot)) == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += slot == 0 ? "w" : "r" + std::to_string(slot);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fastreg

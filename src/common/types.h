@@ -1,0 +1,107 @@
+// Core identifier and value types shared by every fastreg module.
+//
+// The paper's system (Dutta, Guerraoui, Levy, Vukolic, PODC 2004) has three
+// disjoint process sets: servers {s1..sS}, a single writer {w} (generalized
+// to {w1..wW} for the MWMR discussion of Section 7), and readers {r1..rR}.
+// We mirror that structure with a (role, index) pair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fastreg {
+
+/// Which of the paper's three process sets a process belongs to.
+enum class role : std::uint8_t {
+  writer = 0,
+  reader = 1,
+  server = 2,
+};
+
+/// Identifies one process: a (role, index) pair. Indices are 0-based within
+/// a role (the paper's r1 is `reader 0`, s1 is `server 0`, w is `writer 0`).
+struct process_id {
+  role r{role::server};
+  std::uint32_t index{0};
+
+  friend bool operator==(const process_id&, const process_id&) = default;
+  friend auto operator<=>(const process_id&, const process_id&) = default;
+
+  [[nodiscard]] bool is_writer() const { return r == role::writer; }
+  [[nodiscard]] bool is_reader() const { return r == role::reader; }
+  [[nodiscard]] bool is_server() const { return r == role::server; }
+};
+
+[[nodiscard]] inline process_id writer_id(std::uint32_t i = 0) {
+  return {role::writer, i};
+}
+[[nodiscard]] inline process_id reader_id(std::uint32_t i) {
+  return {role::reader, i};
+}
+[[nodiscard]] inline process_id server_id(std::uint32_t i) {
+  return {role::server, i};
+}
+
+/// The paper's pid() function (Figure 2): maps the writer to 0 and reader
+/// r_i to i. Used to index the per-client `counter[]` array on servers and
+/// as the bit position in `seen_set`. Multi-writer runs map writer w_j to
+/// slot j as well (the MWMR baseline does not use seen sets, so overlap with
+/// readers is harmless there; the fast protocols are single-writer).
+[[nodiscard]] inline std::uint32_t client_slot(const process_id& p) {
+  switch (p.r) {
+    case role::writer:
+      return 0;
+    case role::reader:
+      return p.index + 1;
+    case role::server:
+      break;
+  }
+  return ~0u;  // servers are not clients
+}
+
+[[nodiscard]] std::string to_string(const process_id& p);
+
+/// Timestamps. The writer's first write carries ts = 1; ts = 0 denotes the
+/// initial state whose value is bottom (the paper's special value, written
+/// as \bot). MWMR timestamps carry a writer id for lexicographic tiebreak.
+using ts_t = std::int64_t;
+inline constexpr ts_t k_initial_ts = 0;
+
+/// Lexicographic (number, writer) timestamp used by the MWMR baseline.
+struct wts_t {
+  ts_t num{0};
+  std::int32_t wid{0};
+
+  friend bool operator==(const wts_t&, const wts_t&) = default;
+  friend auto operator<=>(const wts_t&, const wts_t&) = default;
+};
+
+/// Register values are opaque byte strings; the empty optional-style bottom
+/// is represented by ts = 0 at the protocol layer, so plain std::string
+/// suffices as the value payload type.
+using value_t = std::string;
+
+/// Sentinel rendering of the initial value bottom.
+inline const value_t k_bottom_value{};
+
+/// A (timestamp, value, previous-value) triple: what the fast protocols
+/// attach to every write (Section 4: "the writer attaches two tags with the
+/// timestamp, containing the current value to be written and the value of
+/// the immediately preceding write").
+struct tagged_value {
+  ts_t ts{k_initial_ts};
+  value_t val{};
+  value_t prev{};
+
+  friend bool operator==(const tagged_value&, const tagged_value&) = default;
+};
+
+}  // namespace fastreg
+
+template <>
+struct std::hash<fastreg::process_id> {
+  std::size_t operator()(const fastreg::process_id& p) const noexcept {
+    return (static_cast<std::size_t>(p.r) << 32) ^ p.index;
+  }
+};

@@ -1,0 +1,426 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace fastreg::crypto {
+
+bignum::bignum(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void bignum::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+bignum bignum::from_bytes(std::span<const std::uint8_t> be) {
+  bignum n;
+  for (std::uint8_t byte : be) {
+    n = n.shl(8);
+    n = n.add(bignum{byte});
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> bignum::to_bytes() const {
+  if (is_zero()) return {0};
+  std::vector<std::uint8_t> out;
+  const std::size_t bytes = (bit_length() + 7) / 8;
+  out.resize(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    const std::size_t limb = i / 4;
+    const std::size_t shift = (i % 4) * 8;
+    out[bytes - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[limb] >> shift);
+  }
+  return out;
+}
+
+bignum bignum::from_hex(const std::string& hex) {
+  bignum n;
+  for (char c : hex) {
+    std::uint32_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      continue;  // allow separators
+    }
+    n = n.shl(4).add(bignum{d});
+  }
+  return n;
+}
+
+std::string bignum::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      const std::uint32_t d = (limbs_[i] >> (nib * 4)) & 0xf;
+      if (out.empty() && d == 0) continue;
+      out.push_back(digits[d]);
+    }
+  }
+  return out;
+}
+
+std::size_t bignum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool bignum::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int bignum::compare(const bignum& o) const {
+  if (limbs_.size() != o.limbs_.size()) {
+    return limbs_.size() < o.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+bignum bignum::add(const bignum& o) const {
+  bignum out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.normalize();
+  return out;
+}
+
+bignum bignum::sub(const bignum& o) const {
+  FASTREG_EXPECTS(compare(o) >= 0);
+  bignum out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= o.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.normalize();
+  return out;
+}
+
+bignum bignum::mul(const bignum& o) const {
+  if (is_zero() || o.is_zero()) return {};
+  bignum out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + carry +
+                          static_cast<std::uint64_t>(limbs_[i]) * o.limbs_[j];
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+bignum bignum::shl(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  bignum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.normalize();
+  return out;
+}
+
+bignum bignum::shr(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return {};
+  bignum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.normalize();
+  return out;
+}
+
+std::pair<bignum, bignum> bignum::divmod(const bignum& o) const {
+  FASTREG_EXPECTS(!o.is_zero());
+  if (compare(o) < 0) return {bignum{}, *this};
+
+  // Single-limb divisor: straightforward word-by-word division.
+  if (o.limbs_.size() == 1) {
+    const std::uint64_t d = o.limbs_[0];
+    bignum q;
+    q.limbs_.resize(limbs_.size());
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.normalize();
+    return {q, bignum{rem}};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D, base 2^32. Normalize so the top
+  // divisor limb has its high bit set, estimate each quotient digit from
+  // the top two dividend limbs, and correct by at most two decrements.
+  const std::size_t n = o.limbs_.size();
+  const std::size_t m = limbs_.size() - n;
+  const int shift = std::countl_zero(o.limbs_.back());
+  const bignum vbn = o.shl(static_cast<std::size_t>(shift));
+  bignum ubn = shl(static_cast<std::size_t>(shift));
+  const auto& v = vbn.limbs_;
+  auto& u = ubn.limbs_;
+  u.resize(limbs_.size() + 1, 0);  // u gets an extra high limb
+
+  constexpr std::uint64_t base = std::uint64_t{1} << 32;
+  bignum q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t num =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = num / v[n - 1];
+    std::uint64_t rhat = num % v[n - 1];
+    while (qhat >= base ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= base) break;
+    }
+    // Multiply-and-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      const std::int64_t sub = static_cast<std::int64_t>(u[i + j]) -
+                               static_cast<std::int64_t>(p & 0xffffffff) -
+                               borrow;
+      u[i + j] = static_cast<std::uint32_t>(sub);
+      borrow = sub < 0 ? 1 : 0;
+    }
+    const std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
+                             static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(top);
+    if (top < 0) {
+      // qhat was one too large: add v back (happens with prob ~2/base).
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      u[j + n] += static_cast<std::uint32_t>(c);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  q.normalize();
+  bignum rem;
+  rem.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  rem.normalize();
+  rem = rem.shr(static_cast<std::size_t>(shift));
+  return {q, rem};
+}
+
+bignum bignum::modexp(const bignum& exp, const bignum& m) const {
+  FASTREG_EXPECTS(!m.is_zero());
+  bignum base = mod(m);
+  bignum result{1};
+  result = result.mod(m);
+  const std::size_t nbits = exp.bit_length();
+  for (std::size_t i = nbits; i-- > 0;) {
+    result = result.mul(result).mod(m);
+    if (exp.bit(i)) result = result.mul(base).mod(m);
+  }
+  return result;
+}
+
+bignum bignum::gcd(bignum a, bignum b) {
+  while (!b.is_zero()) {
+    bignum r = a.mod(b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+bignum bignum::modinv(const bignum& m) const {
+  // Extended Euclid tracking coefficients with explicit signs, since our
+  // bignum is unsigned.
+  bignum r0 = m;
+  bignum r1 = mod(m);
+  bignum t0{0};
+  bignum t1{1};
+  bool t0_neg = false;
+  bool t1_neg = false;
+  while (!r1.is_zero()) {
+    auto [q, r2] = r0.divmod(r1);
+    // t2 = t0 - q * t1 with sign tracking.
+    const bignum qt1 = q.mul(t1);
+    bignum t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // t0 and q*t1 have the same sign.
+      if (t0.compare(qt1) >= 0) {
+        t2 = t0.sub(qt1);
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1.sub(t0);
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0.add(qt1);
+      t2_neg = t0_neg;
+    }
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t0_neg = t1_neg;
+    t1 = t2;
+    t1_neg = t2_neg;
+  }
+  if (r0 != bignum{1}) return {};  // not invertible
+  if (t0_neg) {
+    return m.sub(t0.mod(m));
+  }
+  return t0.mod(m);
+}
+
+bignum bignum::random_below(const bignum& bound, rng& r) {
+  FASTREG_EXPECTS(!bound.is_zero());
+  const std::size_t nbits = bound.bit_length();
+  for (;;) {
+    bignum candidate;
+    candidate.limbs_.assign((nbits + 31) / 32, 0);
+    for (auto& limb : candidate.limbs_) {
+      limb = static_cast<std::uint32_t>(r.next());
+    }
+    // Mask the top limb down to the bound's width.
+    const std::size_t top_bits = nbits % 32;
+    if (top_bits != 0) {
+      candidate.limbs_.back() &= (std::uint32_t{1} << top_bits) - 1;
+    }
+    candidate.normalize();
+    if (candidate.compare(bound) < 0) return candidate;
+  }
+}
+
+bignum bignum::random_bits(std::size_t bits, rng& r) {
+  FASTREG_EXPECTS(bits >= 2);
+  bignum n;
+  n.limbs_.assign((bits + 31) / 32, 0);
+  for (auto& limb : n.limbs_) limb = static_cast<std::uint32_t>(r.next());
+  const std::size_t top = (bits - 1) % 32;
+  n.limbs_.back() &= (top == 31) ? ~std::uint32_t{0}
+                                 : ((std::uint32_t{1} << (top + 1)) - 1);
+  n.limbs_.back() |= (std::uint32_t{1} << top);  // force exact width
+  n.normalize();
+  return n;
+}
+
+bool bignum::is_probable_prime(rng& r, int rounds) const {
+  if (compare(bignum{2}) < 0) return false;
+  if (!is_odd()) return *this == bignum{2};
+  static const std::uint32_t small_primes[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                               29, 31, 37, 41, 43, 47, 53, 59};
+  for (std::uint32_t p : small_primes) {
+    if (*this == bignum{p}) return true;
+    if (mod(bignum{p}).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^s.
+  const bignum n_minus_1 = sub(bignum{1});
+  bignum d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d.shr(1);
+    ++s;
+  }
+  const bignum two{2};
+  for (int round = 0; round < rounds; ++round) {
+    const bignum a =
+        two.add(bignum::random_below(sub(bignum{3}), r));  // in [2, n-2]
+    bignum x = a.modexp(d, *this);
+    if (x == bignum{1} || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < s; ++i) {
+      x = x.mul(x).mod(*this);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+bignum bignum::random_prime(std::size_t bits, rng& r) {
+  for (;;) {
+    bignum candidate = random_bits(bits, r);
+    if (!candidate.is_odd()) candidate = candidate.add(bignum{1});
+    if (candidate.is_probable_prime(r)) return candidate;
+  }
+}
+
+std::uint64_t bignum::low_u64() const {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+}  // namespace fastreg::crypto

@@ -1,0 +1,89 @@
+// Arbitrary-precision unsigned integers, sized for RSA key material
+// (256..2048 bits). Little-endian 32-bit limbs; schoolbook multiplication
+// and long division, which is ample for signature workloads at bench scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastreg::crypto {
+
+class bignum {
+ public:
+  bignum() = default;
+  /* implicit */ bignum(std::uint64_t v);  // NOLINT: intended conversion
+
+  /// Big-endian byte import/export (the usual crypto wire order).
+  [[nodiscard]] static bignum from_bytes(std::span<const std::uint8_t> be);
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  [[nodiscard]] static bignum from_hex(const std::string& hex);
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const {
+    return !limbs_.empty() && (limbs_[0] & 1) != 0;
+  }
+  /// Number of significant bits; 0 for zero.
+  [[nodiscard]] std::size_t bit_length() const;
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  [[nodiscard]] int compare(const bignum& o) const;
+  friend bool operator==(const bignum& a, const bignum& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const bignum& a, const bignum& b) {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const bignum& a, const bignum& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const bignum& a, const bignum& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const bignum& a, const bignum& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const bignum& a, const bignum& b) {
+    return a.compare(b) >= 0;
+  }
+
+  [[nodiscard]] bignum add(const bignum& o) const;
+  /// Requires *this >= o.
+  [[nodiscard]] bignum sub(const bignum& o) const;
+  [[nodiscard]] bignum mul(const bignum& o) const;
+  /// Returns {quotient, remainder}. Requires o != 0.
+  [[nodiscard]] std::pair<bignum, bignum> divmod(const bignum& o) const;
+  [[nodiscard]] bignum mod(const bignum& o) const { return divmod(o).second; }
+  [[nodiscard]] bignum shl(std::size_t bits) const;
+  [[nodiscard]] bignum shr(std::size_t bits) const;
+
+  /// (this ^ exp) mod m, square-and-multiply. Requires m != 0.
+  [[nodiscard]] bignum modexp(const bignum& exp, const bignum& m) const;
+  /// Multiplicative inverse mod m, or zero bignum if gcd(this, m) != 1.
+  [[nodiscard]] bignum modinv(const bignum& m) const;
+  [[nodiscard]] static bignum gcd(bignum a, bignum b);
+
+  /// Uniform random value in [0, bound).
+  [[nodiscard]] static bignum random_below(const bignum& bound, rng& r);
+  /// Random value with exactly `bits` bits (top bit set).
+  [[nodiscard]] static bignum random_bits(std::size_t bits, rng& r);
+
+  /// Miller-Rabin with `rounds` random bases.
+  [[nodiscard]] bool is_probable_prime(rng& r, int rounds = 32) const;
+  /// Random probable prime with exactly `bits` bits.
+  [[nodiscard]] static bignum random_prime(std::size_t bits, rng& r);
+
+  [[nodiscard]] std::uint64_t low_u64() const;
+
+ private:
+  void normalize();
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+}  // namespace fastreg::crypto

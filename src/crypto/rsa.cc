@@ -1,0 +1,50 @@
+#include "crypto/rsa.h"
+
+#include "common/check.h"
+#include "crypto/sha256.h"
+
+namespace fastreg::crypto {
+
+rsa_keypair rsa_generate(std::size_t bits, rng& r) {
+  FASTREG_EXPECTS(bits >= 512);
+  const bignum e{65537};
+  for (;;) {
+    const bignum p = bignum::random_prime(bits / 2, r);
+    const bignum q = bignum::random_prime(bits - bits / 2, r);
+    if (p == q) continue;
+    const bignum n = p.mul(q);
+    if (n.bit_length() != bits) continue;
+    const bignum phi = p.sub(bignum{1}).mul(q.sub(bignum{1}));
+    const bignum d = e.modinv(phi);
+    if (d.is_zero()) continue;  // e not invertible mod phi; rare
+    return rsa_keypair{{n, e}, {n, d}};
+  }
+}
+
+namespace {
+
+bignum digest_as_number(std::span<const std::uint8_t> payload) {
+  const sha256::digest d = sha256::hash(payload);
+  return bignum::from_bytes(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> rsa_sign(const rsa_private_key& key,
+                                   std::span<const std::uint8_t> payload) {
+  const bignum m = digest_as_number(payload);
+  FASTREG_EXPECTS(m < key.n);
+  return m.modexp(key.d, key.n).to_bytes();
+}
+
+bool rsa_verify(const rsa_public_key& key,
+                std::span<const std::uint8_t> payload,
+                std::span<const std::uint8_t> signature) {
+  if (signature.empty()) return false;
+  const bignum sig = bignum::from_bytes(signature);
+  if (sig >= key.n) return false;
+  const bignum recovered = sig.modexp(key.e, key.n);
+  return recovered == digest_as_number(payload);
+}
+
+}  // namespace fastreg::crypto

@@ -1,0 +1,51 @@
+// Textbook RSA signatures over SHA-256 digests (hash-then-sign,
+// s = H(m)^d mod n). Section 6 of the paper cites [Rivest et al. 1978]
+// for writer signatures; this module provides the real-cost implementation
+// used by the TCP deployment and the signature-cost benchmarks.
+//
+// Deliberate simplifications, documented in DESIGN.md: no PKCS#1 padding
+// (the digest is numerically < n for all supported key sizes), keys are
+// generated from a seeded RNG so runs are reproducible. These do not affect
+// the two properties the protocol needs (Authentication, Unforgeability
+// within the simulated adversary model).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/bignum.h"
+
+namespace fastreg::crypto {
+
+struct rsa_public_key {
+  bignum n;  // modulus
+  bignum e;  // public exponent
+};
+
+struct rsa_private_key {
+  bignum n;
+  bignum d;  // private exponent
+};
+
+struct rsa_keypair {
+  rsa_public_key pub;
+  rsa_private_key priv;
+};
+
+/// Generates a keypair with a modulus of exactly `bits` bits.
+/// 512 is the default: big enough to exercise real multi-precision cost,
+/// small enough that benches finish quickly.
+[[nodiscard]] rsa_keypair rsa_generate(std::size_t bits, rng& r);
+
+/// Signs SHA-256(payload) with the private key.
+[[nodiscard]] std::vector<std::uint8_t> rsa_sign(
+    const rsa_private_key& key, std::span<const std::uint8_t> payload);
+
+/// Verifies a signature produced by rsa_sign.
+[[nodiscard]] bool rsa_verify(const rsa_public_key& key,
+                              std::span<const std::uint8_t> payload,
+                              std::span<const std::uint8_t> signature);
+
+}  // namespace fastreg::crypto

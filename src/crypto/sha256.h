@@ -1,0 +1,47 @@
+// From-scratch SHA-256 (FIPS 180-4). Used as the message digest for RSA
+// signatures (Section 6 of the paper assumes writer signatures) and as a
+// general-purpose fingerprint in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fastreg::crypto {
+
+class sha256 {
+ public:
+  static constexpr std::size_t digest_size = 32;
+  using digest = std::array<std::uint8_t, digest_size>;
+
+  sha256();
+
+  /// Absorb more input. May be called repeatedly.
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+
+  /// Finish and return the digest. The object must not be reused afterwards
+  /// without calling reset().
+  [[nodiscard]] digest finish();
+
+  void reset();
+
+  /// One-shot helpers.
+  [[nodiscard]] static digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static digest hash(const std::string& s);
+
+  /// Lowercase hex rendering of a digest.
+  [[nodiscard]] static std::string hex(const digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_{0};
+  std::uint64_t total_len_{0};
+};
+
+}  // namespace fastreg::crypto

@@ -1,0 +1,84 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fastreg::net {
+
+cluster::cluster(system_config cfg, const protocol& proto)
+    : cfg_(std::move(cfg)), book_(std::make_shared<address_book>()) {
+  // Servers first: bind ephemeral listeners so the address book is
+  // complete before any client node exists.
+  for (std::uint32_t i = 0; i < cfg_.S(); ++i) {
+    auto n = std::make_unique<node>(cfg_, proto.make_server(cfg_, i), book_);
+    n->bind_listener(0);
+    book_->server_ports.push_back(n->listen_port());
+    servers_.push_back(std::move(n));
+  }
+  for (std::uint32_t i = 0; i < cfg_.R(); ++i) {
+    readers_.push_back(
+        std::make_unique<node>(cfg_, proto.make_reader(cfg_, i), book_));
+  }
+  for (std::uint32_t i = 0; i < cfg_.W(); ++i) {
+    writers_.push_back(
+        std::make_unique<node>(cfg_, proto.make_writer(cfg_, i), book_));
+  }
+}
+
+cluster::~cluster() { stop(); }
+
+void cluster::start() {
+  FASTREG_EXPECTS(!started_);
+  started_ = true;
+  for (auto& n : servers_) n->start();
+  for (auto& n : readers_) n->start();
+  for (auto& n : writers_) n->start();
+}
+
+void cluster::stop() {
+  if (!started_) return;
+  started_ = false;
+  // Clients first so no new requests hit stopping servers.
+  for (auto& n : writers_) n->stop();
+  for (auto& n : readers_) n->stop();
+  for (auto& n : servers_) n->stop();
+}
+
+checker::history cluster::gather_history() const {
+  // Merge per-node histories by invocation time.
+  struct tagged {
+    checker::op_record op;
+  };
+  std::vector<checker::op_record> all;
+  // Note: hist() returns by value; keep the copy alive while iterating
+  // (binding the range-for directly to hist().ops() would dangle in C++20).
+  for (const auto& n : writers_) {
+    const checker::history h = n->hist();
+    for (const auto& op : h.ops()) all.push_back(op);
+  }
+  for (const auto& n : readers_) {
+    const checker::history h = n->hist();
+    for (const auto& op : h.ops()) all.push_back(op);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const checker::op_record& a, const checker::op_record& b) {
+              return a.invoke_time < b.invoke_time;
+            });
+  checker::history merged;
+  for (const auto& op : all) {
+    const auto idx =
+        merged.begin_op(op.client, op.is_write, op.invoke_time, op.val);
+    if (op.response_time) {
+      if (op.is_write) {
+        merged.complete_write(idx, *op.response_time, op.rounds);
+      } else {
+        merged.complete_read(idx, *op.response_time, op.ts, op.wid, op.val,
+                             op.rounds);
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace fastreg::net

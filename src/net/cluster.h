@@ -1,0 +1,49 @@
+// An in-process TCP deployment of a full protocol instance: S server
+// nodes, R reader nodes, W writer nodes, each with its own reactor thread
+// and real localhost sockets. Used by the examples, the TCP latency bench
+// (E11), and the end-to-end socket tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "checker/history.h"
+#include "net/node.h"
+#include "registers/automaton.h"
+
+namespace fastreg::net {
+
+class cluster {
+ public:
+  /// Builds all nodes. Servers bind ephemeral ports immediately; the
+  /// resulting address book is shared with every node.
+  cluster(system_config cfg, const protocol& proto);
+  ~cluster();
+
+  cluster(const cluster&) = delete;
+  cluster& operator=(const cluster&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] node& writer(std::uint32_t i = 0) { return *writers_[i]; }
+  [[nodiscard]] node& reader(std::uint32_t i) { return *readers_[i]; }
+  [[nodiscard]] node& server(std::uint32_t i) { return *servers_[i]; }
+
+  [[nodiscard]] const address_book& book() const { return *book_; }
+  [[nodiscard]] const system_config& config() const { return cfg_; }
+
+  /// Merged history of all client nodes (timestamps share the steady
+  /// clock, so cross-node ordering is meaningful on one machine).
+  [[nodiscard]] checker::history gather_history() const;
+
+ private:
+  system_config cfg_;
+  std::shared_ptr<address_book> book_;
+  std::vector<std::unique_ptr<node>> servers_;
+  std::vector<std::unique_ptr<node>> readers_;
+  std::vector<std::unique_ptr<node>> writers_;
+  bool started_{false};
+};
+
+}  // namespace fastreg::net

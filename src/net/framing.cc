@@ -1,0 +1,96 @@
+#include "net/framing.h"
+
+#include <cstring>
+
+namespace fastreg::net {
+namespace {
+
+std::vector<std::uint8_t> finish_frame(frame_kind kind,
+                                       const byte_writer& payload) {
+  const auto& body = payload.bytes();
+  std::vector<std::uint8_t> out;
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size() + 1);
+  out.reserve(4 + len);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const process_id& from) {
+  byte_writer w;
+  encode_process_id(w, from);
+  return finish_frame(frame_kind::hello, w);
+}
+
+std::vector<std::uint8_t> encode_msg_frame(const process_id& from,
+                                           const message& m) {
+  byte_writer w;
+  encode_process_id(w, from);
+  encode_message(w, m);
+  return finish_frame(frame_kind::msg, w);
+}
+
+void frame_buffer::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact occasionally so the buffer does not grow without bound.
+  if (consumed_ > 0 && consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 64 * 1024) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<frame> frame_buffer::next() {
+  for (;;) {
+    const std::size_t avail = buf_.size() - consumed_;
+    if (avail < 4) return std::nullopt;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(buf_[consumed_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    if (len == 0 || len > max_frame_bytes) {
+      // Hopeless stream corruption: drop everything buffered.
+      ++malformed_;
+      consumed_ = buf_.size();
+      return std::nullopt;
+    }
+    if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+    const std::uint8_t* body = buf_.data() + consumed_ + 4;
+    consumed_ += 4 + len;
+
+    frame f;
+    const std::uint8_t kind = body[0];
+    byte_reader r(std::span<const std::uint8_t>(body + 1, len - 1));
+    const auto from = decode_process_id(r);
+    if (!from) {
+      ++malformed_;
+      continue;
+    }
+    f.from = *from;
+    if (kind == static_cast<std::uint8_t>(frame_kind::hello)) {
+      f.kind = frame_kind::hello;
+      return f;
+    }
+    if (kind == static_cast<std::uint8_t>(frame_kind::msg)) {
+      f.kind = frame_kind::msg;
+      auto m = decode_message(r);
+      if (!m) {
+        ++malformed_;
+        continue;
+      }
+      f.msg = std::move(*m);
+      return f;
+    }
+    ++malformed_;
+  }
+}
+
+}  // namespace fastreg::net

@@ -1,0 +1,49 @@
+// Length-prefixed framing for protocol messages over TCP.
+//
+// Frame layout: u32 length (LE) | u8 kind | payload.
+//   kind 0 (hello): payload = sender process_id. Sent once per connection
+//                   so the acceptor learns who is on the other end.
+//   kind 1 (msg):   payload = sender process_id + encoded message.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "registers/message.h"
+
+namespace fastreg::net {
+
+enum class frame_kind : std::uint8_t { hello = 0, msg = 1 };
+
+struct frame {
+  frame_kind kind{frame_kind::msg};
+  process_id from{};
+  std::optional<message> msg{};  // present for kind::msg
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const process_id& from);
+[[nodiscard]] std::vector<std::uint8_t> encode_msg_frame(
+    const process_id& from, const message& m);
+
+/// Incremental frame decoder: feed raw bytes, pop complete frames.
+/// Malformed frames (bad decode) are dropped with a count, never fatal --
+/// a Byzantine peer must not be able to crash a correct process.
+class frame_buffer {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  [[nodiscard]] std::optional<frame> next();
+  [[nodiscard]] std::uint64_t malformed_count() const { return malformed_; }
+
+  /// Upper bound on accepted frame payloads; larger frames count as
+  /// malformed and the declared length is skipped.
+  static constexpr std::uint32_t max_frame_bytes = 16 * 1024 * 1024;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_{0};
+  std::uint64_t malformed_{0};
+};
+
+}  // namespace fastreg::net

@@ -1,0 +1,321 @@
+#include "net/node.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace fastreg::net {
+
+std::uint64_t node::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+node::node(system_config cfg, std::unique_ptr<automaton> a,
+           std::shared_ptr<const address_book> book)
+    : cfg_(std::move(cfg)),
+      automaton_(std::move(a)),
+      book_(std::move(book)),
+      self_(automaton_->self()) {
+  epoll_fd_.reset(::epoll_create1(0));
+  FASTREG_CHECK(epoll_fd_.valid());
+  event_fd_.reset(::eventfd(0, EFD_NONBLOCK));
+  FASTREG_CHECK(event_fd_.valid());
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = event_fd_.get();
+  FASTREG_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, event_fd_.get(),
+                            &ev) == 0);
+}
+
+node::~node() { stop(); }
+
+void node::bind_listener(std::uint16_t port) {
+  listen_fd_ = listen_on(port);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_.get();
+  FASTREG_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(),
+                            &ev) == 0);
+}
+
+std::uint16_t node::listen_port() const {
+  FASTREG_EXPECTS(listen_fd_.valid());
+  return local_port(listen_fd_.get());
+}
+
+void node::start() {
+  FASTREG_EXPECTS(!thread_.joinable());
+  thread_ = std::thread([this] { reactor_main(); });
+}
+
+void node::stop() {
+  if (!thread_.joinable()) return;
+  post([this] {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = true;
+  });
+  thread_.join();
+}
+
+void node::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n =
+      ::write(event_fd_.get(), &one, sizeof one);
+}
+
+// ----------------------------------------------------------- client calls --
+
+std::optional<read_result> node::blocking_read(
+    std::chrono::milliseconds timeout) {
+  auto* r = as_reader(automaton_.get());
+  FASTREG_EXPECTS(r != nullptr);
+  std::uint64_t before;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    before = reads_done_;
+  }
+  post([this, r] {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_op_index_ = hist_.begin_op(self_, false, now_ns());
+      op_open_ = true;
+    }
+    r->invoke_read(*this);
+  });
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!cv_.wait_for(lk, timeout, [&] { return reads_done_ > before; })) {
+    return std::nullopt;
+  }
+  return r->last_read();
+}
+
+bool node::blocking_write(value_t v, std::chrono::milliseconds timeout) {
+  auto* w = as_writer(automaton_.get());
+  FASTREG_EXPECTS(w != nullptr);
+  std::uint64_t before;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    before = writes_done_;
+  }
+  post([this, w, v = std::move(v)]() mutable {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_op_index_ = hist_.begin_op(self_, true, now_ns(), v);
+      op_open_ = true;
+    }
+    w->invoke_write(*this, std::move(v));
+  });
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, timeout, [&] { return writes_done_ > before; });
+}
+
+checker::history node::hist() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hist_;
+}
+
+void node::poll_client_completion() {
+  if (auto* r = as_reader(automaton_.get())) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (op_open_ && r->reads_completed() > reads_done_) {
+      const auto& res = r->last_read();
+      FASTREG_CHECK(res.has_value());
+      hist_.complete_read(open_op_index_, now_ns(), res->ts, res->wid,
+                          res->val, res->rounds);
+      op_open_ = false;
+      reads_done_ = r->reads_completed();
+      cv_.notify_all();
+    }
+  }
+  if (auto* w = as_writer(automaton_.get())) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (op_open_ && w->writes_completed() > writes_done_) {
+      hist_.complete_write(open_op_index_, now_ns(), w->last_write_rounds());
+      op_open_ = false;
+      writes_done_ = w->writes_completed();
+      cv_.notify_all();
+    }
+  }
+}
+
+// -------------------------------------------------------------- reactor --
+
+void node::reactor_main() {
+  for (;;) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, 50);
+    // Drain posted tasks first (includes invocations and stop requests).
+    std::deque<std::function<void()>> tasks;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      tasks.swap(tasks_);
+    }
+    for (auto& t : tasks) t();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stop_requested_) break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == event_fd_.get()) {
+        std::uint64_t buf;
+        while (::read(event_fd_.get(), &buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      if (listen_fd_.valid() && fd == listen_fd_.get()) {
+        while (auto accepted = accept_one(listen_fd_.get())) {
+          const int cfd = accepted->get();
+          connection c;
+          c.fd = std::move(*accepted);
+          conns_.emplace(cfd, std::move(c));
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, cfd, &ev);
+        }
+        continue;
+      }
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        close_conn(fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) handle_readable(fd);
+      if ((events[i].events & EPOLLOUT) != 0) handle_writable(fd);
+    }
+    poll_client_completion();
+  }
+}
+
+void node::handle_readable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  auto& c = it->second;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      c.in.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_conn(fd);
+    return;
+  }
+  while (auto f = c.in.next()) {
+    if (f->kind == frame_kind::hello) {
+      c.peer = f->from;
+      inbound_by_peer_[f->from] = fd;
+      continue;
+    }
+    if (f->msg.has_value()) {
+      automaton_->on_message(*this, f->from, *f->msg);
+    }
+  }
+  poll_client_completion();
+}
+
+void node::handle_writable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  it->second.connecting = false;
+  flush(fd, it->second);
+}
+
+void node::flush(int fd, connection& c) {
+  while (c.out_offset < c.out.size()) {
+    const ssize_t n = ::write(fd, c.out.data() + c.out_offset,
+                              c.out.size() - c.out_offset);
+    if (n > 0) {
+      c.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_conn(fd);
+    return;
+  }
+  if (c.out_offset == c.out.size()) {
+    c.out.clear();
+    c.out_offset = 0;
+  }
+  update_epoll(fd, c);
+}
+
+void node::update_epoll(int fd, connection& c) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (c.connecting || c.out_offset < c.out.size()) ev.events |= EPOLLOUT;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev);
+}
+
+void node::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (it->second.peer) inbound_by_peer_.erase(*it->second.peer);
+  for (auto o = out_to_server_.begin(); o != out_to_server_.end();) {
+    o = o->second == fd ? out_to_server_.erase(o) : std::next(o);
+  }
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  conns_.erase(it);  // unique_fd closes
+}
+
+void node::queue_bytes(int fd, std::vector<std::uint8_t> bytes) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  auto& c = it->second;
+  c.out.insert(c.out.end(), bytes.begin(), bytes.end());
+  if (!c.connecting) flush(fd, c);
+  else update_epoll(fd, c);
+}
+
+int node::outbound_to_server(std::uint32_t index) {
+  if (auto it = out_to_server_.find(index); it != out_to_server_.end()) {
+    return it->second;
+  }
+  FASTREG_EXPECTS(index < book_->server_ports.size());
+  unique_fd fd = connect_to(book_->server_ports[index]);
+  const int raw = fd.get();
+  connection c;
+  c.fd = std::move(fd);
+  c.connecting = true;
+  conns_.emplace(raw, std::move(c));
+  out_to_server_[index] = raw;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.fd = raw;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, raw, &ev);
+  // Introduce ourselves so the server can route replies back.
+  queue_bytes(raw, encode_hello(self_));
+  return raw;
+}
+
+void node::send(const process_id& to, message m) {
+  if (to.is_server()) {
+    const int fd = outbound_to_server(to.index);
+    queue_bytes(fd, encode_msg_frame(self_, m));
+    return;
+  }
+  // Replies to clients (or servers acting as clients of this server) go
+  // over the connection they introduced themselves on.
+  if (auto it = inbound_by_peer_.find(to); it != inbound_by_peer_.end()) {
+    queue_bytes(it->second, encode_msg_frame(self_, m));
+    return;
+  }
+  LOG_DEBUG("%s: no route to %s; dropping %s", to_string(self_).c_str(),
+            to_string(to).c_str(), to_string(m.type));
+}
+
+}  // namespace fastreg::net

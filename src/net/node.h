@@ -1,0 +1,124 @@
+// A network node: one protocol automaton hosted on its own epoll reactor
+// thread, speaking the framed TCP protocol of framing.h.
+//
+// Topology (matching the paper's client/server system):
+//  * server nodes listen on a TCP port; clients connect to every server
+//    lazily and keep the connection open; servers answer over the same
+//    connection.
+//  * server nodes also open outbound connections to other servers when the
+//    protocol requires it (the max-min variant's gossip round).
+//
+// Threading: the automaton runs exclusively on the reactor thread.
+// Invocations from client code are posted through an eventfd queue;
+// blocking_read / blocking_write wait on a condition variable until the
+// automaton reports completion. Operation histories are recorded with
+// steady-clock nanosecond timestamps so cross-node histories are
+// comparable (same clock domain on one machine).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "checker/history.h"
+#include "net/framing.h"
+#include "net/socket.h"
+#include "registers/automaton.h"
+
+namespace fastreg::net {
+
+/// Where to find each server. Clients and servers share one address book.
+struct address_book {
+  std::vector<std::uint16_t> server_ports;
+};
+
+class node final : public netout {
+ public:
+  node(system_config cfg, std::unique_ptr<automaton> a,
+       std::shared_ptr<const address_book> book);
+  ~node() override;
+
+  node(const node&) = delete;
+  node& operator=(const node&) = delete;
+
+  /// Servers: bind the listener (port 0 = ephemeral) before start().
+  void bind_listener(std::uint16_t port = 0);
+  [[nodiscard]] std::uint16_t listen_port() const;
+
+  void start();
+  void stop();
+
+  /// Blocking client operations (call from any non-reactor thread).
+  /// Returns nullopt / false on timeout.
+  [[nodiscard]] std::optional<read_result> blocking_read(
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  [[nodiscard]] bool blocking_write(
+      value_t v,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  /// Operation history recorded by this node (clients only). Safe to call
+  /// after stop(), or concurrently (copies under lock).
+  [[nodiscard]] checker::history hist() const;
+
+  [[nodiscard]] const process_id& self() const { return self_; }
+
+  // netout: called by the automaton on the reactor thread.
+  void send(const process_id& to, message m) override;
+
+ private:
+  struct connection {
+    unique_fd fd;
+    frame_buffer in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_offset{0};
+    std::optional<process_id> peer;
+    bool connecting{false};
+  };
+
+  void reactor_main();
+  void post(std::function<void()> fn);
+  void handle_readable(int fd);
+  void handle_writable(int fd);
+  void flush(int fd, connection& c);
+  void close_conn(int fd);
+  void queue_bytes(int fd, std::vector<std::uint8_t> bytes);
+  int outbound_to_server(std::uint32_t index);
+  void poll_client_completion();
+  void update_epoll(int fd, connection& c);
+
+  system_config cfg_;
+  std::unique_ptr<automaton> automaton_;
+  std::shared_ptr<const address_book> book_;
+  process_id self_;
+
+  unique_fd listen_fd_;
+  unique_fd epoll_fd_;
+  unique_fd event_fd_;
+  std::thread thread_;
+
+  std::unordered_map<int, connection> conns_;
+  std::unordered_map<std::uint32_t, int> out_to_server_;
+  std::unordered_map<process_id, int> inbound_by_peer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_requested_{false};
+  checker::history hist_;
+  std::uint64_t reads_done_{0};
+  std::uint64_t writes_done_{0};
+  std::size_t open_op_index_{0};
+  bool op_open_{false};
+
+  static std::uint64_t now_ns();
+};
+
+}  // namespace fastreg::net

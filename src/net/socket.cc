@@ -1,0 +1,89 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace fastreg::net {
+
+unique_fd::~unique_fd() { reset(); }
+
+unique_fd& unique_fd::operator=(unique_fd&& o) noexcept {
+  if (this != &o) reset(o.release());
+  return *this;
+}
+
+void unique_fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FASTREG_CHECK(flags >= 0);
+  FASTREG_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+unique_fd listen_on(std::uint16_t port) {
+  unique_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  FASTREG_CHECK(fd.valid());
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  FASTREG_CHECK(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0);
+  FASTREG_CHECK(::listen(fd.get(), 64) == 0);
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  FASTREG_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+                0);
+  return ntohs(addr.sin_port);
+}
+
+unique_fd connect_to(std::uint16_t port) {
+  unique_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  FASTREG_CHECK(fd.valid());
+  set_nonblocking(fd.get());
+  set_nodelay(fd.get());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int rc =
+      ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  FASTREG_CHECK(rc == 0 || errno == EINPROGRESS);
+  return fd;
+}
+
+std::optional<unique_fd> accept_one(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  return unique_fd(fd);
+}
+
+}  // namespace fastreg::net

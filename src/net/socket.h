@@ -1,0 +1,50 @@
+// Thin RAII wrappers over POSIX TCP sockets (localhost deployments).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fastreg::net {
+
+/// Owns a file descriptor; closes on destruction. Move-only.
+class unique_fd {
+ public:
+  unique_fd() = default;
+  explicit unique_fd(int fd) : fd_(fd) {}
+  ~unique_fd();
+  unique_fd(const unique_fd&) = delete;
+  unique_fd& operator=(const unique_fd&) = delete;
+  unique_fd(unique_fd&& o) noexcept : fd_(o.release()) {}
+  unique_fd& operator=(unique_fd&& o) noexcept;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_{-1};
+};
+
+/// Binds and listens on 127.0.0.1:port (port 0 = ephemeral). Non-blocking.
+[[nodiscard]] unique_fd listen_on(std::uint16_t port);
+
+/// The port a bound socket actually listens on.
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Starts a non-blocking connect to 127.0.0.1:port; completion is signaled
+/// by epoll writability.
+[[nodiscard]] unique_fd connect_to(std::uint16_t port);
+
+/// Accepts one pending connection (non-blocking); nullopt when none.
+[[nodiscard]] std::optional<unique_fd> accept_one(int listen_fd);
+
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+}  // namespace fastreg::net

@@ -1,0 +1,126 @@
+// The protocol automaton model, mirroring the paper's Section 2.2.
+//
+// A distributed algorithm is a collection of automata, one per process.
+// Computation proceeds in steps <p, M>: process p atomically consumes a set
+// of messages M, updates its state, and emits a set of messages. fastreg
+// automata receive one message per on_message call (a step <p, {m}> -- the
+// general <p, M> form is a sequence of such calls from the driver's point
+// of view, which is equivalent for our protocols since none of them react
+// to message *sets* atomically).
+//
+// Automata are transport-agnostic: the same objects run on the in-memory
+// simulator (src/sim) and on TCP (src/net). They are also deep-clonable so
+// the adversary harness can fork a partial run into the indistinguishable
+// sibling runs that the lower-bound proofs compare.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "registers/config.h"
+#include "registers/message.h"
+
+namespace fastreg {
+
+/// What an automaton is allowed to do during a step: send messages.
+/// The transport behind it decides when (and whether) they are delivered.
+class netout {
+ public:
+  virtual ~netout() = default;
+  virtual void send(const process_id& to, message m) = 0;
+};
+
+/// Base automaton: a deterministic state machine driven by messages.
+class automaton {
+ public:
+  virtual ~automaton() = default;
+
+  /// Deliver one message (a step <p, {m}>).
+  virtual void on_message(netout& net, const process_id& from,
+                          const message& m) = 0;
+
+  /// Deep copy, including all protocol state. Clones share the (immutable
+  /// or internally synchronized) signature scheme.
+  [[nodiscard]] virtual std::unique_ptr<automaton> clone() const = 0;
+
+  [[nodiscard]] virtual process_id self() const = 0;
+};
+
+/// Result of a completed read, as observed by the invoking client.
+struct read_result {
+  ts_t ts{k_initial_ts};
+  std::int32_t wid{0};
+  value_t val{};
+  /// Communication round-trips this operation used (1 == fast).
+  int rounds{0};
+};
+
+/// Client-side interface of a reader automaton. Invocations follow the
+/// paper's well-formedness rule: at most one outstanding op per client.
+class reader_iface {
+ public:
+  virtual ~reader_iface() = default;
+
+  /// Begin a read. Precondition: !read_in_progress().
+  virtual void invoke_read(netout& net) = 0;
+
+  [[nodiscard]] virtual bool read_in_progress() const = 0;
+
+  /// Result of the most recently completed read, if any read completed.
+  [[nodiscard]] virtual const std::optional<read_result>& last_read()
+      const = 0;
+
+  [[nodiscard]] virtual std::uint64_t reads_completed() const = 0;
+};
+
+/// Client-side interface of a writer automaton.
+class writer_iface {
+ public:
+  virtual ~writer_iface() = default;
+
+  /// Begin a write. Precondition: !write_in_progress().
+  virtual void invoke_write(netout& net, value_t v) = 0;
+
+  [[nodiscard]] virtual bool write_in_progress() const = 0;
+
+  [[nodiscard]] virtual std::uint64_t writes_completed() const = 0;
+
+  /// Rounds used by the most recently completed write (1 == fast).
+  [[nodiscard]] virtual int last_write_rounds() const = 0;
+};
+
+/// A full protocol instantiation: factory for the three automaton roles.
+/// Implementations are registered in registers/registry.h by name.
+class protocol {
+ public:
+  virtual ~protocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Does theory predict fast ops for this protocol under `cfg`?
+  [[nodiscard]] virtual bool feasible(const system_config& cfg) const = 0;
+
+  /// Rounds per op when the protocol is used within its feasible region.
+  [[nodiscard]] virtual int read_rounds() const = 0;
+  [[nodiscard]] virtual int write_rounds() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<automaton> make_writer(
+      const system_config& cfg, std::uint32_t index) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<automaton> make_reader(
+      const system_config& cfg, std::uint32_t index) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<automaton> make_server(
+      const system_config& cfg, std::uint32_t index) const = 0;
+};
+
+/// Cross-casts an automaton to its client interface; nullptr when the
+/// automaton is not of that role.
+[[nodiscard]] inline reader_iface* as_reader(automaton* a) {
+  return dynamic_cast<reader_iface*>(a);
+}
+[[nodiscard]] inline writer_iface* as_writer(automaton* a) {
+  return dynamic_cast<writer_iface*>(a);
+}
+
+}  // namespace fastreg

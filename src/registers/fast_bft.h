@@ -1,0 +1,139 @@
+// The fast SWMR atomic register for the arbitrary-failure model (Figure 5).
+// Tolerates t faulty servers of which up to b are malicious; fast reads and
+// writes whenever S > (R+2)t + (R+1)b.
+//
+// Differences from the crash-model protocol of Figure 2 (Section 6.1):
+//  * the writer digitally signs every (ts, value, prev) triple;
+//  * servers ignore messages whose timestamp signature does not verify
+//    ("receivevalid");
+//  * the reader writes back the highest *signed* timestamp of its previous
+//    read, discards READACKs that are provably malicious (bad signature,
+//    timestamp lower than the written-back one, or missing itself in the
+//    seen set), and uses the weakened predicate
+//    |MS| >= S - a*t - (a-1)*b.
+// The initial timestamp 0 is by convention unsigned (Section 6.1).
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "registers/automaton.h"
+#include "registers/predicate.h"
+
+namespace fastreg {
+
+/// A signed (ts, val, prev) triple as stored/forwarded by the protocol.
+struct signed_value {
+  tagged_value tv{};
+  std::vector<std::uint8_t> sig{};
+};
+
+/// True iff `m` carries a valid writer signature over (ts, val, prev), or
+/// is the unsigned initial timestamp.
+[[nodiscard]] bool valid_signed_ts(const system_config& cfg, const message& m);
+
+class fast_bft_writer final : public automaton, public writer_iface {
+ public:
+  explicit fast_bft_writer(system_config cfg);
+
+  void on_message(netout& net, const process_id& from,
+                  const message& m) override;
+  [[nodiscard]] std::unique_ptr<automaton> clone() const override;
+  [[nodiscard]] process_id self() const override { return writer_id(0); }
+
+  void invoke_write(netout& net, value_t v) override;
+  [[nodiscard]] bool write_in_progress() const override { return pending_; }
+  [[nodiscard]] std::uint64_t writes_completed() const override {
+    return completed_;
+  }
+  [[nodiscard]] int last_write_rounds() const override { return 1; }
+
+ private:
+  system_config cfg_;
+  ts_t ts_{1};
+  bool pending_{false};
+  value_t cur_val_{};
+  value_t last_val_{};
+  std::unordered_set<std::uint32_t> acks_{};
+  std::uint64_t completed_{0};
+};
+
+class fast_bft_reader final : public automaton, public reader_iface {
+ public:
+  fast_bft_reader(system_config cfg, std::uint32_t index);
+
+  void on_message(netout& net, const process_id& from,
+                  const message& m) override;
+  [[nodiscard]] std::unique_ptr<automaton> clone() const override;
+  [[nodiscard]] process_id self() const override {
+    return reader_id(index_);
+  }
+
+  void invoke_read(netout& net) override;
+  [[nodiscard]] bool read_in_progress() const override { return pending_; }
+  [[nodiscard]] const std::optional<read_result>& last_read() const override {
+    return last_result_;
+  }
+  [[nodiscard]] std::uint64_t reads_completed() const override {
+    return completed_;
+  }
+  [[nodiscard]] std::uint32_t last_witness() const { return last_witness_; }
+  /// READACKs discarded as provably malicious across the reader's lifetime.
+  [[nodiscard]] std::uint64_t discarded_acks() const { return discarded_; }
+
+ private:
+  void decide();
+
+  system_config cfg_;
+  std::uint32_t index_;
+  signed_value maxts_{};  // highest signed timestamp; written back (line 13)
+  std::uint64_t rcounter_{0};
+  bool pending_{false};
+  std::vector<message> acks_{};
+  std::unordered_set<std::uint32_t> ack_from_{};
+  std::optional<read_result> last_result_{};
+  std::uint64_t completed_{0};
+  std::uint32_t last_witness_{0};
+  std::uint64_t discarded_{0};
+};
+
+class fast_bft_server final : public automaton {
+ public:
+  fast_bft_server(system_config cfg, std::uint32_t index);
+
+  void on_message(netout& net, const process_id& from,
+                  const message& m) override;
+  [[nodiscard]] std::unique_ptr<automaton> clone() const override;
+  [[nodiscard]] process_id self() const override {
+    return server_id(index_);
+  }
+
+  [[nodiscard]] const signed_value& stored() const { return cur_; }
+  [[nodiscard]] const seen_set& seen() const { return seen_; }
+
+ private:
+  system_config cfg_;
+  std::uint32_t index_;
+  signed_value cur_{};
+  seen_set seen_{};
+  std::vector<std::uint64_t> counters_;
+};
+
+class fast_bft_protocol final : public protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "fast_bft"; }
+  [[nodiscard]] bool feasible(const system_config& cfg) const override {
+    return fast_bft_feasible(cfg.S(), cfg.t(), cfg.b(), cfg.R());
+  }
+  [[nodiscard]] int read_rounds() const override { return 1; }
+  [[nodiscard]] int write_rounds() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<automaton> make_writer(
+      const system_config& cfg, std::uint32_t index) const override;
+  [[nodiscard]] std::unique_ptr<automaton> make_reader(
+      const system_config& cfg, std::uint32_t index) const override;
+  [[nodiscard]] std::unique_ptr<automaton> make_server(
+      const system_config& cfg, std::uint32_t index) const override;
+};
+
+}  // namespace fastreg

@@ -1,0 +1,116 @@
+// The decentralized "max-min" read optimization sketched in Section 1:
+//
+//   The reader sends READ to all servers. Every server, on receiving it,
+//   broadcasts its timestamp to all servers. On receiving timestamps from
+//   a majority, a server adopts the maximum and sends it to the reader.
+//   The reader returns the MINIMUM timestamp among S - t replies.
+//
+// The read takes 3 one-way message delays (reader->servers, servers->
+// servers, servers->reader) instead of ABD's 4 (two full round-trips), at
+// the cost of S^2 gossip messages per read. It is NOT fast in the paper's
+// sense: servers wait for other servers' messages before replying, which
+// the fast-implementation definition (Section 3.2) forbids -- that is
+// exactly why the paper's Figure 2 algorithm is interesting.
+//
+// Writes are plain one-round ABD writes. Requires t < S/2.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "registers/abd.h"
+#include "registers/automaton.h"
+
+namespace fastreg {
+
+class maxmin_server final : public automaton {
+ public:
+  maxmin_server(system_config cfg, std::uint32_t index);
+
+  void on_message(netout& net, const process_id& from,
+                  const message& m) override;
+  [[nodiscard]] std::unique_ptr<automaton> clone() const override;
+  [[nodiscard]] process_id self() const override {
+    return server_id(index_);
+  }
+
+  [[nodiscard]] wts_t stored_ts() const { return ts_; }
+
+ private:
+  struct gather {
+    std::unordered_set<std::uint32_t> senders{};
+    wts_t max_ts{};
+    value_t max_val{};
+    bool got_read_req{false};
+    bool replied{false};
+  };
+
+  void maybe_reply(netout& net, const process_id& reader, std::uint64_t rc,
+                   gather& g);
+  /// Majority threshold for the server-to-server gather.
+  [[nodiscard]] std::uint32_t gossip_quorum() const {
+    return cfg_.S() / 2 + 1;
+  }
+
+  system_config cfg_;
+  std::uint32_t index_;
+  wts_t ts_{};
+  value_t val_{};
+  // Keyed by (reader index, rcounter): one gather per read instance.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, gather> gathers_{};
+};
+
+class maxmin_reader final : public automaton, public reader_iface {
+ public:
+  maxmin_reader(system_config cfg, std::uint32_t index);
+
+  void on_message(netout& net, const process_id& from,
+                  const message& m) override;
+  [[nodiscard]] std::unique_ptr<automaton> clone() const override;
+  [[nodiscard]] process_id self() const override {
+    return reader_id(index_);
+  }
+
+  void invoke_read(netout& net) override;
+  [[nodiscard]] bool read_in_progress() const override { return pending_; }
+  [[nodiscard]] const std::optional<read_result>& last_read() const override {
+    return last_result_;
+  }
+  [[nodiscard]] std::uint64_t reads_completed() const override {
+    return completed_;
+  }
+
+ private:
+  system_config cfg_;
+  std::uint32_t index_;
+  bool pending_{false};
+  std::uint64_t rcounter_{0};
+  bool have_min_{false};
+  wts_t min_ts_{};
+  value_t min_val_{};
+  std::unordered_set<std::uint32_t> acks_{};
+  std::optional<read_result> last_result_{};
+  std::uint64_t completed_{0};
+};
+
+class maxmin_protocol final : public protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "maxmin"; }
+  [[nodiscard]] bool feasible(const system_config& cfg) const override {
+    return majority_feasible(cfg.S(), cfg.t());
+  }
+  /// Client-visible round-trips: the reader sends once and waits. The
+  /// hidden server-to-server round makes the true cost 3 one-way delays;
+  /// benches report delays separately.
+  [[nodiscard]] int read_rounds() const override { return 1; }
+  [[nodiscard]] int write_rounds() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<automaton> make_writer(
+      const system_config& cfg, std::uint32_t index) const override;
+  [[nodiscard]] std::unique_ptr<automaton> make_reader(
+      const system_config& cfg, std::uint32_t index) const override;
+  [[nodiscard]] std::unique_ptr<automaton> make_server(
+      const system_config& cfg, std::uint32_t index) const override;
+};
+
+}  // namespace fastreg

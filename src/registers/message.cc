@@ -1,0 +1,110 @@
+#include "registers/message.h"
+
+#include "registers/config.h"
+
+namespace fastreg {
+
+std::string system_config::describe() const {
+  std::string out = "S=" + std::to_string(servers) +
+                    " t=" + std::to_string(t_failures);
+  if (b_malicious != 0) out += " b=" + std::to_string(b_malicious);
+  out += " R=" + std::to_string(readers);
+  if (writers != 1) out += " W=" + std::to_string(writers);
+  return out;
+}
+
+const char* to_string(msg_type t) {
+  switch (t) {
+    case msg_type::write_req:
+      return "WRITE";
+    case msg_type::write_ack:
+      return "WRITEACK";
+    case msg_type::read_req:
+      return "READ";
+    case msg_type::read_ack:
+      return "READACK";
+    case msg_type::wb_req:
+      return "WB";
+    case msg_type::wb_ack:
+      return "WBACK";
+    case msg_type::query_req:
+      return "QUERY";
+    case msg_type::query_ack:
+      return "QUERYACK";
+    case msg_type::gossip:
+      return "GOSSIP";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> signed_payload(ts_t ts, std::int32_t wid,
+                                         const value_t& val,
+                                         const value_t& prev) {
+  byte_writer w;
+  w.put_i64(ts);
+  w.put_i32(wid);
+  w.put_string(val);
+  w.put_string(prev);
+  return w.take();
+}
+
+std::vector<std::uint8_t> signed_payload(const message& m) {
+  return signed_payload(m.ts, m.wid, m.val, m.prev);
+}
+
+void encode_process_id(byte_writer& w, const process_id& p) {
+  w.put_u8(static_cast<std::uint8_t>(p.r));
+  w.put_u32(p.index);
+}
+
+std::optional<process_id> decode_process_id(byte_reader& r) {
+  const auto role_byte = r.get_u8();
+  const auto index = r.get_u32();
+  if (!role_byte || !index) return std::nullopt;
+  if (*role_byte > static_cast<std::uint8_t>(role::server)) return std::nullopt;
+  return process_id{static_cast<role>(*role_byte), *index};
+}
+
+void encode_message(byte_writer& w, const message& m) {
+  w.put_u8(static_cast<std::uint8_t>(m.type));
+  w.put_i64(m.ts);
+  w.put_i32(m.wid);
+  w.put_string(m.val);
+  w.put_string(m.prev);
+  w.put_u64(m.seen.bits());
+  w.put_u64(m.rcounter);
+  w.put_bytes(std::span<const std::uint8_t>(m.sig.data(), m.sig.size()));
+  encode_process_id(w, m.origin);
+}
+
+std::optional<message> decode_message(byte_reader& r) {
+  message m;
+  const auto type = r.get_u8();
+  if (!type || *type < 1 || *type > static_cast<std::uint8_t>(msg_type::gossip)) {
+    return std::nullopt;
+  }
+  m.type = static_cast<msg_type>(*type);
+  const auto ts = r.get_i64();
+  const auto wid = r.get_i32();
+  auto val = r.get_string();
+  auto prev = r.get_string();
+  const auto seen_bits = r.get_u64();
+  const auto rcounter = r.get_u64();
+  auto sig = r.get_bytes();
+  const auto origin = decode_process_id(r);
+  if (!ts || !wid || !val || !prev || !seen_bits || !rcounter || !sig ||
+      !origin) {
+    return std::nullopt;
+  }
+  m.ts = *ts;
+  m.wid = *wid;
+  m.val = std::move(*val);
+  m.prev = std::move(*prev);
+  m.seen = seen_set{*seen_bits};
+  m.rcounter = *rcounter;
+  m.sig = std::move(*sig);
+  m.origin = *origin;
+  return m;
+}
+
+}  // namespace fastreg

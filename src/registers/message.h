@@ -1,0 +1,86 @@
+// The single wire message type shared by every protocol in fastreg.
+//
+// One struct (rather than a per-protocol variant hierarchy) keeps the
+// simulator's in-transit set, the TCP codec, and the adversary's message
+// surgery uniform. Fields unused by a protocol are left at their defaults
+// and cost nothing on the simulated path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/seen_set.h"
+#include "common/serialization.h"
+#include "common/types.h"
+
+namespace fastreg {
+
+enum class msg_type : std::uint8_t {
+  // One-phase write (all protocols) / phase-2 of the MWMR write.
+  write_req = 1,
+  write_ack = 2,
+  // Read round (all protocols).
+  read_req = 3,
+  read_ack = 4,
+  // Write-back phase: ABD read phase 2, MWMR read phase 2.
+  wb_req = 5,
+  wb_ack = 6,
+  // Timestamp query: MWMR write phase 1.
+  query_req = 7,
+  query_ack = 8,
+  // Server-to-server timestamp broadcast (max-min variant, Section 1).
+  gossip = 9,
+};
+
+[[nodiscard]] const char* to_string(msg_type t);
+
+struct message {
+  msg_type type{msg_type::read_req};
+
+  /// Timestamp number. 0 is the initial timestamp whose value is bottom.
+  ts_t ts{k_initial_ts};
+  /// Writer id for MWMR lexicographic timestamps; 0 in single-writer runs.
+  std::int32_t wid{0};
+
+  /// Value associated with ts, and the value of the immediately preceding
+  /// write (Section 4's two tags).
+  value_t val{};
+  value_t prev{};
+
+  /// The server's seen set (Figure 2 line 33); empty on requests.
+  seen_set seen{};
+
+  /// Per-client operation counter (Figure 2's rCounter). Writers use 0 for
+  /// every write in the fast protocols; other protocols tag each op.
+  std::uint64_t rcounter{0};
+
+  /// Writer signature over (ts, wid, val, prev); Figure 5 only.
+  std::vector<std::uint8_t> sig{};
+
+  /// For gossip: the reader whose read triggered the broadcast.
+  process_id origin{};
+
+  [[nodiscard]] wts_t wts() const { return wts_t{ts, wid}; }
+
+  friend bool operator==(const message&, const message&) = default;
+};
+
+/// Canonical byte payload the writer signs: (ts, wid, val, prev).
+/// Shared by signers (writer) and verifiers (servers, readers).
+[[nodiscard]] std::vector<std::uint8_t> signed_payload(const message& m);
+[[nodiscard]] std::vector<std::uint8_t> signed_payload(ts_t ts,
+                                                       std::int32_t wid,
+                                                       const value_t& val,
+                                                       const value_t& prev);
+
+/// Wire codec (used by the TCP transport; the simulator passes structs).
+void encode_message(byte_writer& w, const message& m);
+[[nodiscard]] std::optional<message> decode_message(byte_reader& r);
+
+void encode_process_id(byte_writer& w, const process_id& p);
+[[nodiscard]] std::optional<process_id> decode_process_id(byte_reader& r);
+
+}  // namespace fastreg

@@ -1,0 +1,136 @@
+#include "registers/predicate.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace fastreg {
+namespace {
+
+/// Dynamic bitset over message indices (S can exceed 64 in sweeps).
+class bitvec {
+ public:
+  bitvec(std::size_t n, bool ones) : n_(n), words_((n + 63) / 64, 0) {
+    if (ones) {
+      for (auto& w : words_) w = ~std::uint64_t{0};
+      trim();
+    }
+  }
+
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+
+  [[nodiscard]] bitvec and_with(const bitvec& o) const {
+    bitvec out(n_, false);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] = words_[i] & o.words_[i];
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+ private:
+  void trim() {
+    const std::size_t extra = words_.size() * 64 - n_;
+    if (extra != 0 && !words_.empty()) {
+      words_.back() &= ~std::uint64_t{0} >> extra;
+    }
+  }
+
+  std::size_t n_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Depth-first search over a-element client subsets, intersecting message
+/// membership masks and pruning when the count drops below `need`.
+bool dfs_subsets(const std::vector<bitvec>& member_masks, std::size_t start,
+                 std::uint32_t remaining, const bitvec& current,
+                 std::size_t need) {
+  if (remaining == 0) return current.count() >= need;
+  // Not enough candidates left to reach the required subset size.
+  if (member_masks.size() - start < remaining) return false;
+  for (std::size_t i = start; i < member_masks.size(); ++i) {
+    const bitvec next = current.and_with(member_masks[i]);
+    if (next.count() < need) continue;
+    if (dfs_subsets(member_masks, i + 1, remaining - 1, next, need)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Does the predicate hold for this specific value of a?
+bool exists_for_a(std::span<const seen_set> maxts_seen, std::uint32_t S,
+                  std::uint32_t t, std::uint32_t b, std::uint32_t a) {
+  const std::int64_t need_signed = static_cast<std::int64_t>(S) -
+                                   static_cast<std::int64_t>(a) * t -
+                                   (static_cast<std::int64_t>(a) - 1) * b;
+  // Degenerate: an empty MS trivially satisfies |MS| >= need, and the
+  // intersection over the empty family is the universe of clients, whose
+  // size (R+1 >= a by the caller's range) meets the bound. Matches the
+  // pseudocode read literally; reachable only outside the feasible region.
+  if (need_signed <= 0) return true;
+  const std::size_t need = static_cast<std::size_t>(need_signed);
+  if (need > maxts_seen.size()) return false;
+
+  // Union of all seen sets = candidate clients for the intersection.
+  seen_set universe;
+  for (const auto& s : maxts_seen) universe = universe.unite(s);
+  if (universe.size() < a) return false;
+
+  // For each candidate client, the set of messages whose seen contains it.
+  std::vector<bitvec> member_masks;
+  for (std::uint32_t slot = 0; slot < seen_set::max_clients; ++slot) {
+    const std::uint64_t bit = std::uint64_t{1} << slot;
+    if ((universe.bits() & bit) == 0) continue;
+    bitvec mask(maxts_seen.size(), false);
+    std::size_t members = 0;
+    for (std::size_t i = 0; i < maxts_seen.size(); ++i) {
+      if ((maxts_seen[i].bits() & bit) != 0) {
+        mask.set(i);
+        ++members;
+      }
+    }
+    // A client appearing in fewer than `need` messages can never be part
+    // of a qualifying intersection.
+    if (members >= need) member_masks.push_back(std::move(mask));
+  }
+  if (member_masks.size() < a) return false;
+
+  const bitvec all(maxts_seen.size(), true);
+  return dfs_subsets(member_masks, 0, a, all, need);
+}
+
+}  // namespace
+
+bool fast_read_predicate(std::span<const seen_set> maxts_seen,
+                         std::uint32_t S, std::uint32_t t, std::uint32_t b,
+                         std::uint32_t R) {
+  for (std::uint32_t a = 1; a <= R + 1; ++a) {
+    if (exists_for_a(maxts_seen, S, t, b, a)) return true;
+  }
+  return false;
+}
+
+bool fast_read_predicate(std::span<const message> maxts_msgs, std::uint32_t S,
+                         std::uint32_t t, std::uint32_t b, std::uint32_t R) {
+  std::vector<seen_set> seen;
+  seen.reserve(maxts_msgs.size());
+  for (const auto& m : maxts_msgs) seen.push_back(m.seen);
+  return fast_read_predicate(std::span<const seen_set>(seen), S, t, b, R);
+}
+
+std::uint32_t fast_read_predicate_witness(std::span<const seen_set> maxts_seen,
+                                          std::uint32_t S, std::uint32_t t,
+                                          std::uint32_t b, std::uint32_t R) {
+  std::uint32_t best = 0;
+  for (std::uint32_t a = 1; a <= R + 1; ++a) {
+    if (exists_for_a(maxts_seen, S, t, b, a)) best = a;
+  }
+  return best;
+}
+
+}  // namespace fastreg

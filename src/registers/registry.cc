@@ -1,0 +1,37 @@
+#include "registers/registry.h"
+
+#include "registers/abd.h"
+#include "registers/fast_bft.h"
+#include "registers/fast_swmr.h"
+#include "registers/maxmin.h"
+#include "registers/mwmr.h"
+#include "registers/regular.h"
+
+namespace fastreg {
+
+std::unique_ptr<protocol> make_protocol(const std::string& name) {
+  if (name == "fast_swmr") return std::make_unique<fast_swmr_protocol>();
+  if (name == "fast_bft") return std::make_unique<fast_bft_protocol>();
+  if (name == "abd") return std::make_unique<abd_protocol>();
+  if (name == "maxmin") return std::make_unique<maxmin_protocol>();
+  if (name == "regular") return std::make_unique<regular_protocol>();
+  if (name == "single_reader") {
+    return std::make_unique<single_reader_protocol>();
+  }
+  if (name == "mwmr") return std::make_unique<mwmr_protocol>();
+  if (name == "naive_fast_mwmr") {
+    return std::make_unique<naive_fast_mwmr_protocol>();
+  }
+  if (name == "naive_fast_mwmr_lww") {
+    return std::make_unique<naive_fast_mwmr_lww_protocol>();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> protocol_names() {
+  return {"fast_swmr", "fast_bft",      "abd",  "maxmin",
+          "regular",   "single_reader", "mwmr", "naive_fast_mwmr",
+          "naive_fast_mwmr_lww"};
+}
+
+}  // namespace fastreg

@@ -1,0 +1,277 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace fastreg::sim {
+
+world::world(system_config cfg) : cfg_(std::move(cfg)) {}
+
+void world::install(const protocol& proto) {
+  procs_.clear();
+  procs_.reserve(cfg_.W() + cfg_.R() + cfg_.S());
+  for (std::uint32_t i = 0; i < cfg_.W(); ++i) {
+    procs_.push_back(proto.make_writer(cfg_, i));
+  }
+  for (std::uint32_t i = 0; i < cfg_.R(); ++i) {
+    procs_.push_back(proto.make_reader(cfg_, i));
+  }
+  for (std::uint32_t i = 0; i < cfg_.S(); ++i) {
+    procs_.push_back(proto.make_server(cfg_, i));
+  }
+}
+
+std::size_t world::index_of(const process_id& p) const {
+  switch (p.r) {
+    case role::writer:
+      FASTREG_EXPECTS(p.index < cfg_.W());
+      return p.index;
+    case role::reader:
+      FASTREG_EXPECTS(p.index < cfg_.R());
+      return cfg_.W() + p.index;
+    case role::server:
+      FASTREG_EXPECTS(p.index < cfg_.S());
+      return cfg_.W() + cfg_.R() + p.index;
+  }
+  FASTREG_CHECK(false);
+  return 0;
+}
+
+void world::replace_automaton(const process_id& p,
+                              std::unique_ptr<automaton> a) {
+  procs_[index_of(p)] = std::move(a);
+}
+
+automaton* world::get(const process_id& p) {
+  return procs_[index_of(p)].get();
+}
+
+reader_iface* world::reader(std::uint32_t i) {
+  auto* r = as_reader(get(reader_id(i)));
+  FASTREG_ENSURES(r != nullptr);
+  return r;
+}
+
+writer_iface* world::writer(std::uint32_t i) {
+  auto* w = as_writer(get(writer_id(i)));
+  FASTREG_ENSURES(w != nullptr);
+  return w;
+}
+
+// --------------------------------------------------------------- sending --
+
+void world::send(const process_id& to, message m) {
+  outbox_.emplace_back(to, std::move(m));
+}
+
+void world::flush_sends(const process_id& from) {
+  std::size_t keep = outbox_.size();
+  if (auto it = armed_partial_crash_.find(from);
+      it != armed_partial_crash_.end() && !outbox_.empty()) {
+    keep = std::min(keep, it->second);
+    armed_partial_crash_.erase(it);
+    crashed_.insert(from);
+  }
+  for (std::size_t i = 0; i < keep; ++i) {
+    envelope env;
+    env.id = next_envelope_id_++;
+    env.from = from;
+    env.to = outbox_[i].first;
+    env.msg = std::move(outbox_[i].second);
+    env.sent_at = now_;
+    env.due_at = 0;
+    mset_.push_back(std::move(env));
+    ++sent_count_;
+  }
+  outbox_.clear();
+}
+
+// ----------------------------------------------------------- invocations --
+
+void world::invoke_write(std::uint32_t writer_index, value_t v) {
+  const process_id wid = writer_id(writer_index);
+  FASTREG_EXPECTS(!crashed_.contains(wid));
+  auto* w = writer(writer_index);
+  FASTREG_EXPECTS(!w->write_in_progress());
+  ++now_;
+  auto& st = clients_[wid];
+  st.pending = true;
+  st.completed_before = w->writes_completed();
+  st.op_index = history_.begin_op(wid, /*is_write=*/true, now_, v);
+  w->invoke_write(*this, std::move(v));
+  flush_sends(wid);
+}
+
+void world::invoke_read(std::uint32_t reader_index) {
+  const process_id rid = reader_id(reader_index);
+  FASTREG_EXPECTS(!crashed_.contains(rid));
+  auto* r = reader(reader_index);
+  FASTREG_EXPECTS(!r->read_in_progress());
+  ++now_;
+  auto& st = clients_[rid];
+  st.pending = true;
+  st.completed_before = r->reads_completed();
+  st.op_index = history_.begin_op(rid, /*is_write=*/false, now_);
+  r->invoke_read(*this);
+  flush_sends(rid);
+}
+
+bool world::client_busy(const process_id& p) {
+  if (p.is_reader()) return reader(p.index)->read_in_progress();
+  if (p.is_writer()) return writer(p.index)->write_in_progress();
+  return false;
+}
+
+std::optional<read_result> world::last_read(std::uint32_t reader_index) {
+  return reader(reader_index)->last_read();
+}
+
+void world::poll_completion(const process_id& p) {
+  auto it = clients_.find(p);
+  if (it == clients_.end() || !it->second.pending) return;
+  auto& st = it->second;
+  if (p.is_reader()) {
+    auto* r = reader(p.index);
+    if (r->reads_completed() > st.completed_before) {
+      const auto& res = r->last_read();
+      FASTREG_CHECK(res.has_value());
+      history_.complete_read(st.op_index, now_, res->ts, res->wid, res->val,
+                             res->rounds);
+      st.pending = false;
+    }
+  } else if (p.is_writer()) {
+    auto* w = writer(p.index);
+    if (w->writes_completed() > st.completed_before) {
+      history_.complete_write(st.op_index, now_, w->last_write_rounds());
+      st.pending = false;
+    }
+  }
+}
+
+// -------------------------------------------------------- manual driving --
+
+void world::do_step(const process_id& to, const envelope& env) {
+  procs_[index_of(to)]->on_message(*this, env.from, env.msg);
+  flush_sends(to);
+  ++delivered_count_;
+  poll_completion(to);
+}
+
+bool world::deliver(std::uint64_t envelope_id) {
+  auto it = std::find_if(mset_.begin(), mset_.end(), [&](const envelope& e) {
+    return e.id == envelope_id;
+  });
+  if (it == mset_.end()) return false;
+  envelope env = std::move(*it);
+  mset_.erase(it);
+  ++now_;
+  if (crashed_.contains(env.to)) return false;  // consumed, never processed
+  do_step(env.to, env);
+  return true;
+}
+
+std::vector<std::uint64_t> world::find_envelopes(
+    const envelope_pred& pred) const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& e : mset_) {
+    if (pred(e)) ids.push_back(e.id);
+  }
+  return ids;
+}
+
+std::size_t world::deliver_matching(const envelope_pred& pred) {
+  std::size_t n = 0;
+  for (std::uint64_t id : find_envelopes(pred)) {
+    if (deliver(id)) ++n;
+  }
+  return n;
+}
+
+std::size_t world::drop_matching(const envelope_pred& pred) {
+  const std::size_t before = mset_.size();
+  std::erase_if(mset_, pred);
+  return before - mset_.size();
+}
+
+// --------------------------------------------------------- bulk schedules --
+
+std::uint64_t world::run_random(rng& r, std::uint64_t max_steps) {
+  return run_random_until(r, [] { return false; }, max_steps);
+}
+
+std::uint64_t world::run_random_until(rng& r,
+                                      const std::function<bool()>& done,
+                                      std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!mset_.empty() && steps < max_steps && !done()) {
+    const std::size_t pick =
+        static_cast<std::size_t>(r.below(mset_.size()));
+    envelope env = std::move(mset_[pick]);
+    mset_.erase(mset_.begin() + static_cast<std::ptrdiff_t>(pick));
+    ++now_;
+    ++steps;
+    if (crashed_.contains(env.to)) continue;
+    do_step(env.to, env);
+  }
+  return steps;
+}
+
+std::uint64_t world::run_timed(rng& r, delay_model& delays,
+                               std::uint64_t max_steps) {
+  return run_timed_until(r, delays, [] { return false; }, max_steps);
+}
+
+std::uint64_t world::run_timed_until(rng& r, delay_model& delays,
+                                     const std::function<bool()>& done,
+                                     std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!mset_.empty() && steps < max_steps && !done()) {
+    // Assign due times to any messages that do not have one yet.
+    for (auto& e : mset_) {
+      if (e.due_at == 0) {
+        e.due_at = std::max(e.sent_at, now_) + delays.sample(r, e.from, e.to);
+      }
+    }
+    // Earliest due message next.
+    auto it = std::min_element(
+        mset_.begin(), mset_.end(),
+        [](const envelope& a, const envelope& b) { return a.due_at < b.due_at; });
+    envelope env = std::move(*it);
+    mset_.erase(it);
+    now_ = std::max(now_ + 1, env.due_at);
+    ++steps;
+    if (crashed_.contains(env.to)) continue;
+    do_step(env.to, env);
+  }
+  return steps;
+}
+
+// --------------------------------------------------------------- failures --
+
+void world::crash(const process_id& p) { crashed_.insert(p); }
+
+void world::crash_after_sends(const process_id& p, std::size_t deliver_first) {
+  armed_partial_crash_[p] = deliver_first;
+}
+
+// ------------------------------------------------------------------ fork --
+
+world world::fork() const {
+  world w(cfg_);
+  w.procs_.reserve(procs_.size());
+  for (const auto& a : procs_) w.procs_.push_back(a->clone());
+  w.mset_ = mset_;
+  w.next_envelope_id_ = next_envelope_id_;
+  w.now_ = now_;
+  w.crashed_ = crashed_;
+  w.armed_partial_crash_ = armed_partial_crash_;
+  w.clients_ = clients_;
+  w.history_ = history_;
+  w.sent_count_ = sent_count_;
+  w.delivered_count_ = delivered_count_;
+  return w;
+}
+
+}  // namespace fastreg::sim

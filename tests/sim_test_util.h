@@ -1,0 +1,152 @@
+// Shared helpers for simulator-based protocol tests: config builders and a
+// randomized concurrent workload driver whose histories feed the checkers.
+#pragma once
+
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "crypto/sig.h"
+#include "registers/automaton.h"
+#include "sim/world.h"
+
+namespace fastreg::test {
+
+inline system_config make_cfg(std::uint32_t S, std::uint32_t t,
+                              std::uint32_t R, std::uint32_t b = 0,
+                              std::uint32_t W = 1,
+                              const std::string& sig_scheme = "") {
+  system_config cfg;
+  cfg.servers = S;
+  cfg.t_failures = t;
+  cfg.b_malicious = b;
+  cfg.readers = R;
+  cfg.writers = W;
+  if (!sig_scheme.empty()) {
+    cfg.sigs = crypto::make_signature_scheme(sig_scheme, /*seed=*/1234);
+  }
+  return cfg;
+}
+
+/// Drives a random concurrent workload: the writer issues `num_writes`
+/// writes with unique values v1, v2, ...; every reader issues
+/// `reads_per_reader` reads; message deliveries, and invocation timing are
+/// all randomized from `r`. Runs until every invoked op completed or no
+/// further progress is possible (e.g. due to injected crashes).
+inline void run_random_workload(sim::world& w, rng& r,
+                                std::uint32_t num_writes,
+                                std::uint32_t reads_per_reader) {
+  const auto& cfg = w.config();
+  std::uint32_t writes_invoked = 0;
+  std::vector<std::uint32_t> reads_invoked(cfg.R(), 0);
+  std::uint64_t guard = 0;
+
+  for (;;) {
+    FASTREG_CHECK(++guard < 50'000'000);
+    const bool can_write = writes_invoked < num_writes &&
+                           !w.crashed(writer_id(0)) &&
+                           !w.writer(0)->write_in_progress();
+    bool can_read = false;
+    for (std::uint32_t i = 0; i < cfg.R(); ++i) {
+      if (reads_invoked[i] < reads_per_reader &&
+          !w.reader(i)->read_in_progress()) {
+        can_read = true;
+        break;
+      }
+    }
+    const bool can_deliver = !w.in_transit().empty();
+    if (!can_write && !can_read && !can_deliver) break;
+
+    const std::uint64_t dice = r.below(8);
+    if (dice == 0 && can_write) {
+      ++writes_invoked;
+      w.invoke_write("v" + std::to_string(writes_invoked));
+      continue;
+    }
+    if (dice == 1 && can_read) {
+      // Pick a random reader with remaining quota.
+      for (std::uint32_t attempt = 0; attempt < cfg.R(); ++attempt) {
+        const std::uint32_t i =
+            static_cast<std::uint32_t>(r.below(cfg.R()));
+        if (reads_invoked[i] < reads_per_reader &&
+            !w.reader(i)->read_in_progress()) {
+          ++reads_invoked[i];
+          w.invoke_read(i);
+          break;
+        }
+      }
+      continue;
+    }
+    if (can_deliver) {
+      const auto& ms = w.in_transit();
+      w.deliver(ms[r.below(ms.size())].id);
+    }
+  }
+}
+
+/// Multi-writer version: writer j issues values "w<j>_<k>".
+inline void run_random_workload_mw(sim::world& w, rng& r,
+                                   std::uint32_t writes_per_writer,
+                                   std::uint32_t reads_per_reader) {
+  const auto& cfg = w.config();
+  std::vector<std::uint32_t> writes_invoked(cfg.W(), 0);
+  std::vector<std::uint32_t> reads_invoked(cfg.R(), 0);
+  std::uint64_t guard = 0;
+
+  for (;;) {
+    FASTREG_CHECK(++guard < 50'000'000);
+    bool can_write = false;
+    for (std::uint32_t j = 0; j < cfg.W(); ++j) {
+      if (writes_invoked[j] < writes_per_writer &&
+          !w.writer(j)->write_in_progress()) {
+        can_write = true;
+        break;
+      }
+    }
+    bool can_read = false;
+    for (std::uint32_t i = 0; i < cfg.R(); ++i) {
+      if (reads_invoked[i] < reads_per_reader &&
+          !w.reader(i)->read_in_progress()) {
+        can_read = true;
+        break;
+      }
+    }
+    const bool can_deliver = !w.in_transit().empty();
+    if (!can_write && !can_read && !can_deliver) break;
+
+    const std::uint64_t dice = r.below(8);
+    if (dice == 0 && can_write) {
+      for (std::uint32_t attempt = 0; attempt < cfg.W(); ++attempt) {
+        const std::uint32_t j =
+            static_cast<std::uint32_t>(r.below(cfg.W()));
+        if (writes_invoked[j] < writes_per_writer &&
+            !w.writer(j)->write_in_progress()) {
+          ++writes_invoked[j];
+          w.invoke_write(j, "w" + std::to_string(j + 1) + "_" +
+                                std::to_string(writes_invoked[j]));
+          break;
+        }
+      }
+      continue;
+    }
+    if (dice == 1 && can_read) {
+      for (std::uint32_t attempt = 0; attempt < cfg.R(); ++attempt) {
+        const std::uint32_t i =
+            static_cast<std::uint32_t>(r.below(cfg.R()));
+        if (reads_invoked[i] < reads_per_reader &&
+            !w.reader(i)->read_in_progress()) {
+          ++reads_invoked[i];
+          w.invoke_read(i);
+          break;
+        }
+      }
+      continue;
+    }
+    if (can_deliver) {
+      const auto& ms = w.in_transit();
+      w.deliver(ms[r.below(ms.size())].id);
+    }
+  }
+}
+
+}  // namespace fastreg::test

@@ -1,0 +1,228 @@
+// The checkers themselves, validated on hand-crafted histories -- both
+// legal ones and ones violating each Section 3.1 condition individually.
+#include <gtest/gtest.h>
+
+#include "checker/atomicity.h"
+#include "checker/history.h"
+
+namespace fastreg::checker {
+namespace {
+
+/// Builder for compact history literals.
+struct hb {
+  history h;
+  std::size_t write(std::uint64_t inv, std::uint64_t resp, value_t v) {
+    const auto i = h.begin_op(writer_id(0), true, inv, v);
+    h.complete_write(i, resp, 1);
+    return i;
+  }
+  std::size_t write_mw(std::uint32_t wi, std::uint64_t inv,
+                       std::uint64_t resp, value_t v) {
+    const auto i = h.begin_op(writer_id(wi), true, inv, v);
+    h.complete_write(i, resp, 1);
+    return i;
+  }
+  std::size_t incomplete_write(std::uint64_t inv, value_t v) {
+    return h.begin_op(writer_id(0), true, inv, v);
+  }
+  std::size_t read(std::uint32_t ri, std::uint64_t inv, std::uint64_t resp,
+                   value_t v, ts_t ts = 0, int rounds = 1) {
+    const auto i = h.begin_op(reader_id(ri), false, inv);
+    h.complete_read(i, resp, ts, 0, v, rounds);
+    return i;
+  }
+};
+
+TEST(SwmrChecker, EmptyHistoryIsAtomic) {
+  history h;
+  EXPECT_TRUE(check_swmr_atomicity(h).ok);
+}
+
+TEST(SwmrChecker, SequentialWriteReadIsAtomic) {
+  hb b;
+  b.write(1, 2, "a");
+  b.read(0, 3, 4, "a", 1);
+  EXPECT_TRUE(check_swmr_atomicity(b.h).ok);
+}
+
+TEST(SwmrChecker, ReadOfBottomBeforeWritesIsAtomic) {
+  hb b;
+  b.read(0, 1, 2, k_bottom_value);
+  b.write(3, 4, "a");
+  EXPECT_TRUE(check_swmr_atomicity(b.h).ok);
+}
+
+TEST(SwmrChecker, Condition1UnwrittenValue) {
+  hb b;
+  b.write(1, 2, "a");
+  b.read(0, 3, 4, "phantom");
+  const auto res = check_swmr_atomicity(b.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("condition 1"), std::string::npos);
+}
+
+TEST(SwmrChecker, Condition2StaleReadAfterCompletedWrite) {
+  hb b;
+  b.write(1, 2, "a");
+  b.write(3, 4, "b");
+  b.read(0, 5, 6, "a");  // must have returned "b" or later
+  const auto res = check_swmr_atomicity(b.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("condition 2"), std::string::npos);
+}
+
+TEST(SwmrChecker, Condition3ReadFromTheFuture) {
+  hb b;
+  b.read(0, 1, 2, "a");   // returns a value whose write starts later
+  b.write(3, 4, "a");
+  const auto res = check_swmr_atomicity(b.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("condition 3"), std::string::npos);
+}
+
+TEST(SwmrChecker, Condition4NewOldInversion) {
+  hb b;
+  b.incomplete_write(1, "a");  // concurrent with both reads
+  b.read(0, 2, 3, "a");
+  b.read(1, 4, 5, k_bottom_value);  // succeeds the first read, older value
+  const auto res = check_swmr_atomicity(b.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("condition 4"), std::string::npos);
+}
+
+TEST(SwmrChecker, ConcurrentReadsMayDisagree) {
+  hb b;
+  b.incomplete_write(1, "a");
+  b.read(0, 2, 10, "a");              // overlaps the next read
+  b.read(1, 3, 9, k_bottom_value);    // concurrent: no violation
+  EXPECT_TRUE(check_swmr_atomicity(b.h).ok);
+}
+
+TEST(SwmrChecker, ReadConcurrentWithWriteMayReturnEither) {
+  hb b;
+  b.write(1, 2, "a");
+  b.incomplete_write(3, "b");
+  b.read(0, 4, 5, "a");
+  b.read(1, 6, 7, "b");
+  // Second read is newer: fine. A third read going back would violate.
+  EXPECT_TRUE(check_swmr_atomicity(b.h).ok);
+  b.read(0, 8, 9, "a");
+  EXPECT_FALSE(check_swmr_atomicity(b.h).ok);
+}
+
+TEST(SwmrChecker, RegularAllowsInversionAtomicDoesNot) {
+  hb b;
+  b.incomplete_write(1, "a");
+  b.read(0, 2, 3, "a");
+  b.read(1, 4, 5, k_bottom_value);
+  EXPECT_FALSE(check_swmr_atomicity(b.h).ok);
+  EXPECT_TRUE(check_swmr_regular(b.h).ok);  // Section 8's distinction
+}
+
+TEST(SwmrChecker, RegularStillForbidsStaleAfterCompletedWrite) {
+  hb b;
+  b.write(1, 2, "a");
+  b.read(0, 3, 4, k_bottom_value);
+  EXPECT_FALSE(check_swmr_regular(b.h).ok);
+}
+
+TEST(SwmrChecker, DuplicateWriteValuesRejected) {
+  hb b;
+  b.write(1, 2, "same");
+  b.write(3, 4, "same");
+  const auto res = check_swmr_atomicity(b.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("unique"), std::string::npos);
+}
+
+TEST(SwmrChecker, MultiWriterHistoryRejected) {
+  // The SWMR checker refuses histories with more than one writer (they
+  // need the full linearizability checker instead).
+  history h;
+  const auto i1 = h.begin_op(writer_id(0), true, 1, "a");
+  h.complete_write(i1, 2, 1);
+  const auto i2 = h.begin_op(writer_id(1), true, 3, "b");
+  h.complete_write(i2, 4, 1);
+  const auto res = check_swmr_atomicity(h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("more than one writer"), std::string::npos);
+}
+
+TEST(Fastness, FlagsSlowOps) {
+  hb b;
+  b.read(0, 1, 2, k_bottom_value, 0, /*rounds=*/2);
+  EXPECT_TRUE(check_fastness(b.h, 2, 1).ok);
+  EXPECT_FALSE(check_fastness(b.h, 1, 1).ok);
+}
+
+// ------------------------------------------------------- linearizability
+
+TEST(Linearizable, SequentialHistory) {
+  hb b;
+  b.write_mw(0, 1, 2, "x");
+  b.read(0, 3, 4, "x");
+  b.write_mw(1, 5, 6, "y");
+  b.read(1, 7, 8, "y");
+  EXPECT_TRUE(check_linearizable(b.h).ok);
+}
+
+TEST(Linearizable, ConcurrentWritesEitherOrder) {
+  hb b;
+  b.write_mw(0, 1, 10, "x");
+  b.write_mw(1, 2, 9, "y");
+  b.read(0, 11, 12, "x");  // legal: y then x
+  EXPECT_TRUE(check_linearizable(b.h).ok);
+}
+
+TEST(Linearizable, P2StyleDisagreementRejected) {
+  // Both writes complete, then two sequential reads disagree on the final
+  // value: Section 7's property P2 violation.
+  hb b;
+  b.write_mw(0, 1, 4, "one");
+  b.write_mw(1, 2, 5, "two");
+  b.read(0, 6, 7, "one");
+  b.read(1, 8, 9, "two");
+  EXPECT_FALSE(check_linearizable(b.h).ok);
+}
+
+TEST(Linearizable, ReadOfOverwrittenValueAfterBothComplete) {
+  hb b;
+  b.write_mw(0, 1, 2, "old");
+  b.write_mw(1, 3, 4, "new");
+  b.read(0, 5, 6, "old");  // precedence forces "new"
+  EXPECT_FALSE(check_linearizable(b.h).ok);
+}
+
+TEST(Linearizable, IncompleteWriteMayOrMayNotTakeEffect) {
+  hb b;
+  b.h.begin_op(writer_id(0), true, 1, "maybe");  // never completes
+  b.read(0, 2, 3, "maybe");
+  EXPECT_TRUE(check_linearizable(b.h).ok);
+
+  hb b2;
+  b2.h.begin_op(writer_id(0), true, 1, "maybe");
+  b2.read(0, 2, 3, k_bottom_value);
+  EXPECT_TRUE(check_linearizable(b2.h).ok);
+}
+
+TEST(Linearizable, BottomThenValueOrderRespected) {
+  hb b;
+  b.write_mw(0, 5, 6, "x");
+  b.read(0, 1, 2, k_bottom_value);  // precedes the write: fine
+  EXPECT_TRUE(check_linearizable(b.h).ok);
+
+  hb b2;
+  b2.write_mw(0, 1, 2, "x");
+  b2.read(0, 3, 4, k_bottom_value);  // write completed first: violation
+  EXPECT_FALSE(check_linearizable(b2.h).ok);
+}
+
+TEST(Linearizable, RequiresUniqueValues) {
+  hb b;
+  b.write_mw(0, 1, 2, "dup");
+  b.write_mw(1, 3, 4, "dup");
+  EXPECT_FALSE(check_linearizable(b.h).ok);
+}
+
+}  // namespace
+}  // namespace fastreg::checker

@@ -1,0 +1,238 @@
+// The Figure 5 protocol under Byzantine servers: signature validation
+// paths, the b-weakened predicate, and the attack library of E10.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/byzantine.h"
+#include "checker/atomicity.h"
+#include "registers/fast_bft.h"
+#include "registers/registry.h"
+#include "sim/world.h"
+#include "sim_test_util.h"
+
+namespace fastreg {
+namespace {
+
+using adversary::equivocating_server;
+using adversary::forging_server;
+using adversary::mute_server;
+using adversary::seen_liar_server;
+using adversary::stale_server;
+using test::make_cfg;
+using test::run_random_workload;
+
+system_config bft_cfg(std::uint32_t S, std::uint32_t t, std::uint32_t b,
+                      std::uint32_t R) {
+  return make_cfg(S, t, R, b, 1, "oracle");
+}
+
+TEST(FastBft, FeasibilityPredicateMatchesPaper) {
+  // S > (R+2)t + (R+1)b.
+  EXPECT_TRUE(fast_bft_feasible(10, 2, 1, 1));   // 10 > 6+2=8
+  EXPECT_FALSE(fast_bft_feasible(8, 2, 1, 1));   // 8 > 8 fails
+  EXPECT_TRUE(fast_bft_feasible(4, 1, 0, 1));    // crash case boundary
+  EXPECT_FALSE(fast_bft_feasible(4, 1, 1, 1));
+  EXPECT_FALSE(fast_bft_feasible(10, 0, 0, 1));  // t >= 1 required
+  EXPECT_FALSE(fast_bft_feasible(10, 1, 2, 1));  // b <= t required
+}
+
+TEST(FastBft, SignedWritesRoundTrip) {
+  const auto cfg = bft_cfg(10, 2, 1, 1);
+  sim::world w(cfg);
+  w.install(fast_bft_protocol{});
+  rng r(1);
+  w.invoke_write("signed-hello");
+  w.run_random(r);
+  EXPECT_FALSE(w.writer(0)->write_in_progress());
+  w.invoke_read(0);
+  w.run_random(r);
+  EXPECT_EQ(w.last_read(0)->val, "signed-hello");
+  EXPECT_EQ(w.last_read(0)->rounds, 1);
+}
+
+TEST(FastBft, ValidSignedTsAcceptsGenuineRejectsForged) {
+  const auto cfg = bft_cfg(10, 2, 1, 1);
+  message m;
+  m.ts = 3;
+  m.val = "v";
+  m.prev = "p";
+  const auto payload = signed_payload(m);
+  m.sig = cfg.sigs->sign(
+      writer_id(0),
+      std::span<const std::uint8_t>(payload.data(), payload.size()));
+  EXPECT_TRUE(valid_signed_ts(cfg, m));
+  // Byzantine edit of the value invalidates the signature.
+  message tampered = m;
+  tampered.val = "evil";
+  EXPECT_FALSE(valid_signed_ts(cfg, tampered));
+  // ts = 0 is valid exactly when unsigned and bottom-valued.
+  message initial;
+  EXPECT_TRUE(valid_signed_ts(cfg, initial));
+  initial.val = "junk";
+  EXPECT_FALSE(valid_signed_ts(cfg, initial));
+  // Negative timestamps are never valid.
+  message negative;
+  negative.ts = -3;
+  EXPECT_FALSE(valid_signed_ts(cfg, negative));
+}
+
+TEST(FastBft, ServerIgnoresForgedWriteback) {
+  const auto cfg = bft_cfg(10, 2, 1, 1);
+  fast_bft_server srv(cfg, 0);
+  // A "reader" writes back ts=9 with a junk signature: must be dropped.
+  class cap final : public netout {
+   public:
+    void send(const process_id&, message) override { ++count; }
+    int count{0};
+  } net;
+  message rd;
+  rd.type = msg_type::read_req;
+  rd.ts = 9;
+  rd.val = "x";
+  rd.sig = {1, 2, 3};
+  rd.rcounter = 1;
+  srv.on_message(net, reader_id(0), rd);
+  EXPECT_EQ(net.count, 0);  // receivevalid: no reply at all
+  EXPECT_EQ(srv.stored().tv.ts, 0);
+}
+
+struct attack_case {
+  const char* name;
+  int kind;  // 0=stale 1=forge 2=mute 3=seen_liar 4=equivocate
+};
+
+class BftAttackTest
+    : public ::testing::TestWithParam<std::tuple<attack_case, std::uint64_t>> {
+};
+
+TEST_P(BftAttackTest, AtomicityAndLivenessUnderMaxByzantine) {
+  const auto [attack, seed] = GetParam();
+  // S=16, t=3, b=2, R=2: 16 > (4)*3 + 3*2 = 18? No -- pick feasible:
+  // S=19 > 12 + 6 = 18.
+  const auto cfg = bft_cfg(19, 3, 2, 2);
+  ASSERT_TRUE(fast_bft_feasible(cfg.S(), cfg.t(), cfg.b(), cfg.R()));
+  sim::world w(cfg);
+  w.install(fast_bft_protocol{});
+  rng r(seed);
+
+  // Corrupt exactly b servers with the chosen behaviour.
+  for (std::uint32_t i = 0; i < cfg.b(); ++i) {
+    const process_id victim = server_id(5 + 7 * i);
+    auto* cur = w.get(victim);
+    std::unique_ptr<automaton> evil;
+    switch (attack.kind) {
+      case 0:
+        evil = std::make_unique<stale_server>(victim.index);
+        break;
+      case 1:
+        evil = std::make_unique<forging_server>(victim.index);
+        break;
+      case 2:
+        evil = std::make_unique<mute_server>(victim.index);
+        break;
+      case 3:
+        evil = std::make_unique<seen_liar_server>(cur->clone(), cfg.R());
+        break;
+      default:
+        evil = std::make_unique<equivocating_server>(cur->clone(),
+                                                     victim.index);
+        break;
+    }
+    w.replace_automaton(victim, std::move(evil));
+  }
+
+  run_random_workload(w, r, 6, 6);
+  // Liveness: every op completed despite the attack.
+  for (const auto& op : w.hist().ops()) {
+    EXPECT_TRUE(op.response_time.has_value()) << attack.name;
+  }
+  const auto res = checker::check_swmr_atomicity(w.hist());
+  EXPECT_TRUE(res.ok) << attack.name << ": " << res.error << "\n"
+                      << w.hist().dump();
+  EXPECT_TRUE(checker::check_fastness(w.hist(), 1, 1).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Attacks, BftAttackTest,
+    ::testing::Combine(::testing::Values(attack_case{"stale", 0},
+                                         attack_case{"forge", 1},
+                                         attack_case{"mute", 2},
+                                         attack_case{"seen_liar", 3},
+                                         attack_case{"equivocate", 4}),
+                       ::testing::Range<std::uint64_t>(1, 6)));
+
+class BftCleanStress
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BftCleanStress, NoFaultsRandomSchedule) {
+  const auto cfg = bft_cfg(13, 2, 1, 1);  // 13 > 8 + 4 = 12
+  sim::world w(cfg);
+  w.install(fast_bft_protocol{});
+  rng r(GetParam());
+  run_random_workload(w, r, 8, 8);
+  const auto res = checker::check_swmr_atomicity(w.hist());
+  EXPECT_TRUE(res.ok) << res.error << "\n" << w.hist().dump();
+  EXPECT_TRUE(checker::check_fastness(w.hist(), 1, 1).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BftCleanStress,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(FastBft, CrashPlusByzantineMix) {
+  // t=3 faulty total: b=1 malicious + 2 crashed.
+  const auto cfg = bft_cfg(16, 3, 1, 1);  // 16 > 9 + 2*1... (1+2)*3+(2)*1=11
+  ASSERT_TRUE(fast_bft_feasible(16, 3, 1, 1));
+  sim::world w(cfg);
+  w.install(fast_bft_protocol{});
+  rng r(77);
+  w.crash(server_id(1));
+  w.crash(server_id(2));
+  w.replace_automaton(server_id(3),
+                      std::make_unique<stale_server>(3));
+  run_random_workload(w, r, 5, 5);
+  for (const auto& op : w.hist().ops()) {
+    EXPECT_TRUE(op.response_time.has_value());
+  }
+  EXPECT_TRUE(checker::check_swmr_atomicity(w.hist()).ok);
+}
+
+TEST(FastBft, DiscardsProvablyMaliciousAcks) {
+  const auto cfg = bft_cfg(10, 2, 1, 1);
+  sim::world w(cfg);
+  w.install(fast_bft_protocol{});
+  w.replace_automaton(server_id(0), std::make_unique<forging_server>(0));
+  rng r(3);
+  w.invoke_write("x");
+  w.run_random(r);
+  w.invoke_read(0);
+  // Force the forged ack to arrive while the read is still pending.
+  w.deliver_matching([](const sim::envelope& e) {
+    return e.to == server_id(0) && e.from == reader_id(0);
+  });
+  w.deliver_matching([](const sim::envelope& e) {
+    return e.to == reader_id(0) && e.from == server_id(0);
+  });
+  auto* rd = dynamic_cast<fast_bft_reader*>(w.get(reader_id(0)));
+  ASSERT_NE(rd, nullptr);
+  EXPECT_GE(rd->discarded_acks(), 1u);
+  w.run_random(r);
+  EXPECT_EQ(w.last_read(0)->val, "x");
+}
+
+TEST(FastBft, RsaSchemeEndToEnd) {
+  // Same protocol over real RSA signatures (slower; one pass).
+  auto cfg = make_cfg(10, 2, 1, 1, 1, "rsa");
+  sim::world w(cfg);
+  w.install(fast_bft_protocol{});
+  rng r(4);
+  w.invoke_write("rsa-payload");
+  w.run_random(r);
+  w.invoke_read(0);
+  w.run_random(r);
+  EXPECT_EQ(w.last_read(0)->val, "rsa-payload");
+  EXPECT_TRUE(checker::check_swmr_atomicity(w.hist()).ok);
+}
+
+}  // namespace
+}  // namespace fastreg

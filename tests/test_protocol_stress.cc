@@ -1,0 +1,184 @@
+// Property-based stress: every protocol, driven by randomized concurrent
+// workloads under aggressive message reordering (and, in some suites,
+// crashes), must produce histories that satisfy its correctness contract
+// and its round-trip bound. Parameterized over (config, seed).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "checker/atomicity.h"
+#include "registers/registry.h"
+#include "sim/world.h"
+#include "sim_test_util.h"
+
+namespace fastreg {
+namespace {
+
+using test::make_cfg;
+using test::run_random_workload;
+using test::run_random_workload_mw;
+
+struct stress_case {
+  std::uint32_t S, t, R;
+  std::uint32_t b{0};
+};
+
+// ----------------------------------------------------- fast SWMR (atomic)
+
+class FastSwmrStress
+    : public ::testing::TestWithParam<std::tuple<stress_case, std::uint64_t>> {
+};
+
+TEST_P(FastSwmrStress, RandomScheduleIsAtomicAndFast) {
+  const auto [c, seed] = GetParam();
+  ASSERT_TRUE(fast_swmr_feasible(c.S, c.t, c.R));
+  const auto cfg = make_cfg(c.S, c.t, c.R);
+  sim::world w(cfg);
+  w.install(*make_protocol("fast_swmr"));
+  rng r(seed);
+  run_random_workload(w, r, /*num_writes=*/8, /*reads_per_reader=*/8);
+  const auto res = checker::check_swmr_atomicity(w.hist());
+  EXPECT_TRUE(res.ok) << res.error << "\n" << w.hist().dump();
+  EXPECT_TRUE(checker::check_fastness(w.hist(), 1, 1).ok);
+}
+
+TEST_P(FastSwmrStress, SurvivesCrashesOfTServers) {
+  const auto [c, seed] = GetParam();
+  const auto cfg = make_cfg(c.S, c.t, c.R);
+  sim::world w(cfg);
+  w.install(*make_protocol("fast_swmr"));
+  rng r(seed ^ 0xfeed);
+  // Crash t random distinct servers up front (the harshest allowed case).
+  std::vector<std::uint32_t> order(c.S);
+  for (std::uint32_t i = 0; i < c.S; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), r);
+  for (std::uint32_t i = 0; i < c.t; ++i) w.crash(server_id(order[i]));
+
+  run_random_workload(w, r, 6, 6);
+  // Wait-freedom: every invoked op completed despite the crashes.
+  for (const auto& op : w.hist().ops()) {
+    EXPECT_TRUE(op.response_time.has_value());
+  }
+  const auto res = checker::check_swmr_atomicity(w.hist());
+  EXPECT_TRUE(res.ok) << res.error << "\n" << w.hist().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FastSwmrStress,
+    ::testing::Combine(::testing::Values(stress_case{4, 1, 1},
+                                         stress_case{8, 1, 2},
+                                         stress_case{9, 2, 2},
+                                         stress_case{13, 2, 4},
+                                         stress_case{16, 3, 3},
+                                         stress_case{25, 4, 4}),
+                       ::testing::Range<std::uint64_t>(1, 9)));
+
+// ------------------------------------------------------------ ABD / maxmin
+
+class TwoRoundBaselineStress
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, stress_case, std::uint64_t>> {};
+
+TEST_P(TwoRoundBaselineStress, RandomScheduleIsAtomic) {
+  const auto [name, c, seed] = GetParam();
+  ASSERT_TRUE(majority_feasible(c.S, c.t));
+  const auto cfg = make_cfg(c.S, c.t, c.R);
+  sim::world w(cfg);
+  w.install(*make_protocol(name));
+  rng r(seed);
+  run_random_workload(w, r, 6, 6);
+  const auto res = checker::check_swmr_atomicity(w.hist());
+  EXPECT_TRUE(res.ok) << name << ": " << res.error << "\n" << w.hist().dump();
+  // ABD reads take 2 round-trips; writes 1. maxmin is 1 client round-trip.
+  const int read_rounds = name == "abd" ? 2 : 1;
+  EXPECT_TRUE(checker::check_fastness(w.hist(), read_rounds, 1).ok);
+}
+
+TEST_P(TwoRoundBaselineStress, SurvivesCrashes) {
+  const auto [name, c, seed] = GetParam();
+  const auto cfg = make_cfg(c.S, c.t, c.R);
+  sim::world w(cfg);
+  w.install(*make_protocol(name));
+  rng r(seed ^ 0xabcd);
+  for (std::uint32_t i = 0; i < c.t; ++i) w.crash(server_id(i));
+  run_random_workload(w, r, 5, 5);
+  for (const auto& op : w.hist().ops()) {
+    EXPECT_TRUE(op.response_time.has_value());
+  }
+  const auto res = checker::check_swmr_atomicity(w.hist());
+  EXPECT_TRUE(res.ok) << name << ": " << res.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TwoRoundBaselineStress,
+    ::testing::Combine(::testing::Values("abd", "maxmin"),
+                       ::testing::Values(stress_case{3, 1, 2},
+                                         stress_case{5, 2, 3},
+                                         stress_case{7, 3, 2},
+                                         stress_case{9, 4, 4}),
+                       ::testing::Range<std::uint64_t>(1, 6)));
+
+// ----------------------------------------------------------- single reader
+
+class SingleReaderStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SingleReaderStress, AtomicAndFastWithMajority) {
+  // R = 1 and t < S/2: beyond the R >= 2 bound's reach, still fast.
+  const auto cfg = make_cfg(5, 2, 1);
+  ASSERT_TRUE(fast_single_reader_feasible(5, 2));
+  ASSERT_FALSE(fast_swmr_feasible(5, 2, 1));  // Figure 2 could NOT do this
+  sim::world w(cfg);
+  w.install(*make_protocol("single_reader"));
+  rng r(GetParam());
+  run_random_workload(w, r, 10, 10);
+  const auto res = checker::check_swmr_atomicity(w.hist());
+  EXPECT_TRUE(res.ok) << res.error << "\n" << w.hist().dump();
+  EXPECT_TRUE(checker::check_fastness(w.hist(), 1, 1).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SingleReaderStress,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------- regular
+
+class RegularStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegularStress, RegularSemanticsHoldWithManyReaders) {
+  // Far more readers than any fast atomic register could support.
+  const auto cfg = make_cfg(5, 2, 6);
+  ASSERT_FALSE(fast_swmr_feasible(5, 2, 6));
+  sim::world w(cfg);
+  w.install(*make_protocol("regular"));
+  rng r(GetParam());
+  run_random_workload(w, r, 8, 4);
+  // Conditions 1-3 hold; condition 4 (no new/old inversion) may not.
+  const auto res = checker::check_swmr_regular(w.hist());
+  EXPECT_TRUE(res.ok) << res.error << "\n" << w.hist().dump();
+  EXPECT_TRUE(checker::check_fastness(w.hist(), 1, 1).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegularStress,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ------------------------------------------------------------------- MWMR
+
+class MwmrStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MwmrStress, TwoPhaseProtocolIsLinearizable) {
+  auto cfg = make_cfg(5, 2, 2, 0, /*W=*/2);
+  sim::world w(cfg);
+  w.install(*make_protocol("mwmr"));
+  rng r(GetParam());
+  run_random_workload_mw(w, r, /*writes_per_writer=*/3,
+                         /*reads_per_reader=*/3);
+  const auto res = checker::check_linearizable(w.hist());
+  EXPECT_TRUE(res.ok) << res.error << "\n" << w.hist().dump();
+  // Both ops are two-round: NOT fast, as Proposition 11 demands.
+  EXPECT_TRUE(checker::check_fastness(w.hist(), 2, 2).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwmrStress,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace fastreg
