@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <numeric>
 
+#include "common/check.h"
+
 namespace fastreg::benchutil {
 
 void stats::ensure_sorted() const {
@@ -31,6 +33,8 @@ double stats::max() const {
 }
 
 double stats::percentile(double p) const {
+  // Out-of-domain p (including NaN) would index outside the sample array.
+  FASTREG_EXPECTS(p >= 0 && p <= 100);
   if (samples_.empty()) return 0;
   ensure_sorted();
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);

@@ -17,7 +17,8 @@ class stats {
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
-  /// Percentile in [0, 100]; nearest-rank on the sorted samples.
+  /// Percentile; p outside [0, 100] aborts (contract check), no samples
+  /// returns 0. Linear interpolation on the sorted samples.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double p50() const { return percentile(50); }
   [[nodiscard]] double p99() const { return percentile(99); }

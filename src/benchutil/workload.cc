@@ -95,4 +95,99 @@ latency_report run_measured(const protocol& proto, const system_config& cfg,
   return rep;
 }
 
+// ------------------------------------------------------- multi-key store --
+
+std::vector<std::string> sample_distinct_keys(rng& r,
+                                              std::vector<std::uint32_t>& idx,
+                                              std::uint32_t k) {
+  FASTREG_EXPECTS(k <= idx.size());
+  std::vector<std::string> keys;
+  keys.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<std::uint32_t>(r.below(idx.size() - i));
+    std::swap(idx[i], idx[j]);
+    keys.push_back("key" + std::to_string(idx[i]));
+  }
+  return keys;
+}
+
+store_report run_store_measured(const store::store_config& cfg,
+                                const store_workload_options& opt) {
+  FASTREG_EXPECTS(opt.num_keys >= 1);
+  store::sim_store s(cfg);
+  rng r(opt.seed);
+  sim::uniform_delay delays(opt.delay_lo, opt.delay_hi);
+  const std::uint32_t batch = std::min(std::max(opt.batch, 1u), opt.num_keys);
+
+  const auto& base = cfg.base;
+  std::vector<std::uint32_t> gets_left(base.R(), opt.gets_per_reader);
+  std::vector<std::uint32_t> puts_left(base.W(), opt.puts_per_writer);
+  std::vector<std::uint64_t> put_seq(base.W(), 0);
+  std::vector<std::uint32_t> idx(opt.num_keys);
+  for (std::uint32_t i = 0; i < opt.num_keys; ++i) idx[i] = i;
+  std::uint64_t guard = 0;
+
+  for (;;) {
+    FASTREG_CHECK(++guard < 100'000'000);
+    bool invoked = false;
+    for (std::uint32_t j = 0; j < base.W(); ++j) {
+      if (puts_left[j] == 0 || s.writer_client(j).op_in_progress()) continue;
+      const auto k = std::min(batch, puts_left[j]);
+      std::vector<std::pair<std::string, value_t>> kvs;
+      kvs.reserve(k);
+      for (auto& key : sample_distinct_keys(r, idx, k)) {
+        kvs.emplace_back(std::move(key),
+                         "w" + std::to_string(j) + ":" +
+                             std::to_string(++put_seq[j]));
+      }
+      s.invoke_put_batch(j, kvs);
+      puts_left[j] -= k;
+      invoked = true;
+    }
+    for (std::uint32_t i = 0; i < base.R(); ++i) {
+      if (gets_left[i] == 0 || s.reader_client(i).op_in_progress()) continue;
+      const auto k = std::min(batch, gets_left[i]);
+      s.invoke_get_batch(i, sample_distinct_keys(r, idx, k));
+      gets_left[i] -= k;
+      invoked = true;
+    }
+    if (s.world().in_transit().empty()) {
+      if (invoked) continue;
+      break;  // drained and every quota exhausted
+    }
+    s.run_timed(r, delays, /*max_steps=*/1);
+  }
+
+  store_report rep;
+  rep.hist = s.histories();
+  std::uint64_t completed = 0;
+  for (const auto& [key, h] : rep.hist.all()) {
+    for (const auto& op : h.ops()) {
+      if (!op.response_time) {
+        rep.all_complete = false;
+        continue;
+      }
+      ++completed;
+      const double lat =
+          static_cast<double>(*op.response_time - op.invoke_time);
+      if (op.is_write) {
+        rep.put_latency.add(lat);
+      } else {
+        rep.get_latency.add(lat);
+      }
+    }
+  }
+  if (completed > 0) {
+    const auto n = static_cast<double>(completed);
+    rep.msgs_per_op = static_cast<double>(s.world().messages_sent()) / n;
+    rep.envelopes_per_op =
+        static_cast<double>(s.world().envelopes_sent()) / n;
+    if (s.world().now() > 0) {
+      rep.ops_per_ktick = n * 1000.0 / static_cast<double>(s.world().now());
+    }
+  }
+  return rep;
+}
+
 }  // namespace fastreg::benchutil

@@ -12,6 +12,7 @@
 #include "benchutil/stats.h"
 #include "checker/history.h"
 #include "registers/automaton.h"
+#include "store/sim_store.h"
 
 namespace fastreg::benchutil {
 
@@ -44,5 +45,44 @@ struct latency_report {
 [[nodiscard]] latency_report run_measured(const protocol& proto,
                                           const system_config& cfg,
                                           const workload_options& opt);
+
+// ------------------------------------------------------- multi-key store --
+
+/// Closed-loop multi-key store workload: every client keeps `batch`
+/// pipelined ops in flight on distinct uniform-random keys (readers issue
+/// gets, writers issue puts with per-writer-unique values) and re-invokes
+/// the moment its batch completes. Batched transport makes the
+/// envelopes-per-op vs messages-per-op gap the headline number.
+struct store_workload_options {
+  std::uint32_t num_keys{16};
+  std::uint32_t gets_per_reader{100};
+  std::uint32_t puts_per_writer{40};
+  /// Ops pipelined per invocation step (capped at num_keys).
+  std::uint32_t batch{4};
+  std::uint64_t seed{1};
+  std::uint64_t delay_lo{50};
+  std::uint64_t delay_hi{150};
+};
+
+struct store_report {
+  stats get_latency;
+  stats put_latency;
+  /// Completed ops per 1000 simulated ticks.
+  double ops_per_ktick{0};
+  double msgs_per_op{0};
+  double envelopes_per_op{0};
+  bool all_complete{true};
+  store::store_histories hist;
+};
+
+/// Runs the store workload on the timed simulator.
+[[nodiscard]] store_report run_store_measured(
+    const store::store_config& cfg, const store_workload_options& opt);
+
+/// Samples `k` distinct key names ("key0".."key{n-1}") by partial
+/// Fisher-Yates over a caller-owned index scratchpad of size n. Shared by
+/// the closed-loop generator and the store benches.
+[[nodiscard]] std::vector<std::string> sample_distinct_keys(
+    rng& r, std::vector<std::uint32_t>& idx, std::uint32_t k);
 
 }  // namespace fastreg::benchutil

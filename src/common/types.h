@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 namespace fastreg {
 
@@ -81,6 +82,23 @@ struct wts_t {
 /// is represented by ts = 0 at the protocol layer, so plain std::string
 /// suffices as the value payload type.
 using value_t = std::string;
+
+/// Identifies one register object when many are multiplexed over a shared
+/// server fleet (src/store). Object 0 is the implicit single register of
+/// the plain per-protocol deployments; the store derives ids from key
+/// strings (see store/shard_map.h).
+using object_id = std::uint64_t;
+inline constexpr object_id k_default_object = 0;
+
+/// Stable 64-bit key hash (FNV-1a) used to derive object ids.
+[[nodiscard]] constexpr object_id fnv1a64(std::string_view s) {
+  object_id h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 /// Sentinel rendering of the initial value bottom.
 inline const value_t k_bottom_value{};

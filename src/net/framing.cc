@@ -35,6 +35,15 @@ std::vector<std::uint8_t> encode_msg_frame(const process_id& from,
   return finish_frame(frame_kind::msg, w);
 }
 
+std::vector<std::uint8_t> encode_batch_frame(const process_id& from,
+                                             std::span<const message> msgs) {
+  byte_writer w;
+  encode_process_id(w, from);
+  w.put_u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const auto& m : msgs) encode_message(w, m);
+  return finish_frame(frame_kind::batch, w);
+}
+
 void frame_buffer::feed(const std::uint8_t* data, std::size_t n) {
   // Compact occasionally so the buffer does not grow without bound.
   if (consumed_ > 0 && consumed_ == buf_.size()) {
@@ -87,6 +96,34 @@ std::optional<frame> frame_buffer::next() {
         continue;
       }
       f.msg = std::move(*m);
+      return f;
+    }
+    if (kind == static_cast<std::uint8_t>(frame_kind::batch)) {
+      f.kind = frame_kind::batch;
+      const auto count = r.get_u32();
+      // An encoded message is over 40 bytes; a count the remaining payload
+      // cannot possibly hold is a malformed (or hostile) frame. The bound
+      // must hold BEFORE any allocation sized by count, or a crafted
+      // count forces a multi-GB reserve and bad_alloc kills the process.
+      if (!count || *count == 0 || *count > r.remaining() / 40) {
+        ++malformed_;
+        continue;
+      }
+      bool ok = true;
+      f.batch.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto m = decode_message(r);
+        if (!m) {
+          ok = false;
+          break;
+        }
+        f.batch.push_back(std::move(*m));
+      }
+      if (!ok) {
+        ++malformed_;
+        f.batch.clear();
+        continue;
+      }
       return f;
     }
     ++malformed_;

@@ -4,28 +4,36 @@
 //   kind 0 (hello): payload = sender process_id. Sent once per connection
 //                   so the acceptor learns who is on the other end.
 //   kind 1 (msg):   payload = sender process_id + encoded message.
+//   kind 2 (batch): payload = sender process_id + u32 count + count
+//                   encoded messages. One frame per send_batch call, so a
+//                   burst of store traffic to one destination pays the
+//                   frame and syscall overhead once.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "registers/message.h"
 
 namespace fastreg::net {
 
-enum class frame_kind : std::uint8_t { hello = 0, msg = 1 };
+enum class frame_kind : std::uint8_t { hello = 0, msg = 1, batch = 2 };
 
 struct frame {
   frame_kind kind{frame_kind::msg};
   process_id from{};
   std::optional<message> msg{};  // present for kind::msg
+  std::vector<message> batch{};  // non-empty for kind::batch
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_hello(const process_id& from);
 [[nodiscard]] std::vector<std::uint8_t> encode_msg_frame(
     const process_id& from, const message& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_batch_frame(
+    const process_id& from, std::span<const message> msgs);
 
 /// Incremental frame decoder: feed raw bytes, pop complete frames.
 /// Malformed frames (bad decode) are dropped with a count, never fatal --

@@ -23,7 +23,8 @@ node::node(system_config cfg, std::unique_ptr<automaton> a,
     : cfg_(std::move(cfg)),
       automaton_(std::move(a)),
       book_(std::move(book)),
-      self_(automaton_->self()) {
+      self_(automaton_->self()),
+      async_iface_(dynamic_cast<async_client_iface*>(automaton_.get())) {
   epoll_fd_.reset(::epoll_create1(0));
   FASTREG_CHECK(epoll_fd_.valid());
   event_fd_.reset(::eventfd(0, EFD_NONBLOCK));
@@ -121,12 +122,69 @@ bool node::blocking_write(value_t v, std::chrono::milliseconds timeout) {
   return cv_.wait_for(lk, timeout, [&] { return writes_done_ > before; });
 }
 
+bool node::blocking_op(const std::function<void(automaton&, netout&)>& start,
+                       std::chrono::milliseconds timeout) {
+  FASTREG_EXPECTS(async_iface_ != nullptr);
+  auto started = std::make_shared<bool>(false);
+  post([this, start, started] {
+    start(*automaton_, *this);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      *started = true;
+      // Mirror immediately: the wait predicate must not observe the
+      // stale pre-invocation idle state as completion.
+      async_busy_ = async_iface_->op_in_progress();
+      async_done_ = async_iface_->ops_completed();
+    }
+    cv_.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, timeout, [&] { return *started && !async_busy_; });
+}
+
+void node::run_on_reactor(const std::function<void(automaton&)>& fn) {
+  bool inline_run = false;
+  {
+    // Reactor not running (never started, or already exited): the caller
+    // has exclusive access, run inline instead of waiting forever on a
+    // task nothing will drain.
+    std::lock_guard<std::mutex> lk(mu_);
+    inline_run = reactor_exited_ || !thread_.joinable();
+  }
+  if (inline_run) {
+    fn(*automaton_);
+    return;
+  }
+  auto done = std::make_shared<bool>(false);
+  post([this, &fn, done] {
+    fn(*automaton_);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      *done = true;
+    }
+    cv_.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return *done || reactor_exited_; });
+  if (!*done) fn(*automaton_);  // reactor exited before draining the task
+}
+
 checker::history node::hist() const {
   std::lock_guard<std::mutex> lk(mu_);
   return hist_;
 }
 
 void node::poll_client_completion() {
+  if (async_iface_ != nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const bool busy = async_iface_->op_in_progress();
+    const std::uint64_t done = async_iface_->ops_completed();
+    if (busy != async_busy_ || done != async_done_) {
+      async_busy_ = busy;
+      async_done_ = done;
+      cv_.notify_all();
+    }
+  }
   if (auto* r = as_reader(automaton_.get())) {
     std::lock_guard<std::mutex> lk(mu_);
     if (op_open_ && r->reads_completed() > reads_done_) {
@@ -155,7 +213,16 @@ void node::poll_client_completion() {
 void node::reactor_main() {
   for (;;) {
     epoll_event events[64];
-    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, 50);
+    // Do not block when a task is already queued: a post() landing after
+    // this iteration's task swap but before the eventfd drain below would
+    // otherwise lose its wakeup (the drain eats the counter while the
+    // task waits a full epoll timeout).
+    int wait_ms = 50;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!tasks_.empty()) wait_ms = 0;
+    }
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, wait_ms);
     // Drain posted tasks first (includes invocations and stop requests).
     std::deque<std::function<void()>> tasks;
     {
@@ -197,6 +264,11 @@ void node::reactor_main() {
     }
     poll_client_completion();
   }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    reactor_exited_ = true;
+  }
+  cv_.notify_all();
 }
 
 void node::handle_readable(int fd) {
@@ -218,6 +290,10 @@ void node::handle_readable(int fd) {
     if (f->kind == frame_kind::hello) {
       c.peer = f->from;
       inbound_by_peer_[f->from] = fd;
+      continue;
+    }
+    if (f->kind == frame_kind::batch) {
+      automaton_->on_batch(*this, f->from, f->batch);
       continue;
     }
     if (f->msg.has_value()) {
@@ -302,20 +378,67 @@ int node::outbound_to_server(std::uint32_t index) {
   return raw;
 }
 
-void node::send(const process_id& to, message m) {
+void node::route_bytes(const process_id& to, std::vector<std::uint8_t> bytes) {
   if (to.is_server()) {
-    const int fd = outbound_to_server(to.index);
-    queue_bytes(fd, encode_msg_frame(self_, m));
+    queue_bytes(outbound_to_server(to.index), std::move(bytes));
     return;
   }
   // Replies to clients (or servers acting as clients of this server) go
   // over the connection they introduced themselves on.
   if (auto it = inbound_by_peer_.find(to); it != inbound_by_peer_.end()) {
-    queue_bytes(it->second, encode_msg_frame(self_, m));
+    queue_bytes(it->second, std::move(bytes));
     return;
   }
-  LOG_DEBUG("%s: no route to %s; dropping %s", to_string(self_).c_str(),
-            to_string(to).c_str(), to_string(m.type));
+  LOG_DEBUG("%s: no route to %s; dropping frame", to_string(self_).c_str(),
+            to_string(to).c_str());
+}
+
+void node::send(const process_id& to, message m) {
+  route_bytes(to, encode_msg_frame(self_, m));
+}
+
+namespace {
+
+/// Conservative upper bound on one message's encoded size (fixed fields
+/// are ~44 bytes; round up).
+std::size_t encoded_size_bound(const message& m) {
+  return 64 + m.val.size() + m.prev.size() + m.sig.size();
+}
+
+}  // namespace
+
+void node::send_batch(const process_id& to, std::vector<message> msgs) {
+  FASTREG_EXPECTS(!msgs.empty());
+  if (msgs.size() == 1) {
+    send(to, std::move(msgs.front()));
+    return;
+  }
+  // Chunk so no frame approaches frame_buffer::max_frame_bytes -- the
+  // receiver treats an oversized frame as stream corruption and drops the
+  // connection's whole buffer, which batching large values could
+  // otherwise trigger.
+  constexpr std::size_t chunk_limit = frame_buffer::max_frame_bytes / 4;
+  std::size_t begin = 0;
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const std::size_t sz = encoded_size_bound(msgs[i]);
+    if (i > begin && bytes + sz > chunk_limit) {
+      route_bytes(to, encode_batch_frame(
+                          self_, std::span<const message>(
+                                     msgs.data() + begin, i - begin)));
+      begin = i;
+      bytes = 0;
+    }
+    bytes += sz;
+  }
+  const std::size_t n = msgs.size() - begin;
+  if (n == 1) {
+    send(to, std::move(msgs.back()));
+  } else {
+    route_bytes(to, encode_batch_frame(
+                        self_, std::span<const message>(msgs.data() + begin,
+                                                        n)));
+  }
 }
 
 }  // namespace fastreg::net

@@ -64,6 +64,19 @@ class node final : public netout {
       value_t v,
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
 
+  /// Generic blocking invocation for automata that expose
+  /// async_client_iface (the store front-end): `start` runs on the reactor
+  /// thread (it may begin several pipelined ops); returns once every op it
+  /// began completed, or false on timeout. Histories are the caller's job.
+  [[nodiscard]] bool blocking_op(
+      const std::function<void(automaton&, netout&)>& start,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  /// Runs `fn` on the reactor thread and waits for it to finish. The only
+  /// safe way for non-reactor code to inspect automaton state that late
+  /// messages may still mutate (e.g. draining store completions).
+  void run_on_reactor(const std::function<void(automaton&)>& fn);
+
   /// Operation history recorded by this node (clients only). Safe to call
   /// after stop(), or concurrently (copies under lock).
   [[nodiscard]] checker::history hist() const;
@@ -72,6 +85,7 @@ class node final : public netout {
 
   // netout: called by the automaton on the reactor thread.
   void send(const process_id& to, message m) override;
+  void send_batch(const process_id& to, std::vector<message> msgs) override;
 
  private:
   struct connection {
@@ -90,6 +104,7 @@ class node final : public netout {
   void flush(int fd, connection& c);
   void close_conn(int fd);
   void queue_bytes(int fd, std::vector<std::uint8_t> bytes);
+  void route_bytes(const process_id& to, std::vector<std::uint8_t> bytes);
   int outbound_to_server(std::uint32_t index);
   void poll_client_completion();
   void update_epoll(int fd, connection& c);
@@ -98,6 +113,8 @@ class node final : public netout {
   std::unique_ptr<automaton> automaton_;
   std::shared_ptr<const address_book> book_;
   process_id self_;
+  /// Cached cross-cast; non-null when the automaton is a store front-end.
+  async_client_iface* async_iface_{nullptr};
 
   unique_fd listen_fd_;
   unique_fd epoll_fd_;
@@ -112,11 +129,16 @@ class node final : public netout {
   std::condition_variable cv_;
   std::deque<std::function<void()>> tasks_;
   bool stop_requested_{false};
+  bool reactor_exited_{false};
   checker::history hist_;
   std::uint64_t reads_done_{0};
   std::uint64_t writes_done_{0};
   std::size_t open_op_index_{0};
   bool op_open_{false};
+  // Reactor-maintained mirror of async_iface_ state, so blocking_op can
+  // wait under mu_ without racing on automaton internals.
+  bool async_busy_{false};
+  std::uint64_t async_done_{0};
 
   static std::uint64_t now_ns();
 };

@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "registers/config.h"
 #include "registers/message.h"
@@ -30,6 +32,14 @@ class netout {
  public:
   virtual ~netout() = default;
   virtual void send(const process_id& to, message m) = 0;
+
+  /// Sends several messages to one destination as a single transport unit
+  /// (one envelope on the simulator, one frame on TCP). The default keeps
+  /// transports that do not batch correct: it degrades to per-message
+  /// sends. Only the store's multiplexing automata call this.
+  virtual void send_batch(const process_id& to, std::vector<message> msgs) {
+    for (auto& m : msgs) send(to, std::move(m));
+  }
 };
 
 /// Base automaton: a deterministic state machine driven by messages.
@@ -40,6 +50,15 @@ class automaton {
   /// Deliver one message (a step <p, {m}>).
   virtual void on_message(netout& net, const process_id& from,
                           const message& m) = 0;
+
+  /// Deliver a batched envelope as ONE step <p, M>. The default unrolls to
+  /// per-message steps, which is equivalent for the register protocols
+  /// (none react to message *sets* atomically). The store's automata
+  /// override it to coalesce the replies the batch triggers.
+  virtual void on_batch(netout& net, const process_id& from,
+                        std::span<const message> msgs) {
+    for (const auto& m : msgs) on_message(net, from, m);
+  }
 
   /// Deep copy, including all protocol state. Clones share the (immutable
   /// or internally synchronized) signature scheme.
@@ -75,6 +94,22 @@ class reader_iface {
   [[nodiscard]] virtual std::uint64_t reads_completed() const = 0;
 };
 
+/// Transport-facing interface of client automata whose invocation surface
+/// is richer than reader_iface/writer_iface (the store front-end's
+/// get(key)/put(key, v), possibly several ops pipelined on distinct
+/// objects). Transports use it to detect quiescence and completions
+/// generically; the role-specific entry points stay on the concrete type.
+class async_client_iface {
+ public:
+  virtual ~async_client_iface() = default;
+
+  /// True while at least one invoked operation has not completed.
+  [[nodiscard]] virtual bool op_in_progress() const = 0;
+
+  /// Total operations completed since construction (monotone).
+  [[nodiscard]] virtual std::uint64_t ops_completed() const = 0;
+};
+
 /// Client-side interface of a writer automaton.
 class writer_iface {
  public:
@@ -101,6 +136,11 @@ class protocol {
 
   /// Does theory predict fast ops for this protocol under `cfg`?
   [[nodiscard]] virtual bool feasible(const system_config& cfg) const = 0;
+
+  /// True when distinct writer automata may safely coexist (the MWMR
+  /// family). Single-writer protocols hardwire writer 0; deployments
+  /// (e.g. the store) use this to reject W > 1 for them.
+  [[nodiscard]] virtual bool multi_writer() const { return false; }
 
   /// Rounds per op when the protocol is used within its feasible region.
   [[nodiscard]] virtual int read_rounds() const = 0;

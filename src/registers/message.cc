@@ -67,6 +67,7 @@ std::optional<process_id> decode_process_id(byte_reader& r) {
 
 void encode_message(byte_writer& w, const message& m) {
   w.put_u8(static_cast<std::uint8_t>(m.type));
+  w.put_u64(m.obj);
   w.put_i64(m.ts);
   w.put_i32(m.wid);
   w.put_string(m.val);
@@ -84,6 +85,7 @@ std::optional<message> decode_message(byte_reader& r) {
     return std::nullopt;
   }
   m.type = static_cast<msg_type>(*type);
+  const auto obj = r.get_u64();
   const auto ts = r.get_i64();
   const auto wid = r.get_i32();
   auto val = r.get_string();
@@ -92,10 +94,11 @@ std::optional<message> decode_message(byte_reader& r) {
   const auto rcounter = r.get_u64();
   auto sig = r.get_bytes();
   const auto origin = decode_process_id(r);
-  if (!ts || !wid || !val || !prev || !seen_bits || !rcounter || !sig ||
-      !origin) {
+  if (!obj || !ts || !wid || !val || !prev || !seen_bits || !rcounter ||
+      !sig || !origin) {
     return std::nullopt;
   }
+  m.obj = *obj;
   m.ts = *ts;
   m.wid = *wid;
   m.val = std::move(*val);

@@ -40,6 +40,11 @@ enum class msg_type : std::uint8_t {
 struct message {
   msg_type type{msg_type::read_req};
 
+  /// Which register object this message belongs to. The single-register
+  /// deployments leave it at k_default_object; the store (src/store)
+  /// multiplexes many objects over one transport and demultiplexes on it.
+  object_id obj{k_default_object};
+
   /// Timestamp number. 0 is the initial timestamp whose value is bottom.
   ts_t ts{k_initial_ts};
   /// Writer id for MWMR lexicographic timestamps; 0 in single-writer runs.

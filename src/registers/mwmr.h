@@ -93,6 +93,7 @@ class mwmr_reader final : public automaton, public reader_iface {
 class mwmr_protocol final : public protocol {
  public:
   [[nodiscard]] std::string name() const override { return "mwmr"; }
+  [[nodiscard]] bool multi_writer() const override { return true; }
   [[nodiscard]] bool feasible(const system_config& cfg) const override {
     return majority_feasible(cfg.S(), cfg.t());
   }
@@ -113,6 +114,7 @@ class mwmr_protocol final : public protocol {
 class naive_fast_mwmr_protocol final : public protocol {
  public:
   [[nodiscard]] std::string name() const override { return "naive_fast_mwmr"; }
+  [[nodiscard]] bool multi_writer() const override { return true; }
   [[nodiscard]] bool feasible(const system_config& cfg) const override {
     // Claims feasibility whenever a majority is correct; Proposition 11
     // shows the claim is false (the protocol is not atomic).
@@ -139,6 +141,7 @@ class naive_fast_mwmr_lww_protocol final : public protocol {
   [[nodiscard]] std::string name() const override {
     return "naive_fast_mwmr_lww";
   }
+  [[nodiscard]] bool multi_writer() const override { return true; }
   [[nodiscard]] bool feasible(const system_config& cfg) const override {
     return majority_feasible(cfg.S(), cfg.t());
   }

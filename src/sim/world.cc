@@ -63,7 +63,17 @@ writer_iface* world::writer(std::uint32_t i) {
 // --------------------------------------------------------------- sending --
 
 void world::send(const process_id& to, message m) {
-  outbox_.emplace_back(to, std::move(m));
+  outbox_.push_back({to, std::move(m), {}});
+}
+
+void world::send_batch(const process_id& to, std::vector<message> msgs) {
+  FASTREG_EXPECTS(!msgs.empty());
+  outbox_entry e;
+  e.to = to;
+  e.first = std::move(msgs.front());
+  e.tail.assign(std::make_move_iterator(msgs.begin() + 1),
+                std::make_move_iterator(msgs.end()));
+  outbox_.push_back(std::move(e));
 }
 
 void world::flush_sends(const process_id& from) {
@@ -78,12 +88,14 @@ void world::flush_sends(const process_id& from) {
     envelope env;
     env.id = next_envelope_id_++;
     env.from = from;
-    env.to = outbox_[i].first;
-    env.msg = std::move(outbox_[i].second);
+    env.to = outbox_[i].to;
+    env.msg = std::move(outbox_[i].first);
+    env.tail = std::move(outbox_[i].tail);
     env.sent_at = now_;
     env.due_at = 0;
+    sent_count_ += env.message_count();
+    ++envelopes_sent_;
     mset_.push_back(std::move(env));
-    ++sent_count_;
   }
   outbox_.clear();
 }
@@ -116,6 +128,14 @@ void world::invoke_read(std::uint32_t reader_index) {
   st.op_index = history_.begin_op(rid, /*is_write=*/false, now_);
   r->invoke_read(*this);
   flush_sends(rid);
+}
+
+void world::invoke_step(const process_id& p,
+                        const std::function<void(netout&)>& fn) {
+  FASTREG_EXPECTS(!crashed_.contains(p));
+  ++now_;
+  fn(*this);
+  flush_sends(p);
 }
 
 bool world::client_busy(const process_id& p) {
@@ -153,9 +173,18 @@ void world::poll_completion(const process_id& p) {
 // -------------------------------------------------------- manual driving --
 
 void world::do_step(const process_id& to, const envelope& env) {
-  procs_[index_of(to)]->on_message(*this, env.from, env.msg);
+  auto& a = *procs_[index_of(to)];
+  if (env.tail.empty()) {
+    a.on_message(*this, env.from, env.msg);
+  } else {
+    std::vector<message> all;
+    all.reserve(env.message_count());
+    all.push_back(env.msg);
+    all.insert(all.end(), env.tail.begin(), env.tail.end());
+    a.on_batch(*this, env.from, all);
+  }
   flush_sends(to);
-  ++delivered_count_;
+  delivered_count_ += env.message_count();
   poll_completion(to);
 }
 
@@ -271,6 +300,7 @@ world world::fork() const {
   w.history_ = history_;
   w.sent_count_ = sent_count_;
   w.delivered_count_ = delivered_count_;
+  w.envelopes_sent_ = envelopes_sent_;
   return w;
 }
 

@@ -38,21 +38,30 @@
 #include <vector>
 
 #include "checker/history.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "registers/automaton.h"
 
 namespace fastreg::sim {
 
-/// A message in transit (an element of the paper's mset).
+/// A message in transit (an element of the paper's mset). A batched send
+/// (netout::send_batch) travels as ONE envelope: `msg` holds the first
+/// message and `tail` the rest, so the whole batch costs a single latency
+/// sample and a single delivery step -- the simulator's model of the
+/// per-packet overhead batching amortizes. Register protocols never
+/// batch, so adversary code matching on `msg` is unaffected.
 struct envelope {
   std::uint64_t id{0};
   process_id from{};
   process_id to{};
   message msg{};
+  std::vector<message> tail{};
   /// Logical time the message was sent.
   std::uint64_t sent_at{0};
   /// Delivery due time; assigned by run_timed, ignored by other drivers.
   std::uint64_t due_at{0};
+
+  [[nodiscard]] std::size_t message_count() const { return 1 + tail.size(); }
 };
 
 /// Per-message latency model for run_timed.
@@ -63,10 +72,14 @@ class delay_model {
                                const process_id& to) = 0;
 };
 
-/// Uniform latency in [lo, hi] time units.
+/// Uniform latency in [lo, hi] time units. Degenerate ranges are caught at
+/// construction: lo > hi would otherwise wrap hi - lo + 1 and sample from
+/// almost the whole uint64 range. lo == hi is valid (constant delay).
 class uniform_delay final : public delay_model {
  public:
-  uniform_delay(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {}
+  uniform_delay(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {
+    FASTREG_EXPECTS(lo <= hi);
+  }
   std::uint64_t sample(rng& r, const process_id&, const process_id&) override {
     return lo_ + r.below(hi_ - lo_ + 1);
   }
@@ -107,6 +120,11 @@ class world final : public netout {
   [[nodiscard]] std::uint64_t messages_delivered() const {
     return delivered_count_;
   }
+  /// Transport units put in flight: a batched send counts once here but
+  /// message_count() times in messages_sent(). The gap is the batching win.
+  [[nodiscard]] std::uint64_t envelopes_sent() const {
+    return envelopes_sent_;
+  }
 
   // -------------------------------------------------------- invocations --
   /// Invokes a read on reader i; records the invocation in the history.
@@ -118,6 +136,13 @@ class world final : public netout {
   [[nodiscard]] bool client_busy(const process_id& p);
   /// Result of reader i's most recent completed read.
   [[nodiscard]] std::optional<read_result> last_read(std::uint32_t reader_index);
+
+  /// Runs `fn` as a locally-triggered step of process p (a client
+  /// invocation that is not a register read/write -- e.g. the store
+  /// front-end's get/put) and flushes p's sends into mset. Callers manage
+  /// their own histories and completion polling.
+  void invoke_step(const process_id& p,
+                   const std::function<void(netout&)>& fn);
 
   // ----------------------------------------------------- manual driving --
   /// Executes step <to, {m}> for the envelope with this id. Returns false
@@ -167,6 +192,7 @@ class world final : public netout {
 
   // netout (valid only inside a step; automata receive *this).
   void send(const process_id& to, message m) override;
+  void send_batch(const process_id& to, std::vector<message> msgs) override;
 
  private:
   struct client_state {
@@ -191,10 +217,18 @@ class world final : public netout {
   checker::history history_;
   std::uint64_t sent_count_{0};
   std::uint64_t delivered_count_{0};
+  std::uint64_t envelopes_sent_{0};
 
   // Sends captured during the current step, flushed into mset_ afterwards
-  // (possibly truncated by an armed partial-broadcast crash).
-  std::vector<std::pair<process_id, message>> outbox_;
+  // (possibly truncated by an armed partial-broadcast crash). Each entry
+  // becomes one envelope; only batched sends pay for a tail vector, so
+  // the register protocols' single-message hot path stays allocation-free.
+  struct outbox_entry {
+    process_id to{};
+    message first{};
+    std::vector<message> tail{};
+  };
+  std::vector<outbox_entry> outbox_;
 };
 
 }  // namespace fastreg::sim

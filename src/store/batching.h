@@ -1,0 +1,68 @@
+// Outbound coalescing shared by the store's multiplexing automata.
+//
+// During one step (an invocation or a delivered envelope/frame), inner
+// per-object automata send through a tagging_netout, which stamps the
+// object id and parks the message in a batch_collector. At the end of the
+// step the collector flushes: all messages to one destination leave as a
+// single send_batch (one envelope on the simulator, one frame on TCP).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "registers/automaton.h"
+
+namespace fastreg::store {
+
+class batch_collector {
+ public:
+  void add(const process_id& to, message m) {
+    for (auto& [dest, msgs] : groups_) {
+      if (dest == to) {
+        msgs.push_back(std::move(m));
+        return;
+      }
+    }
+    groups_.emplace_back(to, std::vector<message>{std::move(m)});
+  }
+
+  /// Emits one send (or send_batch) per destination, in first-touch order
+  /// so simulator schedules stay deterministic, then resets.
+  void flush(netout& net) {
+    for (auto& [dest, msgs] : groups_) {
+      if (msgs.size() == 1) {
+        net.send(dest, std::move(msgs.front()));
+      } else {
+        net.send_batch(dest, std::move(msgs));
+      }
+    }
+    groups_.clear();
+  }
+
+  [[nodiscard]] bool empty() const { return groups_.empty(); }
+
+ private:
+  // Destinations per step are few (at most the fleet size): linear scan
+  // beats hashing and keeps flush order deterministic.
+  std::vector<std::pair<process_id, std::vector<message>>> groups_;
+};
+
+/// netout an inner per-object automaton sends through: stamps the object
+/// id on every outbound message and defers the actual send to the
+/// enclosing step's collector.
+class tagging_netout final : public netout {
+ public:
+  tagging_netout(batch_collector& out, object_id obj)
+      : out_(out), obj_(obj) {}
+
+  void send(const process_id& to, message m) override {
+    m.obj = obj_;
+    out_.add(to, std::move(m));
+  }
+
+ private:
+  batch_collector& out_;
+  object_id obj_;
+};
+
+}  // namespace fastreg::store

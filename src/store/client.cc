@@ -1,0 +1,128 @@
+#include "store/client.h"
+
+#include "common/check.h"
+
+namespace fastreg::store {
+
+client::client(std::shared_ptr<const shard_map> shards, process_id self)
+    : shards_(std::move(shards)), self_(self) {
+  FASTREG_EXPECTS(self_.is_reader() || self_.is_writer());
+}
+
+client::client(const client& o)
+    : shards_(o.shards_),
+      self_(o.self_),
+      pending_(o.pending_),
+      completions_(o.completions_),
+      completed_(o.completed_) {
+  // outbox_ is intentionally not copied: it is empty between steps, and
+  // clone() (world::fork) only runs between steps.
+  FASTREG_EXPECTS(o.outbox_.empty());
+  for (const auto& [obj, a] : o.objects_) {
+    objects_.emplace(obj, a->clone());
+  }
+}
+
+automaton& client::inner_for(object_id obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    const auto& proto = shards_->protocol_for_object(obj);
+    const auto& base = shards_->config().base;
+    auto a = self_.is_reader() ? proto.make_reader(base, self_.index)
+                               : proto.make_writer(base, self_.index);
+    it = objects_.emplace(obj, std::move(a)).first;
+  }
+  return *it->second;
+}
+
+void client::begin_get(const std::string& key) {
+  FASTREG_EXPECTS(self_.is_reader());
+  const object_id obj = key_object_id(key);
+  FASTREG_EXPECTS(!pending_.contains(obj));
+  auto& inner = inner_for(obj);
+  auto* r = as_reader(&inner);
+  FASTREG_ENSURES(r != nullptr);
+  pending_.emplace(obj, pending_op{key, false, r->reads_completed()});
+  tagging_netout tagged(outbox_, obj);
+  r->invoke_read(tagged);
+}
+
+void client::begin_put(const std::string& key, value_t v) {
+  FASTREG_EXPECTS(self_.is_writer());
+  const object_id obj = key_object_id(key);
+  FASTREG_EXPECTS(!pending_.contains(obj));
+  auto& inner = inner_for(obj);
+  auto* w = as_writer(&inner);
+  FASTREG_ENSURES(w != nullptr);
+  pending_.emplace(obj, pending_op{key, true, w->writes_completed()});
+  tagging_netout tagged(outbox_, obj);
+  w->invoke_write(tagged, std::move(v));
+}
+
+void client::flush(netout& net) { outbox_.flush(net); }
+
+std::vector<store_result> client::take_completions() {
+  return std::exchange(completions_, {});
+}
+
+void client::poll_object(object_id obj) {
+  const auto it = pending_.find(obj);
+  if (it == pending_.end()) return;
+  const auto& op = it->second;
+  auto& inner = inner_for(obj);
+  store_result res;
+  res.key = op.key;
+  res.is_put = op.is_put;
+  if (op.is_put) {
+    auto* w = as_writer(&inner);
+    if (w->writes_completed() <= op.before) return;
+    res.rounds = w->last_write_rounds();
+  } else {
+    auto* r = as_reader(&inner);
+    if (r->reads_completed() <= op.before) return;
+    const auto& rr = r->last_read();
+    FASTREG_CHECK(rr.has_value());
+    res.ts = rr->ts;
+    res.wid = rr->wid;
+    res.val = rr->val;
+    res.rounds = rr->rounds;
+  }
+  completions_.push_back(std::move(res));
+  ++completed_;
+  pending_.erase(it);
+}
+
+void client::on_message(netout& net, const process_id& from,
+                        const message& m) {
+  tagging_netout tagged(outbox_, m.obj);
+  inner_for(m.obj).on_message(tagged, from, m);
+  flush(net);
+  poll_object(m.obj);
+}
+
+void client::on_batch(netout& net, const process_id& from,
+                      std::span<const message> msgs) {
+  std::vector<object_id> touched;
+  touched.reserve(msgs.size());
+  for (const auto& m : msgs) {
+    tagging_netout tagged(outbox_, m.obj);
+    inner_for(m.obj).on_message(tagged, from, m);
+    touched.push_back(m.obj);
+  }
+  // One flush for the whole batch: replies the k messages triggered
+  // coalesce into (at most) one envelope per destination.
+  flush(net);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    // Poll each object once even if the batch carried several messages
+    // for it.
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) seen = seen || touched[j] == touched[i];
+    if (!seen) poll_object(touched[i]);
+  }
+}
+
+std::unique_ptr<automaton> client::clone() const {
+  return std::unique_ptr<automaton>(new client(*this));
+}
+
+}  // namespace fastreg::store

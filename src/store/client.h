@@ -1,0 +1,112 @@
+// The store's client front-end: one process multiplexing per-object
+// reader or writer automata behind a get(key)/put(key, v) surface.
+//
+// Roles mirror the paper's client split: a reader-role client (process_id
+// role::reader) serves gets, a writer-role client serves puts. For
+// single-writer shard protocols the writer-role client 0 is the sole
+// writer of every object, which preserves each protocol's correctness
+// argument unchanged.
+//
+// Pipelining: well-formedness (one outstanding op per client) applies per
+// OBJECT, because each object is an independent register with its own
+// automaton. A client may therefore keep one op in flight on each of many
+// distinct keys; all requests started before one flush() leave as batched
+// envelopes (see batching.h), which is where the store's transport win
+// comes from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/batching.h"
+#include "store/shard_map.h"
+
+namespace fastreg::store {
+
+/// Result of one completed store operation, as observed by the client.
+struct store_result {
+  std::string key{};
+  bool is_put{false};
+  ts_t ts{k_initial_ts};
+  std::int32_t wid{0};
+  value_t val{};
+  /// Communication round-trips the underlying register op used.
+  int rounds{0};
+};
+
+class client final : public automaton, public async_client_iface {
+ public:
+  client(std::shared_ptr<const shard_map> shards, process_id self);
+  client(const client& o);
+  client& operator=(const client&) = delete;
+
+  // ------------------------------------------------------------ front-end --
+  // Call within an invocation step (world::invoke_step / node::blocking_op):
+  // begin one or more ops on DISTINCT keys, then flush() exactly once.
+
+  /// Starts a read of `key` (reader-role clients only). Precondition: no
+  /// op pending on this key.
+  void begin_get(const std::string& key);
+  /// Starts a write of `key` (writer-role clients only). Precondition: no
+  /// op pending on this key.
+  void begin_put(const std::string& key, value_t v);
+  /// Sends everything the begun ops produced, coalesced per destination.
+  void flush(netout& net);
+
+  /// Completed ops since the last call, in completion order.
+  [[nodiscard]] std::vector<store_result> take_completions();
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  /// True while an op on `key` is in flight (e.g. orphaned by a driver
+  /// timeout); begin_get/begin_put on such a key would violate their
+  /// precondition.
+  [[nodiscard]] bool has_pending(const std::string& key) const {
+    return pending_.contains(key_object_id(key));
+  }
+
+  // async_client_iface
+  [[nodiscard]] bool op_in_progress() const override {
+    return !pending_.empty();
+  }
+  [[nodiscard]] std::uint64_t ops_completed() const override {
+    return completed_;
+  }
+
+  // automaton
+  void on_message(netout& net, const process_id& from,
+                  const message& m) override;
+  void on_batch(netout& net, const process_id& from,
+                std::span<const message> msgs) override;
+  [[nodiscard]] std::unique_ptr<automaton> clone() const override;
+  [[nodiscard]] process_id self() const override { return self_; }
+
+  /// Distinct objects this client has touched (diagnostic).
+  [[nodiscard]] std::size_t objects_hosted() const { return objects_.size(); }
+
+ private:
+  automaton& inner_for(object_id obj);
+  void poll_object(object_id obj);
+
+  std::shared_ptr<const shard_map> shards_;
+  process_id self_;
+  std::unordered_map<object_id, std::unique_ptr<automaton>> objects_;
+
+  struct pending_op {
+    std::string key{};
+    bool is_put{false};
+    /// Inner completion counter snapshot at invocation.
+    std::uint64_t before{0};
+  };
+  std::unordered_map<object_id, pending_op> pending_;
+  batch_collector outbox_;
+  std::vector<store_result> completions_;
+  std::uint64_t completed_{0};
+};
+
+[[nodiscard]] inline client* as_store_client(automaton* a) {
+  return dynamic_cast<client*>(a);
+}
+
+}  // namespace fastreg::store

@@ -1,0 +1,31 @@
+#include "store/histories.h"
+
+namespace fastreg::store {
+
+std::size_t store_histories::total_ops() const {
+  std::size_t n = 0;
+  for (const auto& [key, h] : by_key_) n += h.size();
+  return n;
+}
+
+bool store_histories::all_complete() const {
+  for (const auto& [key, h] : by_key_) {
+    for (const auto& op : h.ops()) {
+      if (!op.response_time.has_value()) return false;
+    }
+  }
+  return true;
+}
+
+checker::check_result store_histories::verify(bool multi_writer) const {
+  for (const auto& [key, h] : by_key_) {
+    const auto res = multi_writer ? checker::check_linearizable(h)
+                                  : checker::check_swmr_atomicity(h);
+    if (!res.ok) {
+      return {false, "key \"" + key + "\": " + res.error};
+    }
+  }
+  return {};
+}
+
+}  // namespace fastreg::store

@@ -1,0 +1,43 @@
+// Per-key operation histories: the store's drivers record every get/put
+// into the history of the key it touched, so checker::atomicity verifies
+// each object independently (atomicity is closed under composition for
+// independent registers, so per-object checks imply store-wide
+// correctness).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "checker/atomicity.h"
+#include "checker/history.h"
+
+namespace fastreg::store {
+
+class store_histories {
+ public:
+  /// History for `key`, created empty on first touch.
+  [[nodiscard]] checker::history& for_key(const std::string& key) {
+    return by_key_[key];
+  }
+
+  /// Ordered by key, so iteration (and failure reports) are deterministic.
+  [[nodiscard]] const std::map<std::string, checker::history>& all() const {
+    return by_key_;
+  }
+
+  [[nodiscard]] std::size_t key_count() const { return by_key_.size(); }
+  [[nodiscard]] std::size_t total_ops() const;
+  [[nodiscard]] bool all_complete() const;
+
+  /// Runs the per-object checker on every key's history: the exact
+  /// single-writer check when `multi_writer` is false, the general
+  /// linearizability search (exponential; keep per-key histories small)
+  /// otherwise. Returns the first failure annotated with its key.
+  [[nodiscard]] checker::check_result verify(bool multi_writer = false) const;
+
+ private:
+  std::map<std::string, checker::history> by_key_;
+};
+
+}  // namespace fastreg::store

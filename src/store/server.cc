@@ -1,0 +1,49 @@
+#include "store/server.h"
+
+#include "common/check.h"
+
+namespace fastreg::store {
+
+server::server(std::shared_ptr<const shard_map> shards, std::uint32_t index)
+    : shards_(std::move(shards)), index_(index) {}
+
+server::server(const server& o) : shards_(o.shards_), index_(o.index_) {
+  FASTREG_EXPECTS(o.outbox_.empty());
+  for (const auto& [obj, a] : o.objects_) {
+    objects_.emplace(obj, a->clone());
+  }
+}
+
+automaton& server::inner_for(object_id obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    const auto& proto = shards_->protocol_for_object(obj);
+    it = objects_
+             .emplace(obj,
+                      proto.make_server(shards_->config().base, index_))
+             .first;
+  }
+  return *it->second;
+}
+
+void server::on_message(netout& net, const process_id& from,
+                        const message& m) {
+  tagging_netout tagged(outbox_, m.obj);
+  inner_for(m.obj).on_message(tagged, from, m);
+  outbox_.flush(net);
+}
+
+void server::on_batch(netout& net, const process_id& from,
+                      std::span<const message> msgs) {
+  for (const auto& m : msgs) {
+    tagging_netout tagged(outbox_, m.obj);
+    inner_for(m.obj).on_message(tagged, from, m);
+  }
+  outbox_.flush(net);
+}
+
+std::unique_ptr<automaton> server::clone() const {
+  return std::unique_ptr<automaton>(new server(*this));
+}
+
+}  // namespace fastreg::store

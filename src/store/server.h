@@ -1,0 +1,42 @@
+// The store's server automaton: one process hosting per-object server
+// automata, created lazily on first traffic for an object. Replies
+// triggered by one delivered batch coalesce into batched envelopes (one
+// per destination), so a client that pipelined k ops gets its k acks back
+// in a single transport unit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "store/batching.h"
+#include "store/shard_map.h"
+
+namespace fastreg::store {
+
+class server final : public automaton {
+ public:
+  server(std::shared_ptr<const shard_map> shards, std::uint32_t index);
+  server(const server& o);
+  server& operator=(const server&) = delete;
+
+  void on_message(netout& net, const process_id& from,
+                  const message& m) override;
+  void on_batch(netout& net, const process_id& from,
+                std::span<const message> msgs) override;
+  [[nodiscard]] std::unique_ptr<automaton> clone() const override;
+  [[nodiscard]] process_id self() const override { return server_id(index_); }
+
+  /// Distinct objects this server hosts (diagnostic).
+  [[nodiscard]] std::size_t objects_hosted() const { return objects_.size(); }
+
+ private:
+  automaton& inner_for(object_id obj);
+
+  std::shared_ptr<const shard_map> shards_;
+  std::uint32_t index_;
+  std::unordered_map<object_id, std::unique_ptr<automaton>> objects_;
+  batch_collector outbox_;
+};
+
+}  // namespace fastreg::store

@@ -1,0 +1,70 @@
+// Key -> object -> shard -> protocol routing for the multi-object store.
+//
+// The store multiplexes many independent register objects over one shared
+// set of server processes. Every participant derives the same routing from
+// the store_config alone, with no coordination:
+//
+//   object id  = fnv1a64(key)           (what messages carry on the wire)
+//   shard      = object id % num_shards
+//   protocol   = shard_protocols[shard % shard_protocols.size()]
+//
+// Per-shard protocol selection lets hot read-mostly shards run fast_swmr
+// while contended shards run abd/mwmr, inside one deployment.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registers/automaton.h"
+
+namespace fastreg::store {
+
+struct store_config {
+  /// Per-object protocol instantiation parameters (S, t, b, R, W). Every
+  /// object shares the same server fleet and client population.
+  system_config base{};
+  std::uint32_t num_shards{1};
+  /// Registry names, assigned to shards round-robin. Single-writer shard
+  /// protocols require base.W() == 1 (one writer client owns every key).
+  std::vector<std::string> shard_protocols{{"abd"}};
+
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] inline object_id key_object_id(const std::string& key) {
+  return fnv1a64(key);
+}
+
+/// Resolved routing table: owns one protocol instance per shard. Immutable
+/// after construction and safe to share (const) across node threads.
+class shard_map {
+ public:
+  explicit shard_map(store_config cfg);
+
+  [[nodiscard]] const store_config& config() const { return cfg_; }
+  [[nodiscard]] std::uint32_t num_shards() const { return cfg_.num_shards; }
+
+  [[nodiscard]] std::uint32_t shard_of_object(object_id obj) const {
+    return static_cast<std::uint32_t>(obj % cfg_.num_shards);
+  }
+  [[nodiscard]] std::uint32_t shard_of_key(const std::string& key) const {
+    return shard_of_object(key_object_id(key));
+  }
+
+  [[nodiscard]] const protocol& protocol_for_shard(std::uint32_t shard) const;
+  [[nodiscard]] const protocol& protocol_for_object(object_id obj) const {
+    return protocol_for_shard(shard_of_object(obj));
+  }
+
+  /// True when every shard protocol is multi-writer capable; single-writer
+  /// protocols silently collapse all writers onto writer 0, so the store
+  /// rejects W > 1 unless this holds.
+  [[nodiscard]] bool all_multi_writer() const;
+
+ private:
+  store_config cfg_;
+  std::vector<std::unique_ptr<protocol>> protos_;  // one per shard
+};
+
+}  // namespace fastreg::store

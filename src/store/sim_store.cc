@@ -1,0 +1,126 @@
+#include "store/sim_store.h"
+
+#include "common/check.h"
+
+namespace fastreg::store {
+
+sim_store::sim_store(store_config cfg)
+    : proto_(std::move(cfg)), world_(proto_.config().base) {
+  world_.install(proto_);
+}
+
+client& sim_store::client_at(const process_id& p) {
+  auto* c = as_store_client(world_.get(p));
+  FASTREG_ENSURES(c != nullptr);
+  return *c;
+}
+
+client& sim_store::reader_client(std::uint32_t i) {
+  return client_at(reader_id(i));
+}
+
+client& sim_store::writer_client(std::uint32_t i) {
+  return client_at(writer_id(i));
+}
+
+void sim_store::record_invoke(const process_id& p, const std::string& key,
+                              bool is_put, const value_t& v) {
+  open_[p][key] =
+      hist_.for_key(key).begin_op(p, is_put, world_.now(), v);
+}
+
+void sim_store::invoke_get(std::uint32_t reader_index,
+                           const std::string& key) {
+  invoke_get_batch(reader_index, std::span<const std::string>(&key, 1));
+}
+
+void sim_store::invoke_put(std::uint32_t writer_index, const std::string& key,
+                           value_t v) {
+  const std::pair<std::string, value_t> kv{key, std::move(v)};
+  invoke_put_batch(writer_index,
+                   std::span<const std::pair<std::string, value_t>>(&kv, 1));
+}
+
+void sim_store::invoke_get_batch(std::uint32_t reader_index,
+                                 std::span<const std::string> keys) {
+  const process_id p = reader_id(reader_index);
+  auto& c = client_at(p);
+  world_.invoke_step(p, [&](netout& net) {
+    for (const auto& key : keys) {
+      record_invoke(p, key, /*is_put=*/false, {});
+      c.begin_get(key);
+    }
+    c.flush(net);
+  });
+}
+
+void sim_store::invoke_put_batch(
+    std::uint32_t writer_index,
+    std::span<const std::pair<std::string, value_t>> kvs) {
+  const process_id p = writer_id(writer_index);
+  auto& c = client_at(p);
+  world_.invoke_step(p, [&](netout& net) {
+    for (const auto& [key, v] : kvs) {
+      record_invoke(p, key, /*is_put=*/true, v);
+      c.begin_put(key, v);
+    }
+    c.flush(net);
+  });
+}
+
+void sim_store::drain_completions() {
+  const auto& cfg = proto_.config().base;
+  for (std::uint32_t role = 0; role < 2; ++role) {
+    const bool writers = role == 0;
+    const std::uint32_t count = writers ? cfg.W() : cfg.R();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const process_id p = writers ? writer_id(i) : reader_id(i);
+      for (auto& res : client_at(p).take_completions()) {
+        auto& open_for_p = open_[p];
+        const auto it = open_for_p.find(res.key);
+        FASTREG_CHECK(it != open_for_p.end());
+        auto& h = hist_.for_key(res.key);
+        if (res.is_put) {
+          h.complete_write(it->second, world_.now(), res.rounds);
+        } else {
+          h.complete_read(it->second, world_.now(), res.ts, res.wid,
+                          res.val, res.rounds);
+        }
+        open_for_p.erase(it);
+      }
+    }
+  }
+}
+
+std::uint64_t sim_store::run_random(rng& r, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (steps < max_steps && world_.run_random(r, 1) == 1) {
+    ++steps;
+    drain_completions();
+  }
+  return steps;
+}
+
+std::uint64_t sim_store::run_timed(rng& r, sim::delay_model& delays,
+                                   std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (steps < max_steps && world_.run_timed(r, delays, 1) == 1) {
+    ++steps;
+    drain_completions();
+  }
+  return steps;
+}
+
+bool sim_store::idle() {
+  if (!world_.in_transit().empty()) return false;
+  const auto& cfg = proto_.config().base;
+  for (std::uint32_t i = 0; i < cfg.W(); ++i) {
+    if (writer_client(i).op_in_progress()) return false;
+  }
+  for (std::uint32_t i = 0; i < cfg.R(); ++i) {
+    if (reader_client(i).op_in_progress()) return false;
+  }
+  return true;
+}
+
+}  // namespace fastreg::store

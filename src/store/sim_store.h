@@ -1,0 +1,78 @@
+// Deterministic simulator deployment of the store: installs store client
+// and server automata into a sim::world, drives invocations through
+// world::invoke_step, and demultiplexes every completed get/put into
+// per-key histories.
+//
+// Scheduling is delegated to the world (random or timed), one step at a
+// time so completions are harvested as they happen; the usual drivers
+// (adversary surgery, crash injection) keep working on the underlying
+// world.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/world.h"
+#include "store/histories.h"
+#include "store/store.h"
+
+namespace fastreg::store {
+
+class sim_store {
+ public:
+  explicit sim_store(store_config cfg);
+
+  [[nodiscard]] sim::world& world() { return world_; }
+  [[nodiscard]] const store_config& config() const {
+    return proto_.config();
+  }
+  [[nodiscard]] const shard_map& shards() const { return *proto_.shards(); }
+
+  [[nodiscard]] client& reader_client(std::uint32_t i);
+  [[nodiscard]] client& writer_client(std::uint32_t i);
+
+  // ----------------------------------------------------------- invocations --
+  void invoke_get(std::uint32_t reader_index, const std::string& key);
+  void invoke_put(std::uint32_t writer_index, const std::string& key,
+                  value_t v);
+  /// Pipelined invocations: every op starts in ONE step, so the requests
+  /// leave as batched envelopes (one per server). Keys must be distinct
+  /// and op-free.
+  void invoke_get_batch(std::uint32_t reader_index,
+                        std::span<const std::string> keys);
+  void invoke_put_batch(
+      std::uint32_t writer_index,
+      std::span<const std::pair<std::string, value_t>> kvs);
+
+  // ------------------------------------------------------------- schedules --
+  /// Single-step wrappers around the world's schedules that harvest store
+  /// completions after every step. Return the number of steps executed.
+  std::uint64_t run_random(rng& r, std::uint64_t max_steps = 1'000'000);
+  std::uint64_t run_timed(rng& r, sim::delay_model& delays,
+                          std::uint64_t max_steps = 1'000'000);
+
+  /// True when no client has an op in flight and no message is in transit.
+  [[nodiscard]] bool idle();
+
+  /// Completes history records for everything the clients finished.
+  void drain_completions();
+
+  [[nodiscard]] const store_histories& histories() const { return hist_; }
+
+ private:
+  client& client_at(const process_id& p);
+  void record_invoke(const process_id& p, const std::string& key,
+                     bool is_put, const value_t& v);
+
+  store_protocol proto_;
+  sim::world world_;
+  store_histories hist_;
+  /// Open op index per (client, key), for completing history records.
+  std::unordered_map<process_id,
+                     std::unordered_map<std::string, std::size_t>>
+      open_;
+};
+
+}  // namespace fastreg::store

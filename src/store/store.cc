@@ -1,0 +1,50 @@
+#include "store/store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fastreg::store {
+
+bool store_protocol::feasible(const system_config& cfg) const {
+  for (std::uint32_t s = 0; s < shards_->num_shards(); ++s) {
+    if (!shards_->protocol_for_shard(s).feasible(cfg)) return false;
+  }
+  return true;
+}
+
+int store_protocol::read_rounds() const {
+  int rounds = 1;
+  for (std::uint32_t s = 0; s < shards_->num_shards(); ++s) {
+    rounds = std::max(rounds, shards_->protocol_for_shard(s).read_rounds());
+  }
+  return rounds;
+}
+
+int store_protocol::write_rounds() const {
+  int rounds = 1;
+  for (std::uint32_t s = 0; s < shards_->num_shards(); ++s) {
+    rounds = std::max(rounds, shards_->protocol_for_shard(s).write_rounds());
+  }
+  return rounds;
+}
+
+std::unique_ptr<automaton> store_protocol::make_writer(
+    const system_config& cfg, std::uint32_t index) const {
+  FASTREG_EXPECTS(cfg.W() == shards_->config().base.W());
+  return std::make_unique<client>(shards_, writer_id(index));
+}
+
+std::unique_ptr<automaton> store_protocol::make_reader(
+    const system_config& cfg, std::uint32_t index) const {
+  FASTREG_EXPECTS(cfg.R() == shards_->config().base.R());
+  return std::make_unique<client>(shards_, reader_id(index));
+}
+
+std::unique_ptr<automaton> store_protocol::make_server(
+    const system_config& cfg, std::uint32_t index) const {
+  FASTREG_EXPECTS(cfg.S() == shards_->config().base.S());
+  return std::make_unique<server>(shards_, index);
+}
+
+}  // namespace fastreg::store

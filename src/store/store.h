@@ -1,0 +1,49 @@
+// store_protocol: presents the whole multi-object store as one `protocol`
+// so the existing deployment machinery -- sim::world::install and
+// net::cluster -- hosts it unchanged. make_writer/make_reader yield store
+// client front-ends, make_server yields the multiplexing store server;
+// all share one resolved shard_map.
+#pragma once
+
+#include <memory>
+
+#include "store/client.h"
+#include "store/server.h"
+#include "store/shard_map.h"
+
+namespace fastreg::store {
+
+class store_protocol final : public protocol {
+ public:
+  explicit store_protocol(store_config cfg)
+      : shards_(std::make_shared<shard_map>(std::move(cfg))) {}
+
+  [[nodiscard]] std::string name() const override { return "store"; }
+
+  /// The store is usable iff every shard protocol is.
+  [[nodiscard]] bool feasible(const system_config& cfg) const override;
+
+  /// Worst case across shards: a mix of fast and two-round shards is a
+  /// two-round store as far as upper bounds go.
+  [[nodiscard]] int read_rounds() const override;
+  [[nodiscard]] int write_rounds() const override;
+
+  [[nodiscard]] std::unique_ptr<automaton> make_writer(
+      const system_config& cfg, std::uint32_t index) const override;
+  [[nodiscard]] std::unique_ptr<automaton> make_reader(
+      const system_config& cfg, std::uint32_t index) const override;
+  [[nodiscard]] std::unique_ptr<automaton> make_server(
+      const system_config& cfg, std::uint32_t index) const override;
+
+  [[nodiscard]] const std::shared_ptr<const shard_map>& shards() const {
+    return shards_;
+  }
+  [[nodiscard]] const store_config& config() const {
+    return shards_->config();
+  }
+
+ private:
+  std::shared_ptr<const shard_map> shards_;
+};
+
+}  // namespace fastreg::store

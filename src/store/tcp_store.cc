@@ -1,0 +1,162 @@
+#include "store/tcp_store.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace fastreg::store {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+tcp_store::tcp_store(store_config cfg)
+    : proto_(std::move(cfg)), cluster_(proto_.config().base, proto_) {}
+
+std::optional<std::vector<store_result>> tcp_store::run_ops(
+    net::node& n, const process_id& client_pid,
+    const std::vector<std::pair<std::string, value_t>>& kvs, bool is_put,
+    std::chrono::milliseconds timeout) {
+  FASTREG_EXPECTS(!kvs.empty());
+  const std::uint64_t t0 = now_ns();
+  // Keys whose previous op timed out and is still in flight cannot be
+  // re-begun (precondition); skip them -- the call reports failure but
+  // the process must not abort on the reactor thread.
+  auto skipped = std::make_shared<std::vector<std::string>>();
+  const bool wait_ok = n.blocking_op(
+      [&kvs, is_put, skipped](automaton& a, netout& net) {
+        auto& c = dynamic_cast<client&>(a);
+        for (const auto& [key, v] : kvs) {
+          if (c.has_pending(key)) {
+            skipped->push_back(key);
+            continue;
+          }
+          if (is_put) {
+            c.begin_put(key, v);
+          } else {
+            c.begin_get(key);
+          }
+        }
+        c.flush(net);
+      },
+      timeout);
+  // Harvest whatever completed, on the reactor thread so late server acks
+  // cannot race the drain. The haul may include stale completions of ops
+  // a previous timed-out call abandoned.
+  std::vector<store_result> results;
+  n.run_on_reactor([&results](automaton& a) {
+    results = dynamic_cast<client&>(a).take_completions();
+  });
+  const std::uint64_t t1 = now_ns();
+
+  std::lock_guard<std::mutex> lk(mu_);
+  // Log this call's started ops first (incomplete), remembering their
+  // indices so stale completions can be told apart from fresh ones.
+  // Skipped keys are NOT logged: no protocol op ran, and their abandoned
+  // older entry is still the open op for that (client, key).
+  std::vector<std::size_t> started;
+  started.reserve(kvs.size());
+  for (const auto& [key, v] : kvs) {
+    if (std::find(skipped->begin(), skipped->end(), key) !=
+        skipped->end()) {
+      continue;
+    }
+    raw_op op;
+    op.key = key;
+    op.client = client_pid;
+    op.is_put = is_put;
+    op.t0 = t0;
+    if (is_put) op.val = v;
+    log_.push_back(std::move(op));
+    started.push_back(log_.size() - 1);
+    open_[{client_pid, key}].push_back(log_.size() - 1);
+  }
+  // Match completions to the EARLIEST incomplete log entry for their
+  // (client, key): a stale completion closes the abandoned older entry,
+  // a fresh one closes this call's.
+  std::vector<store_result> fresh;
+  for (auto& r : results) {
+    const auto open_it = open_.find({client_pid, r.key});
+    if (open_it == open_.end() || open_it->second.empty()) continue;
+    const std::size_t i = open_it->second.front();
+    open_it->second.pop_front();
+    if (open_it->second.empty()) open_.erase(open_it);
+    auto& op = log_[i];
+    op.t1 = t1;
+    op.ts = r.ts;
+    op.wid = r.wid;
+    if (!r.is_put) op.val = r.val;
+    op.rounds = r.rounds;
+    if (std::find(started.begin(), started.end(), i) != started.end()) {
+      fresh.push_back(std::move(r));
+    }
+  }
+  if (!wait_ok || !skipped->empty() || fresh.size() < started.size()) {
+    return std::nullopt;
+  }
+  return fresh;
+}
+
+std::optional<store_result> tcp_store::get(std::uint32_t reader_index,
+                                           const std::string& key,
+                                           std::chrono::milliseconds timeout) {
+  auto res = multi_get(reader_index, {key}, timeout);
+  if (!res || res->empty()) return std::nullopt;
+  return std::move(res->front());
+}
+
+bool tcp_store::put(std::uint32_t writer_index, const std::string& key,
+                    value_t v, std::chrono::milliseconds timeout) {
+  return multi_put(writer_index, {{key, std::move(v)}}, timeout);
+}
+
+std::optional<std::vector<store_result>> tcp_store::multi_get(
+    std::uint32_t reader_index, const std::vector<std::string>& keys,
+    std::chrono::milliseconds timeout) {
+  std::vector<std::pair<std::string, value_t>> kvs;
+  kvs.reserve(keys.size());
+  for (const auto& k : keys) kvs.emplace_back(k, value_t{});
+  return run_ops(cluster_.reader(reader_index), reader_id(reader_index), kvs,
+                 /*is_put=*/false, timeout);
+}
+
+bool tcp_store::multi_put(
+    std::uint32_t writer_index,
+    const std::vector<std::pair<std::string, value_t>>& kvs,
+    std::chrono::milliseconds timeout) {
+  return run_ops(cluster_.writer(writer_index), writer_id(writer_index), kvs,
+                 /*is_put=*/true, timeout)
+      .has_value();
+}
+
+store_histories tcp_store::gather() const {
+  std::vector<raw_op> log;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    log = log_;
+  }
+  std::sort(log.begin(), log.end(),
+            [](const raw_op& a, const raw_op& b) { return a.t0 < b.t0; });
+  store_histories out;
+  for (const auto& op : log) {
+    auto& h = out.for_key(op.key);
+    const auto idx = h.begin_op(op.client, op.is_put, op.t0,
+                                op.is_put ? op.val : value_t{});
+    if (!op.t1) continue;
+    if (op.is_put) {
+      h.complete_write(idx, *op.t1, op.rounds);
+    } else {
+      h.complete_read(idx, *op.t1, op.ts, op.wid, op.val, op.rounds);
+    }
+  }
+  return out;
+}
+
+}  // namespace fastreg::store

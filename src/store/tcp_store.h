@@ -1,0 +1,99 @@
+// Real-socket deployment of the store: a net::cluster hosting store
+// client/server automata, with blocking get/put/multi_get front-ends and
+// per-key history gathering.
+//
+// Threading contract: at most one blocking operation at a time per client
+// index (same rule as node::blocking_read); different client indices may
+// be driven from different threads concurrently. multi_get pipelines all
+// its keys in one reactor step, so requests and replies travel as batch
+// frames.
+//
+// Timeouts: a timed-out op may still be in flight; until it completes,
+// further ops on the same (client, key) fail fast (nullopt/false) rather
+// than abort, and a late completion closes the abandoned op's history
+// record instead of leaking into a later call's results.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/cluster.h"
+#include "store/histories.h"
+#include "store/store.h"
+
+namespace fastreg::store {
+
+class tcp_store {
+ public:
+  explicit tcp_store(store_config cfg);
+
+  void start() { cluster_.start(); }
+  void stop() { cluster_.stop(); }
+
+  [[nodiscard]] const store_config& config() const {
+    return proto_.config();
+  }
+  [[nodiscard]] net::cluster& cluster() { return cluster_; }
+
+  /// Blocking single-key ops. nullopt / false on timeout.
+  [[nodiscard]] std::optional<store_result> get(
+      std::uint32_t reader_index, const std::string& key,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  [[nodiscard]] bool put(
+      std::uint32_t writer_index, const std::string& key, value_t v,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  /// Pipelined read of several distinct keys issued in ONE step (batched
+  /// on the wire). Returns completion-ordered results, or nullopt if any
+  /// key timed out (partial completions are still recorded in histories).
+  [[nodiscard]] std::optional<std::vector<store_result>> multi_get(
+      std::uint32_t reader_index, const std::vector<std::string>& keys,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  /// Pipelined write of several distinct keys issued in ONE step.
+  [[nodiscard]] bool multi_put(
+      std::uint32_t writer_index,
+      const std::vector<std::pair<std::string, value_t>>& kvs,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  /// Per-key histories of everything invoked so far, rebuilt in
+  /// invocation-time order (steady-clock nanoseconds, one machine, so
+  /// cross-node ordering is meaningful). Thread-safe.
+  [[nodiscard]] store_histories gather() const;
+
+ private:
+  struct raw_op {
+    std::string key{};
+    process_id client{};
+    bool is_put{false};
+    std::uint64_t t0{0};
+    std::optional<std::uint64_t> t1{};
+    ts_t ts{k_initial_ts};
+    std::int32_t wid{0};
+    value_t val{};
+    int rounds{0};
+  };
+
+  std::optional<std::vector<store_result>> run_ops(
+      net::node& n, const process_id& client,
+      const std::vector<std::pair<std::string, value_t>>& kvs, bool is_put,
+      std::chrono::milliseconds timeout);
+
+  store_protocol proto_;
+  net::cluster cluster_;
+  mutable std::mutex mu_;
+  std::vector<raw_op> log_;
+  /// Indices of incomplete log_ entries per (client, key), oldest first,
+  /// so completions match their op in O(log n) instead of rescanning the
+  /// whole append-only log.
+  std::map<std::pair<process_id, std::string>, std::deque<std::size_t>>
+      open_;
+};
+
+}  // namespace fastreg::store

@@ -98,6 +98,36 @@ TEST(Fmt, Precision) {
   EXPECT_EQ(benchutil::fmt(7.0, 0), "7");
 }
 
+TEST(StatsDeath, PercentileOutsideDomainAborts) {
+  benchutil::stats s;
+  s.add(1.0);
+  EXPECT_DEATH((void)s.percentile(-1), "precondition");
+  EXPECT_DEATH((void)s.percentile(100.5), "precondition");
+}
+
+TEST(Stats, SingleSampleDegeneratePercentiles) {
+  benchutil::stats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+// -------------------------------------------------------------- delays
+
+TEST(UniformDelay, ConstantWhenLoEqualsHi) {
+  sim::uniform_delay d(100, 100);
+  rng r(1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(d.sample(r, writer_id(0), server_id(0)), 100u);
+  }
+}
+
+TEST(UniformDelayDeath, InvertedRangeAborts) {
+  // lo > hi would wrap hi - lo + 1 and sample near-uint64 delays.
+  EXPECT_DEATH(sim::uniform_delay(5, 2), "precondition");
+}
+
 // ------------------------------------------------------------------ table
 
 TEST(Table, AlignsColumns) {

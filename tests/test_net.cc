@@ -29,6 +29,7 @@ TEST(Framing, HelloRoundTrip) {
 TEST(Framing, MessageRoundTrip) {
   message m;
   m.type = msg_type::read_ack;
+  m.obj = 0xdeadbeefcafef00dull;
   m.ts = 42;
   m.val = "value";
   m.prev = "previous";
@@ -86,6 +87,82 @@ TEST(Framing, MalformedPayloadCountedAndSkipped) {
   ASSERT_TRUE(f.has_value());
   EXPECT_EQ(f->kind, frame_kind::hello);
   EXPECT_GE(fb.malformed_count(), 1u);
+}
+
+TEST(Framing, BatchFrameRoundTrip) {
+  std::vector<message> msgs(3);
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].type = msg_type::read_ack;
+    msgs[i].obj = 1000 + i;
+    msgs[i].ts = static_cast<ts_t>(i);
+    msgs[i].val = "v" + std::to_string(i);
+  }
+  const auto bytes = encode_batch_frame(server_id(1), msgs);
+  frame_buffer fb;
+  fb.feed(bytes.data(), bytes.size());
+  const auto f = fb.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, frame_kind::batch);
+  EXPECT_EQ(f->from, server_id(1));
+  ASSERT_EQ(f->batch.size(), 3u);
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(f->batch[i], msgs[i]);
+  }
+  EXPECT_FALSE(fb.next().has_value());
+}
+
+TEST(Framing, BatchIsOneFrameNotThree) {
+  std::vector<message> msgs(3);
+  const auto batched = encode_batch_frame(reader_id(0), msgs);
+  const auto single = encode_msg_frame(reader_id(0), msgs[0]);
+  // Per-message frame overhead (length, kind, sender) is paid once.
+  EXPECT_LT(batched.size(), 3 * single.size());
+}
+
+TEST(Framing, MalformedBatchCountedAndSkipped) {
+  // Claims 5 messages but carries none decodable.
+  byte_writer w;
+  encode_process_id(w, server_id(0));
+  w.put_u32(5);
+  w.put_u8(0xff);
+  std::vector<std::uint8_t> bytes;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(w.bytes().size() + 1);
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  bytes.push_back(static_cast<std::uint8_t>(frame_kind::batch));
+  bytes.insert(bytes.end(), w.bytes().begin(), w.bytes().end());
+  const auto good = encode_hello(writer_id(0));
+  bytes.insert(bytes.end(), good.begin(), good.end());
+  frame_buffer fb;
+  fb.feed(bytes.data(), bytes.size());
+  const auto f = fb.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, frame_kind::hello);
+  EXPECT_GE(fb.malformed_count(), 1u);
+}
+
+TEST(Framing, HostileBatchCountRejectedWithoutAllocating) {
+  // A batch frame whose count field claims ~payload-size messages must be
+  // rejected by the pre-allocation bound (reserving count * sizeof
+  // (message) would be gigabytes for a hostile count).
+  byte_writer w;
+  encode_process_id(w, server_id(0));
+  w.put_u32(0x00ffffffu);  // claims ~16M messages
+  for (int i = 0; i < 64; ++i) w.put_u8(0xab);
+  std::vector<std::uint8_t> bytes;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(w.bytes().size() + 1);
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  bytes.push_back(static_cast<std::uint8_t>(frame_kind::batch));
+  bytes.insert(bytes.end(), w.bytes().begin(), w.bytes().end());
+  frame_buffer fb;
+  fb.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_EQ(fb.malformed_count(), 1u);
 }
 
 TEST(Framing, OversizedLengthDropsBuffer) {
