@@ -39,8 +39,8 @@ int main() {
     s.run_timed(schedule, delays);
     const auto reads = s.histories().all().at(key).completed_reads();
     std::printf("get(%s) -> \"%s\"  (shard %u, %s, %d round-trip%s)\n", key,
-                reads.back().val.c_str(), s.shards().shard_of_key(key),
-                s.shards().protocol_for_object(store::key_object_id(key))
+                reads.back().val.c_str(), s.shards()->shard_of_key(key),
+                s.shards()->protocol_for_object(store::key_object_id(key))
                     .name()
                     .c_str(),
                 reads.back().rounds, reads.back().rounds == 1 ? "" : "s");

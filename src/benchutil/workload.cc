@@ -1,5 +1,8 @@
 #include "benchutil/workload.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 #include "sim/world.h"
 
@@ -97,6 +100,55 @@ latency_report run_measured(const protocol& proto, const system_config& cfg,
 
 // ------------------------------------------------------- multi-key store --
 
+zipf_sampler::zipf_sampler(std::uint32_t n, double s) {
+  FASTREG_EXPECTS(n >= 1);
+  FASTREG_EXPECTS(s >= 0.0);
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k) + 1.0, s);
+    cdf_.push_back(total);
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bin short
+}
+
+std::uint32_t zipf_sampler::sample(rng& r) const {
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r.uniform01());
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double zipf_sampler::probability(std::uint32_t k) const {
+  FASTREG_EXPECTS(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+std::vector<std::string> sample_distinct_keys_zipf(rng& r,
+                                                   const zipf_sampler& zipf,
+                                                   std::uint32_t n,
+                                                   std::uint32_t k) {
+  FASTREG_EXPECTS(k <= n);
+  std::vector<std::uint32_t> picked;
+  picked.reserve(k);
+  std::uint64_t guard = 0;
+  while (picked.size() < k) {
+    // Rejection keeps the marginal distribution Zipf conditioned on
+    // distinctness; the guard bounds pathological streaks (k <= n makes
+    // progress certain in expectation).
+    FASTREG_CHECK(++guard < 10'000ull * (k + 1ull));
+    const auto pick = zipf.sample(r);
+    if (std::find(picked.begin(), picked.end(), pick) == picked.end()) {
+      picked.push_back(pick);
+    }
+  }
+  std::vector<std::string> keys;
+  keys.reserve(k);
+  for (const auto rank : picked) {
+    keys.push_back("key" + std::to_string(rank));
+  }
+  return keys;
+}
+
 std::vector<std::string> sample_distinct_keys(rng& r,
                                               std::vector<std::uint32_t>& idx,
                                               std::uint32_t k) {
@@ -126,6 +178,13 @@ store_report run_store_measured(const store::store_config& cfg,
   std::vector<std::uint64_t> put_seq(base.W(), 0);
   std::vector<std::uint32_t> idx(opt.num_keys);
   for (std::uint32_t i = 0; i < opt.num_keys; ++i) idx[i] = i;
+  const zipf_sampler zipf(opt.num_keys,
+                          opt.dist == key_dist::zipf ? opt.zipf_s : 0.0);
+  auto pick_keys = [&](std::uint32_t k) {
+    return opt.dist == key_dist::zipf
+               ? sample_distinct_keys_zipf(r, zipf, opt.num_keys, k)
+               : sample_distinct_keys(r, idx, k);
+  };
   std::uint64_t guard = 0;
 
   for (;;) {
@@ -136,7 +195,7 @@ store_report run_store_measured(const store::store_config& cfg,
       const auto k = std::min(batch, puts_left[j]);
       std::vector<std::pair<std::string, value_t>> kvs;
       kvs.reserve(k);
-      for (auto& key : sample_distinct_keys(r, idx, k)) {
+      for (auto& key : pick_keys(k)) {
         kvs.emplace_back(std::move(key),
                          "w" + std::to_string(j) + ":" +
                              std::to_string(++put_seq[j]));
@@ -148,7 +207,7 @@ store_report run_store_measured(const store::store_config& cfg,
     for (std::uint32_t i = 0; i < base.R(); ++i) {
       if (gets_left[i] == 0 || s.reader_client(i).op_in_progress()) continue;
       const auto k = std::min(batch, gets_left[i]);
-      s.invoke_get_batch(i, sample_distinct_keys(r, idx, k));
+      s.invoke_get_batch(i, pick_keys(k));
       gets_left[i] -= k;
       invoked = true;
     }

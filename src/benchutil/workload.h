@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "benchutil/stats.h"
 #include "checker/history.h"
@@ -48,10 +49,32 @@ struct latency_report {
 
 // ------------------------------------------------------- multi-key store --
 
+/// How the closed-loop store workload picks keys.
+enum class key_dist {
+  uniform,
+  /// Zipf(s) over key rank: P(key_i) proportional to 1/(i+1)^s. The skew
+  /// that makes one shard hot -- the scenario per-shard protocol choice
+  /// and live resharding exist for.
+  zipf,
+};
+
+/// Inverse-CDF Zipf sampler over ranks 0..n-1 (rank 0 hottest).
+/// Construction is O(n); sampling is O(log n).
+class zipf_sampler {
+ public:
+  zipf_sampler(std::uint32_t n, double s);
+  [[nodiscard]] std::uint32_t sample(rng& r) const;
+  /// P(rank k): the sampler's exact discrete distribution.
+  [[nodiscard]] double probability(std::uint32_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+};
+
 /// Closed-loop multi-key store workload: every client keeps `batch`
-/// pipelined ops in flight on distinct uniform-random keys (readers issue
-/// gets, writers issue puts with per-writer-unique values) and re-invokes
-/// the moment its batch completes. Batched transport makes the
+/// pipelined ops in flight on distinct random keys (readers issue gets,
+/// writers issue puts with per-writer-unique values) and re-invokes the
+/// moment its batch completes. Batched transport makes the
 /// envelopes-per-op vs messages-per-op gap the headline number.
 struct store_workload_options {
   std::uint32_t num_keys{16};
@@ -62,6 +85,9 @@ struct store_workload_options {
   std::uint64_t seed{1};
   std::uint64_t delay_lo{50};
   std::uint64_t delay_hi{150};
+  key_dist dist{key_dist::uniform};
+  /// Zipf exponent (dist == zipf); 0.99 is the YCSB-style default.
+  double zipf_s{0.99};
 };
 
 struct store_report {
@@ -84,5 +110,11 @@ struct store_report {
 /// the closed-loop generator and the store benches.
 [[nodiscard]] std::vector<std::string> sample_distinct_keys(
     rng& r, std::vector<std::uint32_t>& idx, std::uint32_t k);
+
+/// Samples `k` distinct key names Zipf-distributed by rank (rejection on
+/// duplicates, so small k stays hot-key heavy without repeats). Requires
+/// k <= the sampler's n.
+[[nodiscard]] std::vector<std::string> sample_distinct_keys_zipf(
+    rng& r, const zipf_sampler& zipf, std::uint32_t n, std::uint32_t k);
 
 }  // namespace fastreg::benchutil

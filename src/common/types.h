@@ -90,6 +90,13 @@ using value_t = std::string;
 using object_id = std::uint64_t;
 inline constexpr object_id k_default_object = 0;
 
+/// Configuration epoch of the store's shard map (src/reconfig). Epoch 0 is
+/// the map resolved at deployment time; each live reconfiguration installs
+/// epoch+1. Messages carry the sender's epoch so servers can fence requests
+/// routed under a superseded map.
+using epoch_t = std::uint64_t;
+inline constexpr epoch_t k_initial_epoch = 0;
+
 /// Stable 64-bit key hash (FNV-1a) used to derive object ids.
 [[nodiscard]] constexpr object_id fnv1a64(std::string_view s) {
   object_id h = 0xcbf29ce484222325ull;

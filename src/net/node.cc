@@ -169,6 +169,14 @@ void node::run_on_reactor(const std::function<void(automaton&)>& fn) {
   if (!*done) fn(*automaton_);  // reactor exited before draining the task
 }
 
+void node::run_on_reactor_net(
+    const std::function<void(automaton&, netout&)>& fn) {
+  run_on_reactor([this, &fn](automaton& a) {
+    fn(a, *this);
+    poll_client_completion();
+  });
+}
+
 checker::history node::hist() const {
   std::lock_guard<std::mutex> lk(mu_);
   return hist_;

@@ -77,6 +77,12 @@ class node final : public netout {
   /// messages may still mutate (e.g. draining store completions).
   void run_on_reactor(const std::function<void(automaton&)>& fn);
 
+  /// Like run_on_reactor, but hands `fn` this node's netout so it can
+  /// start or re-issue protocol traffic (the reconfiguration control
+  /// plane: migration handoff ops, resuming parked ops). Does NOT wait
+  /// for any started op to complete -- pair with a completion poll.
+  void run_on_reactor_net(const std::function<void(automaton&, netout&)>& fn);
+
   /// Operation history recorded by this node (clients only). Safe to call
   /// after stop(), or concurrently (copies under lock).
   [[nodiscard]] checker::history hist() const;

@@ -1,0 +1,132 @@
+// control_plane adapters binding the reconfiguration coordinator to the
+// two concrete deployments: the deterministic simulator (sim_store) and
+// the socket cluster (tcp_store).
+//
+// Simulator: control actions run between world steps on the driving
+// thread; client steps go through world::invoke_step so their sends land
+// in the world's in-transit set like any other step.
+//
+// TCP: control actions are posted to each node's reactor thread
+// (run_on_reactor / run_on_reactor_net), so they serialize with live
+// traffic exactly like delivered frames. The coordinator may therefore
+// run on its own thread next to concurrently operating client threads.
+#pragma once
+
+#include "reconfig/coordinator.h"
+#include "store/sim_store.h"
+#include "store/tcp_store.h"
+
+namespace fastreg::reconfig {
+
+class sim_control final : public control_plane {
+ public:
+  explicit sim_control(store::sim_store& s) : s_(s) {}
+
+  void for_each_server(
+      const std::function<void(store::server&)>& fn) override {
+    for (std::uint32_t i = 0; i < s_.config().base.S(); ++i) {
+      fn(s_.server_at(i));
+    }
+  }
+
+  void publish(std::shared_ptr<const store::shard_map> next) override {
+    s_.proto().maps()->install(std::move(next));
+  }
+
+  void with_migrator(
+      const std::function<void(store::client&, netout&)>& fn) override {
+    s_.world().invoke_step(reader_id(0), [&](netout& net) {
+      fn(s_.reader_client(0), net);
+    });
+  }
+
+  bool migrator_done() override { return s_.reader_client(0).mig_done(); }
+
+  register_snapshot migrator_snapshot() override {
+    return s_.reader_client(0).mig_snapshot();
+  }
+
+  void for_each_client(
+      const std::function<void(store::client&, netout&)>& fn) override {
+    const auto& base = s_.config().base;
+    for (std::uint32_t j = 0; j < base.W(); ++j) {
+      s_.world().invoke_step(writer_id(j), [&](netout& net) {
+        fn(s_.writer_client(j), net);
+      });
+    }
+    for (std::uint32_t i = 0; i < base.R(); ++i) {
+      s_.world().invoke_step(reader_id(i), [&](netout& net) {
+        fn(s_.reader_client(i), net);
+      });
+    }
+  }
+
+ private:
+  store::sim_store& s_;
+};
+
+class tcp_control final : public control_plane {
+ public:
+  explicit tcp_control(store::tcp_store& s) : s_(s) {}
+
+  void for_each_server(
+      const std::function<void(store::server&)>& fn) override {
+    for (std::uint32_t i = 0; i < s_.config().base.S(); ++i) {
+      s_.cluster().server(i).run_on_reactor([&](automaton& a) {
+        fn(dynamic_cast<store::server&>(a));
+      });
+    }
+  }
+
+  void publish(std::shared_ptr<const store::shard_map> next) override {
+    s_.proto().maps()->install(std::move(next));
+  }
+
+  void with_migrator(
+      const std::function<void(store::client&, netout&)>& fn) override {
+    s_.cluster().reader(0).run_on_reactor_net(
+        [&](automaton& a, netout& net) {
+          fn(dynamic_cast<store::client&>(a), net);
+        });
+  }
+
+  bool migrator_done() override {
+    bool done = false;
+    // Marshal the peek through the reactor: the migration op's state is
+    // mutated by live traffic on that thread.
+    s_.cluster().reader(0).run_on_reactor([&](automaton& a) {
+      done = dynamic_cast<store::client&>(a).mig_done();
+    });
+    return done;
+  }
+
+  register_snapshot migrator_snapshot() override {
+    register_snapshot snap;
+    s_.cluster().reader(0).run_on_reactor([&](automaton& a) {
+      snap = dynamic_cast<store::client&>(a).mig_snapshot();
+    });
+    return snap;
+  }
+
+  void for_each_client(
+      const std::function<void(store::client&, netout&)>& fn) override {
+    const auto& base = s_.config().base;
+    for (std::uint32_t j = 0; j < base.W(); ++j) {
+      s_.cluster().writer(j).run_on_reactor_net(
+          [&](automaton& a, netout& net) {
+            fn(dynamic_cast<store::client&>(a), net);
+          });
+    }
+    for (std::uint32_t i = 0; i < base.R(); ++i) {
+      s_.cluster().reader(i).run_on_reactor_net(
+          [&](automaton& a, netout& net) {
+            fn(dynamic_cast<store::client&>(a), net);
+          });
+    }
+  }
+
+ private:
+  store::tcp_store& s_;
+};
+
+}  // namespace fastreg::reconfig

@@ -1,0 +1,87 @@
+#include "reconfig/coordinator.h"
+
+#include "common/check.h"
+
+namespace fastreg::reconfig {
+
+coordinator::coordinator(control_plane& ctl, std::vector<std::string> keys)
+    : ctl_(ctl), keys_(std::move(keys)) {}
+
+bool coordinator::start(std::shared_ptr<const store::shard_map> cur,
+                        const reconfig_plan& plan) {
+  FASTREG_EXPECTS(phase_ == phase::idle);
+  FASTREG_EXPECTS(cur != nullptr);
+  error_ = validate_plan(*cur, plan);
+  if (!error_.empty()) return false;
+  old_map_ = std::move(cur);
+  new_map_ = build_next_map(*old_map_, plan);
+  stats_.new_epoch = new_map_->epoch();
+  // Every server fences moved objects from this point on; only then may
+  // clients learn of the epoch (they learn via server replies or via the
+  // published map, both of which happen after the install below), so no
+  // new-epoch message can reach a server still at the old epoch.
+  ctl_.for_each_server(
+      [this](store::server& s) { s.install_map(new_map_); });
+  ctl_.publish(new_map_);
+  advance_key();
+  return true;
+}
+
+void coordinator::advance_key() {
+  while (next_key_ < keys_.size()) {
+    const auto& key = keys_[next_key_];
+    ++next_key_;
+    ++stats_.keys_considered;
+    if (!store::object_moves(*old_map_, *new_map_,
+                             store::key_object_id(key))) {
+      continue;  // same protocol either side: instances carried over
+    }
+    ++stats_.keys_moved;
+    cur_key_ = key;
+    const epoch_t old_epoch = old_map_->epoch();
+    ctl_.with_migrator([&](store::client& c, netout& net) {
+      c.begin_state_read(key, old_epoch);
+      c.flush(net);
+    });
+    phase_ = phase::reading;
+    return;
+  }
+  phase_ = phase::done;
+}
+
+void coordinator::step() {
+  switch (phase_) {
+    case phase::idle:
+    case phase::done:
+      return;
+    case phase::reading: {
+      if (!ctl_.migrator_done()) return;
+      const auto snap = ctl_.migrator_snapshot();
+      // Writer floors must be in place BEFORE any server stops nacking
+      // the key: otherwise a retried put could race the drain with a
+      // timestamp below the seeded state and stall.
+      ctl_.for_each_client([&](store::client& c, netout& net) {
+        if (c.self().is_writer()) c.seed_writer_floor(cur_key_, snap);
+        c.flush(net);
+      });
+      ctl_.with_migrator([&](store::client& c, netout& net) {
+        c.begin_seed(cur_key_, snap);
+        c.flush(net);
+      });
+      phase_ = phase::seeding;
+      return;
+    }
+    case phase::seeding: {
+      if (!ctl_.migrator_done()) return;
+      // Drain over on every server: wake whatever the fence parked.
+      ctl_.for_each_client([&](store::client& c, netout& net) {
+        c.resume_parked(cur_key_);
+        c.flush(net);
+      });
+      advance_key();
+      return;
+    }
+  }
+}
+
+}  // namespace fastreg::reconfig

@@ -1,0 +1,116 @@
+// The reconfiguration coordinator: installs an epoch-versioned shard map
+// fleet-wide and migrates every moved key online.
+//
+// Protocol (per reconfiguration):
+//  1. install the new map on EVERY server (each starts tagging replies
+//     with the new epoch and fencing moved objects), then publish it to
+//     the versioned_map so clients can refetch;
+//  2. per moved key, a dual-quorum handoff:
+//     a. STATE READ: ask all servers for the old-generation state, take
+//        the maximum over a quorum of answers. Quorum intersection with
+//        the old generation's write/read quorums guarantees the maximum
+//        is at least as new as anything a completed old-epoch op
+//        established (the feasibility conditions S > 2t, resp.
+//        S > (R+2)t + (R+1)b, give a nonempty intersection);
+//     b. WRITER FLOOR: hand the snapshot to every writer client, so the
+//        fresh writer automaton the key gets at the new epoch resumes
+//        above the migrated timestamp;
+//     c. SEED: install the snapshot as the key's new-generation state on
+//        ALL servers (full-fleet, so nobody keeps nacking afterwards);
+//     d. RESUME: unpark the key on every client.
+//  3. done when every moved key drained. Keys outside `keys` stay fenced
+//     until migrated by a later reconfiguration -- pass every key in use.
+//
+// The coordinator is an incremental state machine: start() performs the
+// synchronous control-plane installs, then step() advances the handoff
+// pipeline; call it interleaved with whatever is driving the transport
+// (simulator steps, or a polling loop next to live TCP traffic). This
+// keeps client operations flowing DURING the migration, which is the
+// point of the exercise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reconfig/plan.h"
+#include "store/client.h"
+#include "store/server.h"
+#include "store/shard_map.h"
+
+namespace fastreg::reconfig {
+
+/// Transport adapter: how the coordinator reaches servers, clients and
+/// the map registry of one concrete deployment (simulator or TCP).
+/// All calls are synchronous control-plane actions.
+class control_plane {
+ public:
+  virtual ~control_plane() = default;
+
+  /// Runs `fn` against every store server automaton, one at a time.
+  virtual void for_each_server(
+      const std::function<void(store::server&)>& fn) = 0;
+  /// Publishes `next` to the deployment's versioned_map.
+  virtual void publish(std::shared_ptr<const store::shard_map> next) = 0;
+  /// Runs `fn` as a step of the migrator client (by convention reader 0)
+  /// with a netout, flushing its sends into the transport.
+  virtual void with_migrator(
+      const std::function<void(store::client&, netout&)>& fn) = 0;
+  /// True when the migrator's in-flight handoff op completed. Thread-safe
+  /// against live traffic (TCP marshals through the reactor).
+  virtual bool migrator_done() = 0;
+  /// The completed state read's snapshot (call only when migrator_done()).
+  virtual register_snapshot migrator_snapshot() = 0;
+  /// Runs `fn` against every client automaton (writers and readers) as a
+  /// step with a netout.
+  virtual void for_each_client(
+      const std::function<void(store::client&, netout&)>& fn) = 0;
+};
+
+struct reconfig_stats {
+  epoch_t new_epoch{0};
+  std::size_t keys_considered{0};
+  std::size_t keys_moved{0};
+};
+
+class coordinator {
+ public:
+  /// `keys`: every key whose state must be handed off if it moves. Keys
+  /// that do not move under the plan are skipped cheaply.
+  coordinator(control_plane& ctl, std::vector<std::string> keys);
+
+  /// Validates the plan against `cur` (the currently installed map),
+  /// installs the new map fleet-wide and publishes it. Returns false
+  /// (with error()) on an invalid plan. On success the migration pipeline
+  /// is armed; drive it with step().
+  bool start(std::shared_ptr<const store::shard_map> cur,
+             const reconfig_plan& plan);
+
+  /// Advances the migration by at most one control action. Call
+  /// repeatedly, interleaved with transport progress, until done().
+  void step();
+
+  [[nodiscard]] bool done() const { return phase_ == phase::done; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const reconfig_stats& stats() const { return stats_; }
+
+ private:
+  enum class phase { idle, reading, seeding, done };
+
+  /// Skips keys that do not move; arms the next handoff or finishes.
+  void advance_key();
+
+  control_plane& ctl_;
+  std::vector<std::string> keys_;
+  std::shared_ptr<const store::shard_map> old_map_;
+  std::shared_ptr<const store::shard_map> new_map_;
+  std::size_t next_key_{0};
+  std::string cur_key_{};
+  phase phase_{phase::idle};
+  std::string error_{};
+  reconfig_stats stats_{};
+};
+
+}  // namespace fastreg::reconfig

@@ -1,0 +1,55 @@
+// The epoch-versioned shard map: the store's single mutable control-plane
+// cell. Holds the latest installed shard_map (immutable, shared); install
+// replaces it with the next epoch's map. Clients pull from it lazily when
+// a server reply reveals a newer epoch, so publication here is the point
+// after which the fleet converges on the new routing.
+//
+// In a real deployment this would be a replicated configuration service;
+// here it is an in-process cell shared by every participant of one store
+// deployment, which is faithful enough to exercise the data-plane epoch
+// protocol (fencing, drains, retries) end to end.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "store/shard_map.h"
+
+namespace fastreg::reconfig {
+
+class versioned_map {
+ public:
+  explicit versioned_map(std::shared_ptr<const store::shard_map> initial)
+      : cur_(std::move(initial)) {
+    FASTREG_EXPECTS(cur_ != nullptr);
+  }
+
+  [[nodiscard]] std::shared_ptr<const store::shard_map> get() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cur_;
+  }
+
+  [[nodiscard]] epoch_t epoch() const { return get()->epoch(); }
+
+  /// Publishes the next epoch's map. Epochs advance by exactly one: the
+  /// coordinator serializes reconfigurations.
+  void install(std::shared_ptr<const store::shard_map> next) {
+    FASTREG_EXPECTS(next != nullptr);
+    std::lock_guard<std::mutex> lk(mu_);
+    FASTREG_EXPECTS(next->epoch() == cur_->epoch() + 1);
+    cur_ = std::move(next);
+  }
+
+  /// Pull-side view handed to store clients.
+  [[nodiscard]] store::map_source source() const {
+    return [this] { return get(); };
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const store::shard_map> cur_;
+};
+
+}  // namespace fastreg::reconfig

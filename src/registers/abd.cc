@@ -1,5 +1,7 @@
 #include "registers/abd.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace fastreg {
@@ -52,6 +54,17 @@ std::unique_ptr<automaton> quorum_server::clone() const {
   return std::make_unique<quorum_server>(*this);
 }
 
+register_snapshot quorum_server::peek_state() const {
+  // prev mirrors val: the quorum family never serves a value older than
+  // its stored one, so the "preceding write" tag is the value itself.
+  return {ts_.num, ts_.wid, val_, val_, {}};
+}
+
+void quorum_server::seed_state(const register_snapshot& s) {
+  ts_ = {s.ts, s.wid};
+  val_ = s.val;
+}
+
 // ------------------------------------------------------------ abd_writer --
 
 abd_writer::abd_writer(system_config cfg) : cfg_(std::move(cfg)) {}
@@ -85,6 +98,13 @@ void abd_writer::on_message(netout&, const process_id& from,
 
 std::unique_ptr<automaton> abd_writer::clone() const {
   return std::make_unique<abd_writer>(*this);
+}
+
+void abd_writer::seed_writer(const register_snapshot& migrated) {
+  FASTREG_EXPECTS(!pending_);
+  // invoke_write pre-increments, so the next write lands above the
+  // migrated timestamp.
+  ts_ = std::max(ts_, migrated.ts);
 }
 
 // ------------------------------------------------------------ abd_reader --
@@ -153,18 +173,21 @@ std::unique_ptr<automaton> abd_reader::clone() const {
 // -------------------------------------------------------------- protocol --
 
 std::unique_ptr<automaton> abd_protocol::make_writer(const system_config& cfg,
-                                                     std::uint32_t index) const {
+                                                     std::uint32_t index,
+                                                     object_id) const {
   FASTREG_EXPECTS(index == 0);
   return std::make_unique<abd_writer>(cfg);
 }
 
 std::unique_ptr<automaton> abd_protocol::make_reader(const system_config& cfg,
-                                                     std::uint32_t index) const {
+                                                     std::uint32_t index,
+                                                     object_id) const {
   return std::make_unique<abd_reader>(cfg, index);
 }
 
 std::unique_ptr<automaton> abd_protocol::make_server(const system_config& cfg,
-                                                     std::uint32_t index) const {
+                                                     std::uint32_t index,
+                                                     object_id) const {
   return std::make_unique<quorum_server>(cfg, index);
 }
 

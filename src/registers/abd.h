@@ -25,7 +25,7 @@ namespace fastreg {
 /// Shared replica automaton: stores the lexicographically largest
 /// (ts, wid) and its value; acknowledges writes and write-backs; answers
 /// reads; answers MWMR timestamp queries.
-class quorum_server final : public automaton {
+class quorum_server final : public automaton, public seedable {
  public:
   quorum_server(system_config cfg, std::uint32_t index);
 
@@ -35,6 +35,9 @@ class quorum_server final : public automaton {
   [[nodiscard]] process_id self() const override {
     return server_id(index_);
   }
+
+  [[nodiscard]] register_snapshot peek_state() const override;
+  void seed_state(const register_snapshot& s) override;
 
   [[nodiscard]] wts_t stored_ts() const { return ts_; }
   [[nodiscard]] const value_t& stored_val() const { return val_; }
@@ -62,6 +65,7 @@ class abd_writer final : public automaton, public writer_iface {
     return completed_;
   }
   [[nodiscard]] int last_write_rounds() const override { return 1; }
+  void seed_writer(const register_snapshot& migrated) override;
 
  private:
   system_config cfg_;
@@ -118,11 +122,14 @@ class abd_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 2; }
   [[nodiscard]] int write_rounds() const override { return 1; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 }  // namespace fastreg

@@ -67,6 +67,40 @@ class automaton {
   [[nodiscard]] virtual process_id self() const = 0;
 };
 
+/// A protocol-agnostic snapshot of one register replica's durable state:
+/// the largest adopted (ts, wid) with its value tags and (Byzantine model)
+/// the writer's signature over them. The store's live-reconfiguration
+/// handoff reads this out of a superseded server instance (peek) and
+/// installs it into the replacement instance (seed); see src/reconfig.
+struct register_snapshot {
+  ts_t ts{k_initial_ts};
+  std::int32_t wid{0};
+  value_t val{};
+  value_t prev{};
+  std::vector<std::uint8_t> sig{};
+
+  [[nodiscard]] wts_t wts() const { return wts_t{ts, wid}; }
+
+  friend bool operator==(const register_snapshot&,
+                         const register_snapshot&) = default;
+};
+
+/// Server automata that can export and import their register state for
+/// online key migration. Seeding marks the state as established at every
+/// client (full seen set where applicable): the migration coordinator only
+/// seeds values it has read from a quorum of the old generation, so
+/// serving them on the fast path is safe.
+class seedable {
+ public:
+  virtual ~seedable() = default;
+  [[nodiscard]] virtual register_snapshot peek_state() const = 0;
+  virtual void seed_state(const register_snapshot& s) = 0;
+};
+
+[[nodiscard]] inline seedable* as_seedable(automaton* a) {
+  return dynamic_cast<seedable*>(a);
+}
+
 /// Result of a completed read, as observed by the invoking client.
 struct read_result {
   ts_t ts{k_initial_ts};
@@ -124,6 +158,16 @@ class writer_iface {
 
   /// Rounds used by the most recently completed write (1 == fast).
   [[nodiscard]] virtual int last_write_rounds() const = 0;
+
+  /// Prepares a freshly constructed writer to take over a register whose
+  /// replicas already store `migrated` (installed by a migration handoff):
+  /// the next write must carry a timestamp above migrated.ts, and fast
+  /// protocols must advertise migrated.val as the preceding write's value.
+  /// No-op for writers that discover the current timestamp by querying
+  /// (the MWMR family). Must not be called while a write is in progress.
+  virtual void seed_writer(const register_snapshot& migrated) {
+    (void)migrated;
+  }
 };
 
 /// A full protocol instantiation: factory for the three automaton roles.
@@ -146,12 +190,18 @@ class protocol {
   [[nodiscard]] virtual int read_rounds() const = 0;
   [[nodiscard]] virtual int write_rounds() const = 0;
 
+  /// `obj` is the register object the automaton will serve. Only protocols
+  /// whose wire payloads are bound to the object (fast_bft signs it) read
+  /// it; single-register deployments pass k_default_object.
   [[nodiscard]] virtual std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const = 0;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const = 0;
   [[nodiscard]] virtual std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const = 0;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const = 0;
   [[nodiscard]] virtual std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const = 0;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const = 0;
 };
 
 /// Cross-casts an automaton to its client interface; nullptr when the

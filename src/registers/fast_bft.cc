@@ -19,7 +19,8 @@ bool valid_signed_ts(const system_config& cfg, const message& m) {
 
 // ---------------------------------------------------------------- writer --
 
-fast_bft_writer::fast_bft_writer(system_config cfg) : cfg_(std::move(cfg)) {
+fast_bft_writer::fast_bft_writer(system_config cfg, object_id obj)
+    : cfg_(std::move(cfg)), obj_(obj) {
   FASTREG_EXPECTS(cfg_.sigs != nullptr);
 }
 
@@ -30,6 +31,9 @@ void fast_bft_writer::invoke_write(netout& net, value_t v) {
   acks_.clear();
   message m;
   m.type = msg_type::write_req;
+  // The signature binds the object id: set it before signing so verifiers
+  // (which hash m.obj) accept the message only on this object's stream.
+  m.obj = obj_;
   m.ts = ts_;
   m.val = cur_val_;
   m.prev = last_val_;
@@ -63,6 +67,14 @@ void fast_bft_writer::on_message(netout&, const process_id& from,
 
 std::unique_ptr<automaton> fast_bft_writer::clone() const {
   return std::make_unique<fast_bft_writer>(*this);
+}
+
+void fast_bft_writer::seed_writer(const register_snapshot& migrated) {
+  FASTREG_EXPECTS(!pending_);
+  if (migrated.ts + 1 > ts_) {
+    ts_ = migrated.ts + 1;
+    last_val_ = migrated.val;
+  }
 }
 
 // ---------------------------------------------------------------- reader --
@@ -194,21 +206,32 @@ std::unique_ptr<automaton> fast_bft_server::clone() const {
   return std::make_unique<fast_bft_server>(*this);
 }
 
+register_snapshot fast_bft_server::peek_state() const {
+  return {cur_.tv.ts, 0, cur_.tv.val, cur_.tv.prev, cur_.sig};
+}
+
+void fast_bft_server::seed_state(const register_snapshot& s) {
+  // The signature travels with the state: it still verifies because it
+  // covers (obj, ts, val, prev) and migration never rewrites those.
+  cur_ = signed_value{tagged_value{s.ts, s.val, s.prev}, s.sig};
+  seen_ = seen_universe();
+}
+
 // -------------------------------------------------------------- protocol --
 
 std::unique_ptr<automaton> fast_bft_protocol::make_writer(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id obj) const {
   FASTREG_EXPECTS(index == 0);
-  return std::make_unique<fast_bft_writer>(cfg);
+  return std::make_unique<fast_bft_writer>(cfg, obj);
 }
 
 std::unique_ptr<automaton> fast_bft_protocol::make_reader(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<fast_bft_reader>(cfg, index);
 }
 
 std::unique_ptr<automaton> fast_bft_protocol::make_server(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<fast_bft_server>(cfg, index);
 }
 

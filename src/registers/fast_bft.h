@@ -35,7 +35,10 @@ struct signed_value {
 
 class fast_bft_writer final : public automaton, public writer_iface {
  public:
-  explicit fast_bft_writer(system_config cfg);
+  /// `obj` is bound into every signature this writer produces, so a
+  /// malicious server cannot replay this object's signed timestamps into
+  /// another object's message stream (see signed_payload).
+  explicit fast_bft_writer(system_config cfg, object_id obj = k_default_object);
 
   void on_message(netout& net, const process_id& from,
                   const message& m) override;
@@ -48,9 +51,11 @@ class fast_bft_writer final : public automaton, public writer_iface {
     return completed_;
   }
   [[nodiscard]] int last_write_rounds() const override { return 1; }
+  void seed_writer(const register_snapshot& migrated) override;
 
  private:
   system_config cfg_;
+  object_id obj_{k_default_object};
   ts_t ts_{1};
   bool pending_{false};
   value_t cur_val_{};
@@ -98,7 +103,7 @@ class fast_bft_reader final : public automaton, public reader_iface {
   std::uint64_t discarded_{0};
 };
 
-class fast_bft_server final : public automaton {
+class fast_bft_server final : public automaton, public seedable {
  public:
   fast_bft_server(system_config cfg, std::uint32_t index);
 
@@ -108,6 +113,9 @@ class fast_bft_server final : public automaton {
   [[nodiscard]] process_id self() const override {
     return server_id(index_);
   }
+
+  [[nodiscard]] register_snapshot peek_state() const override;
+  void seed_state(const register_snapshot& s) override;
 
   [[nodiscard]] const signed_value& stored() const { return cur_; }
   [[nodiscard]] const seen_set& seen() const { return seen_; }
@@ -129,11 +137,14 @@ class fast_bft_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 1; }
   [[nodiscard]] int write_rounds() const override { return 1; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 }  // namespace fastreg

@@ -41,6 +41,16 @@ std::unique_ptr<automaton> fast_swmr_writer::clone() const {
   return std::make_unique<fast_swmr_writer>(*this);
 }
 
+void fast_swmr_writer::seed_writer(const register_snapshot& migrated) {
+  FASTREG_EXPECTS(!pending_);
+  if (migrated.ts + 1 > ts_) {
+    // ts_ is the NEXT write's timestamp; the migrated value plays the role
+    // of the immediately preceding write (the `prev` tag of Section 4).
+    ts_ = migrated.ts + 1;
+    last_val_ = migrated.val;
+  }
+}
+
 // ---------------------------------------------------------------- reader --
 
 fast_swmr_reader::fast_swmr_reader(system_config cfg, std::uint32_t index)
@@ -157,21 +167,33 @@ std::unique_ptr<automaton> fast_swmr_server::clone() const {
   return std::make_unique<fast_swmr_server>(*this);
 }
 
+register_snapshot fast_swmr_server::peek_state() const {
+  return {cur_.ts, 0, cur_.val, cur_.prev, {}};
+}
+
+void fast_swmr_server::seed_state(const register_snapshot& s) {
+  cur_ = tagged_value{s.ts, s.val, s.prev};
+  // The migrated value was read from a quorum of the old generation, so
+  // every client is entitled to see it: a full seen set makes the fast
+  // read predicate hold until the writer's next (real) write replaces it.
+  seen_ = seen_universe();
+}
+
 // -------------------------------------------------------------- protocol --
 
 std::unique_ptr<automaton> fast_swmr_protocol::make_writer(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   FASTREG_EXPECTS(index == 0);  // single writer
   return std::make_unique<fast_swmr_writer>(cfg);
 }
 
 std::unique_ptr<automaton> fast_swmr_protocol::make_reader(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<fast_swmr_reader>(cfg, index);
 }
 
 std::unique_ptr<automaton> fast_swmr_protocol::make_server(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<fast_swmr_server>(cfg, index);
 }
 

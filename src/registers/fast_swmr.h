@@ -39,6 +39,7 @@ class fast_swmr_writer final : public automaton, public writer_iface {
     return completed_;
   }
   [[nodiscard]] int last_write_rounds() const override { return 1; }
+  void seed_writer(const register_snapshot& migrated) override;
 
   /// Timestamp the next write will carry (Figure 2 inits ts to 1).
   [[nodiscard]] ts_t next_ts() const { return ts_; }
@@ -92,7 +93,7 @@ class fast_swmr_reader final : public automaton, public reader_iface {
   std::uint32_t last_witness_{0};
 };
 
-class fast_swmr_server final : public automaton {
+class fast_swmr_server final : public automaton, public seedable {
  public:
   fast_swmr_server(system_config cfg, std::uint32_t index);
 
@@ -102,6 +103,9 @@ class fast_swmr_server final : public automaton {
   [[nodiscard]] process_id self() const override {
     return server_id(index_);
   }
+
+  [[nodiscard]] register_snapshot peek_state() const override;
+  void seed_state(const register_snapshot& s) override;
 
   // State accessors for tests and the adversary harness.
   [[nodiscard]] const tagged_value& stored() const { return cur_; }
@@ -124,11 +128,14 @@ class fast_swmr_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 1; }
   [[nodiscard]] int write_rounds() const override { return 1; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 }  // namespace fastreg

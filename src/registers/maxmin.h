@@ -24,7 +24,7 @@
 
 namespace fastreg {
 
-class maxmin_server final : public automaton {
+class maxmin_server final : public automaton, public seedable {
  public:
   maxmin_server(system_config cfg, std::uint32_t index);
 
@@ -33,6 +33,14 @@ class maxmin_server final : public automaton {
   [[nodiscard]] std::unique_ptr<automaton> clone() const override;
   [[nodiscard]] process_id self() const override {
     return server_id(index_);
+  }
+
+  [[nodiscard]] register_snapshot peek_state() const override {
+    return {ts_.num, ts_.wid, val_, val_, {}};
+  }
+  void seed_state(const register_snapshot& s) override {
+    ts_ = {s.ts, s.wid};
+    val_ = s.val;
   }
 
   [[nodiscard]] wts_t stored_ts() const { return ts_; }
@@ -106,11 +114,14 @@ class maxmin_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 1; }
   [[nodiscard]] int write_rounds() const override { return 1; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 }  // namespace fastreg

@@ -33,14 +33,25 @@ const char* to_string(msg_type t) {
       return "QUERYACK";
     case msg_type::gossip:
       return "GOSSIP";
+    case msg_type::epoch_nack:
+      return "EPOCHNACK";
+    case msg_type::state_req:
+      return "STATE";
+    case msg_type::state_ack:
+      return "STATEACK";
+    case msg_type::seed_req:
+      return "SEED";
+    case msg_type::seed_ack:
+      return "SEEDACK";
   }
   return "?";
 }
 
-std::vector<std::uint8_t> signed_payload(ts_t ts, std::int32_t wid,
-                                         const value_t& val,
+std::vector<std::uint8_t> signed_payload(object_id obj, ts_t ts,
+                                         std::int32_t wid, const value_t& val,
                                          const value_t& prev) {
   byte_writer w;
+  w.put_u64(obj);
   w.put_i64(ts);
   w.put_i32(wid);
   w.put_string(val);
@@ -49,7 +60,7 @@ std::vector<std::uint8_t> signed_payload(ts_t ts, std::int32_t wid,
 }
 
 std::vector<std::uint8_t> signed_payload(const message& m) {
-  return signed_payload(m.ts, m.wid, m.val, m.prev);
+  return signed_payload(m.obj, m.ts, m.wid, m.val, m.prev);
 }
 
 void encode_process_id(byte_writer& w, const process_id& p) {
@@ -68,6 +79,9 @@ std::optional<process_id> decode_process_id(byte_reader& r) {
 void encode_message(byte_writer& w, const message& m) {
   w.put_u8(static_cast<std::uint8_t>(m.type));
   w.put_u64(m.obj);
+  w.put_u64(m.epoch);
+  w.put_u32(m.attempt);
+  w.put_u8(m.mig ? 1 : 0);
   w.put_i64(m.ts);
   w.put_i32(m.wid);
   w.put_string(m.val);
@@ -81,11 +95,15 @@ void encode_message(byte_writer& w, const message& m) {
 std::optional<message> decode_message(byte_reader& r) {
   message m;
   const auto type = r.get_u8();
-  if (!type || *type < 1 || *type > static_cast<std::uint8_t>(msg_type::gossip)) {
+  if (!type || *type < 1 ||
+      *type > static_cast<std::uint8_t>(msg_type::seed_ack)) {
     return std::nullopt;
   }
   m.type = static_cast<msg_type>(*type);
   const auto obj = r.get_u64();
+  const auto epoch = r.get_u64();
+  const auto attempt = r.get_u32();
+  const auto mig = r.get_u8();
   const auto ts = r.get_i64();
   const auto wid = r.get_i32();
   auto val = r.get_string();
@@ -94,11 +112,14 @@ std::optional<message> decode_message(byte_reader& r) {
   const auto rcounter = r.get_u64();
   auto sig = r.get_bytes();
   const auto origin = decode_process_id(r);
-  if (!obj || !ts || !wid || !val || !prev || !seen_bits || !rcounter ||
-      !sig || !origin) {
+  if (!obj || !epoch || !attempt || !mig || !ts || !wid || !val || !prev ||
+      !seen_bits || !rcounter || !sig || !origin) {
     return std::nullopt;
   }
   m.obj = *obj;
+  m.epoch = *epoch;
+  m.attempt = *attempt;
+  m.mig = *mig != 0;
   m.ts = *ts;
   m.wid = *wid;
   m.val = std::move(*val);

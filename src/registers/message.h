@@ -33,6 +33,19 @@ enum class msg_type : std::uint8_t {
   query_ack = 8,
   // Server-to-server timestamp broadcast (max-min variant, Section 1).
   gossip = 9,
+  // Reconfiguration control plane (src/reconfig). epoch_nack: a store
+  // server refuses a data message for a migrating object (stale epoch or
+  // the key is still draining); `epoch` carries the server's epoch.
+  epoch_nack = 10,
+  // Migration handoff, phase 1: read the old-generation register state of
+  // one object from every server; the ack carries (ts, wid, val, prev,
+  // sig) verbatim from the superseded instance.
+  state_req = 11,
+  state_ack = 12,
+  // Migration handoff, phase 2: install the drained state as the initial
+  // state of the object's new-generation instance and stop nacking it.
+  seed_req = 13,
+  seed_ack = 14,
 };
 
 [[nodiscard]] const char* to_string(msg_type t);
@@ -44,6 +57,20 @@ struct message {
   /// deployments leave it at k_default_object; the store (src/store)
   /// multiplexes many objects over one transport and demultiplexes on it.
   object_id obj{k_default_object};
+
+  /// Shard-map epoch the sender routed under (src/reconfig). Store servers
+  /// fence data messages for migrating objects on it; single-register
+  /// deployments leave it at k_initial_epoch.
+  epoch_t epoch{k_initial_epoch};
+
+  /// Client-side attempt counter for one store operation: bumped every
+  /// time the op is re-issued after an epoch_nack, and echoed by nacks so
+  /// the client can discard nacks aimed at an abandoned attempt.
+  std::uint32_t attempt{0};
+
+  /// Marks migration-handoff traffic (state/seed), which bypasses the
+  /// epoch fence that holds ordinary client ops back during a drain.
+  bool mig{false};
 
   /// Timestamp number. 0 is the initial timestamp whose value is bottom.
   ts_t ts{k_initial_ts};
@@ -73,10 +100,12 @@ struct message {
   friend bool operator==(const message&, const message&) = default;
 };
 
-/// Canonical byte payload the writer signs: (ts, wid, val, prev).
-/// Shared by signers (writer) and verifiers (servers, readers).
+/// Canonical byte payload the writer signs: (obj, ts, wid, val, prev).
+/// Shared by signers (writer) and verifiers (servers, readers). Binding
+/// the object id prevents a malicious server from replaying a correctly
+/// signed timestamp of one object into another object's message stream.
 [[nodiscard]] std::vector<std::uint8_t> signed_payload(const message& m);
-[[nodiscard]] std::vector<std::uint8_t> signed_payload(ts_t ts,
+[[nodiscard]] std::vector<std::uint8_t> signed_payload(object_id obj, ts_t ts,
                                                        std::int32_t wid,
                                                        const value_t& val,
                                                        const value_t& prev);

@@ -165,17 +165,17 @@ std::unique_ptr<automaton> naive_mwmr_writer::clone() const {
 // ------------------------------------------------------------- protocols --
 
 std::unique_ptr<automaton> mwmr_protocol::make_writer(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<mwmr_writer>(cfg, index);
 }
 
 std::unique_ptr<automaton> mwmr_protocol::make_reader(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<mwmr_reader>(cfg, index);
 }
 
 std::unique_ptr<automaton> mwmr_protocol::make_server(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<quorum_server>(cfg, index);
 }
 
@@ -219,33 +219,33 @@ std::unique_ptr<automaton> lww_server::clone() const {
 }
 
 std::unique_ptr<automaton> naive_fast_mwmr_lww_protocol::make_writer(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<naive_mwmr_writer>(cfg, index);
 }
 
 std::unique_ptr<automaton> naive_fast_mwmr_lww_protocol::make_reader(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<regular_reader>(cfg, index);
 }
 
 std::unique_ptr<automaton> naive_fast_mwmr_lww_protocol::make_server(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<lww_server>(cfg, index);
 }
 
 std::unique_ptr<automaton> naive_fast_mwmr_protocol::make_writer(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<naive_mwmr_writer>(cfg, index);
 }
 
 std::unique_ptr<automaton> naive_fast_mwmr_protocol::make_reader(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   // One-round max reader: same as the regular reader.
   return std::make_unique<regular_reader>(cfg, index);
 }
 
 std::unique_ptr<automaton> naive_fast_mwmr_protocol::make_server(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<quorum_server>(cfg, index);
 }
 

@@ -13,6 +13,7 @@
 // naive_fast_mwmr below is the strawman it breaks.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <unordered_set>
 
@@ -100,11 +101,14 @@ class mwmr_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 2; }
   [[nodiscard]] int write_rounds() const override { return 2; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 /// Strawman "fast" MWMR candidate for the Proposition 11 construction:
@@ -123,11 +127,14 @@ class naive_fast_mwmr_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 1; }
   [[nodiscard]] int write_rounds() const override { return 1; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 /// A second strawman with *last-write-wins* servers: on equal timestamp
@@ -148,16 +155,19 @@ class naive_fast_mwmr_lww_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 1; }
   [[nodiscard]] int write_rounds() const override { return 1; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 /// Last-write-wins replica: adopts on (num, wid) strictly greater OR on
 /// equal num (regardless of wid). Used only by the LWW strawman.
-class lww_server final : public automaton {
+class lww_server final : public automaton, public seedable {
  public:
   lww_server(system_config cfg, std::uint32_t index);
   void on_message(netout& net, const process_id& from,
@@ -165,6 +175,14 @@ class lww_server final : public automaton {
   [[nodiscard]] std::unique_ptr<automaton> clone() const override;
   [[nodiscard]] process_id self() const override {
     return server_id(index_);
+  }
+
+  [[nodiscard]] register_snapshot peek_state() const override {
+    return {ts_.num, ts_.wid, val_, val_, {}};
+  }
+  void seed_state(const register_snapshot& s) override {
+    ts_ = {s.ts, s.wid};
+    val_ = s.val;
   }
 
  private:
@@ -190,6 +208,9 @@ class naive_mwmr_writer final : public automaton, public writer_iface {
     return completed_;
   }
   [[nodiscard]] int last_write_rounds() const override { return 1; }
+  void seed_writer(const register_snapshot& migrated) override {
+    ts_ = std::max(ts_, migrated.ts);
+  }
 
  private:
   system_config cfg_;

@@ -95,34 +95,34 @@ std::unique_ptr<automaton> single_reader_fast_reader::clone() const {
 // ------------------------------------------------------------- protocols --
 
 std::unique_ptr<automaton> regular_protocol::make_writer(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   FASTREG_EXPECTS(index == 0);
   return std::make_unique<abd_writer>(cfg);
 }
 
 std::unique_ptr<automaton> regular_protocol::make_reader(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<regular_reader>(cfg, index);
 }
 
 std::unique_ptr<automaton> regular_protocol::make_server(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<quorum_server>(cfg, index);
 }
 
 std::unique_ptr<automaton> single_reader_protocol::make_writer(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   FASTREG_EXPECTS(index == 0);
   return std::make_unique<abd_writer>(cfg);
 }
 
 std::unique_ptr<automaton> single_reader_protocol::make_reader(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<single_reader_fast_reader>(cfg, index);
 }
 
 std::unique_ptr<automaton> single_reader_protocol::make_server(
-    const system_config& cfg, std::uint32_t index) const {
+    const system_config& cfg, std::uint32_t index, object_id) const {
   return std::make_unique<quorum_server>(cfg, index);
 }
 

@@ -100,11 +100,14 @@ class regular_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 1; }
   [[nodiscard]] int write_rounds() const override { return 1; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 class single_reader_protocol final : public protocol {
@@ -116,11 +119,14 @@ class single_reader_protocol final : public protocol {
   [[nodiscard]] int read_rounds() const override { return 1; }
   [[nodiscard]] int write_rounds() const override { return 1; }
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 };
 
 }  // namespace fastreg

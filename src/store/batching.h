@@ -48,21 +48,31 @@ class batch_collector {
 };
 
 /// netout an inner per-object automaton sends through: stamps the object
-/// id on every outbound message and defers the actual send to the
-/// enclosing step's collector.
+/// id, the sender's shard-map epoch and the op's attempt counter on every
+/// outbound message and defers the actual send to the enclosing step's
+/// collector. The epoch stamp is what lets receivers fence traffic routed
+/// under a superseded map (src/reconfig).
 class tagging_netout final : public netout {
  public:
-  tagging_netout(batch_collector& out, object_id obj)
-      : out_(out), obj_(obj) {}
+  tagging_netout(batch_collector& out, object_id obj,
+                 epoch_t epoch = k_initial_epoch, std::uint32_t attempt = 0,
+                 bool mig = false)
+      : out_(out), obj_(obj), epoch_(epoch), attempt_(attempt), mig_(mig) {}
 
   void send(const process_id& to, message m) override {
     m.obj = obj_;
+    m.epoch = epoch_;
+    m.attempt = attempt_;
+    m.mig = mig_;
     out_.add(to, std::move(m));
   }
 
  private:
   batch_collector& out_;
   object_id obj_;
+  epoch_t epoch_;
+  std::uint32_t attempt_;
+  bool mig_;
 };
 
 }  // namespace fastreg::store

@@ -1,62 +1,91 @@
 #include "store/client.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "crypto/sig.h"
 
 namespace fastreg::store {
 
-client::client(std::shared_ptr<const shard_map> shards, process_id self)
-    : shards_(std::move(shards)), self_(self) {
+client::client(std::shared_ptr<const shard_map> shards, process_id self,
+               map_source source)
+    : map_(std::move(shards)), source_(std::move(source)), self_(self) {
   FASTREG_EXPECTS(self_.is_reader() || self_.is_writer());
 }
 
 client::client(const client& o)
-    : shards_(o.shards_),
+    : map_(o.map_),
+      source_(o.source_),
       self_(o.self_),
+      floors_(o.floors_),
       pending_(o.pending_),
+      mig_(o.mig_),
+      mig_seq_(o.mig_seq_),
       completions_(o.completions_),
       completed_(o.completed_) {
   // outbox_ is intentionally not copied: it is empty between steps, and
   // clone() (world::fork) only runs between steps.
   FASTREG_EXPECTS(o.outbox_.empty());
-  for (const auto& [obj, a] : o.objects_) {
-    objects_.emplace(obj, a->clone());
+  for (const auto& [obj, inner] : o.objects_) {
+    objects_.emplace(obj, inner_automaton{inner.a->clone(), inner.birth});
   }
 }
 
 automaton& client::inner_for(object_id obj) {
   auto it = objects_.find(obj);
   if (it == objects_.end()) {
-    const auto& proto = shards_->protocol_for_object(obj);
-    const auto& base = shards_->config().base;
-    auto a = self_.is_reader() ? proto.make_reader(base, self_.index)
-                               : proto.make_writer(base, self_.index);
-    it = objects_.emplace(obj, std::move(a)).first;
+    const auto& proto = map_->protocol_for_object(obj);
+    const auto& base = map_->config().base;
+    auto a = self_.is_reader() ? proto.make_reader(base, self_.index, obj)
+                               : proto.make_writer(base, self_.index, obj);
+    if (self_.is_writer()) {
+      // A migrated object's fresh writer must resume above the handed-off
+      // timestamp (and advertise its value as the preceding write).
+      const auto fl = floors_.find(obj);
+      if (fl != floors_.end()) as_writer(a.get())->seed_writer(fl->second);
+    }
+    it = objects_
+             .emplace(obj, inner_automaton{std::move(a), map_->epoch()})
+             .first;
   }
-  return *it->second;
+  return *it->second.a;
+}
+
+void client::invoke_on(object_id obj, pending_op& op) {
+  auto& inner = inner_for(obj);
+  tagging_netout tagged(outbox_, obj, epoch(), op.attempt);
+  if (op.is_put) {
+    auto* w = as_writer(&inner);
+    FASTREG_ENSURES(w != nullptr);
+    op.before = w->writes_completed();
+    w->invoke_write(tagged, op.val);
+  } else {
+    auto* r = as_reader(&inner);
+    FASTREG_ENSURES(r != nullptr);
+    op.before = r->reads_completed();
+    r->invoke_read(tagged);
+  }
 }
 
 void client::begin_get(const std::string& key) {
   FASTREG_EXPECTS(self_.is_reader());
   const object_id obj = key_object_id(key);
   FASTREG_EXPECTS(!pending_.contains(obj));
-  auto& inner = inner_for(obj);
-  auto* r = as_reader(&inner);
-  FASTREG_ENSURES(r != nullptr);
-  pending_.emplace(obj, pending_op{key, false, r->reads_completed()});
-  tagging_netout tagged(outbox_, obj);
-  r->invoke_read(tagged);
+  auto& op = pending_[obj];
+  op.key = key;
+  op.is_put = false;
+  invoke_on(obj, op);
 }
 
 void client::begin_put(const std::string& key, value_t v) {
   FASTREG_EXPECTS(self_.is_writer());
   const object_id obj = key_object_id(key);
   FASTREG_EXPECTS(!pending_.contains(obj));
-  auto& inner = inner_for(obj);
-  auto* w = as_writer(&inner);
-  FASTREG_ENSURES(w != nullptr);
-  pending_.emplace(obj, pending_op{key, true, w->writes_completed()});
-  tagging_netout tagged(outbox_, obj);
-  w->invoke_write(tagged, std::move(v));
+  auto& op = pending_[obj];
+  op.key = key;
+  op.is_put = true;
+  op.val = std::move(v);
+  invoke_on(obj, op);
 }
 
 void client::flush(netout& net) { outbox_.flush(net); }
@@ -65,11 +94,241 @@ std::vector<store_result> client::take_completions() {
   return std::exchange(completions_, {});
 }
 
+// ------------------------------------------------------------- reconfig --
+
+std::size_t client::parked_count() const {
+  std::size_t n = 0;
+  for (const auto& [obj, op] : pending_) n += op.parked ? 1 : 0;
+  return n;
+}
+
+void client::reissue(object_id obj, pending_op& op) {
+  // The abandoned attempt's automaton state (including any acks it
+  // gathered) is protocol state of a superseded generation; discard it
+  // and start over against the current map.
+  op.attempt += 1;
+  op.parked = false;
+  objects_.erase(obj);
+  invoke_on(obj, op);
+}
+
+void client::park(object_id obj, pending_op& op) {
+  op.parked = true;
+  objects_.erase(obj);
+}
+
+void client::refresh_map() {
+  if (!source_) return;
+  auto latest = source_();
+  FASTREG_CHECK(latest != nullptr);
+  if (latest->epoch() <= map_->epoch()) return;
+  // Objects whose protocol changed get fresh automata (their server-side
+  // instances were replaced too); unchanged objects keep automaton and
+  // in-flight ops -- their instances carried over on every server.
+  std::vector<object_id> dropped;
+  for (const auto& [obj, inner] : objects_) {
+    if (object_moves(*map_, *latest, obj)) dropped.push_back(obj);
+  }
+  for (const auto obj : dropped) objects_.erase(obj);
+  map_ = std::move(latest);
+  for (auto& [obj, op] : pending_) {
+    if (op.parked || !std::count(dropped.begin(), dropped.end(), obj)) {
+      continue;
+    }
+    reissue(obj, op);
+  }
+}
+
+void client::resume_parked(const std::string& key) {
+  refresh_map();
+  const auto it = pending_.find(key_object_id(key));
+  if (it == pending_.end()) return;
+  // Re-issue ANY pending op on the key, parked or still in flight: an op
+  // whose pre-seed nack is still in transit would otherwise park when the
+  // nack lands, with no later resume coming (the coordinator visits each
+  // key once). Re-issuing bumps the attempt, so the straggler nack is
+  // recognizably stale; after this pass every server has seeded the key,
+  // so the fresh attempt cannot be nacked at this epoch again.
+  reissue(it->first, it->second);
+}
+
+void client::seed_writer_floor(const std::string& key,
+                               const register_snapshot& s) {
+  floors_[key_object_id(key)] = s;
+}
+
+void client::begin_state_read(const std::string& key, epoch_t old_epoch) {
+  FASTREG_EXPECTS(!mig_ || mig_->done);
+  mig_.emplace();
+  mig_->is_seed = false;
+  mig_->key = key;
+  mig_->obj = key_object_id(key);
+  mig_->seq = ++mig_seq_;
+  message m;
+  m.type = msg_type::state_req;
+  m.obj = mig_->obj;
+  m.epoch = old_epoch;
+  m.mig = true;
+  m.rcounter = mig_->seq;
+  for (std::uint32_t i = 0; i < map_->config().base.S(); ++i) {
+    outbox_.add(server_id(i), m);
+  }
+}
+
+void client::begin_seed(const std::string& key, const register_snapshot& s) {
+  FASTREG_EXPECTS(!mig_ || mig_->done);
+  mig_.emplace();
+  mig_->is_seed = true;
+  mig_->key = key;
+  mig_->obj = key_object_id(key);
+  mig_->seq = ++mig_seq_;
+  message m;
+  m.type = msg_type::seed_req;
+  m.obj = mig_->obj;
+  m.epoch = epoch();
+  m.mig = true;
+  m.rcounter = mig_->seq;
+  m.ts = s.ts;
+  m.wid = s.wid;
+  m.val = s.val;
+  m.prev = s.prev;
+  m.sig = s.sig;
+  for (std::uint32_t i = 0; i < map_->config().base.S(); ++i) {
+    outbox_.add(server_id(i), m);
+  }
+}
+
+const register_snapshot& client::mig_snapshot() const {
+  FASTREG_EXPECTS(mig_done() && !mig_->is_seed);
+  return mig_->best;
+}
+
+void client::handle_mig_ack(const process_id& from, const message& m) {
+  if (!mig_ || mig_->done || !from.is_server()) return;
+  if (m.rcounter != mig_->seq || m.obj != mig_->obj) return;
+  const bool is_seed_ack = m.type == msg_type::seed_ack;
+  if (is_seed_ack != mig_->is_seed) return;
+  if (!mig_->acked.insert(from.index).second) return;
+  const auto& base = map_->config().base;
+  if (!is_seed_ack) {
+    // In the arbitrary-failure model only a valid writer signature makes
+    // a state answer trustworthy (a Byzantine server could otherwise
+    // fabricate an arbitrarily high timestamp).
+    bool trusted = true;
+    if (base.b() > 0) {
+      FASTREG_CHECK(base.sigs != nullptr);
+      if (m.ts == k_initial_ts) {
+        trusted = m.sig.empty() && m.val.empty() && m.prev.empty();
+      } else {
+        const auto payload = signed_payload(m);
+        trusted = m.ts > 0 &&
+                  base.sigs->verify(
+                      writer_id(0),
+                      std::span<const std::uint8_t>(payload.data(),
+                                                    payload.size()),
+                      std::span<const std::uint8_t>(m.sig.data(),
+                                                    m.sig.size()));
+      }
+    }
+    if (trusted && wts_t{m.ts, m.wid} > mig_->best.wts()) {
+      mig_->best = {m.ts, m.wid, m.val, m.prev, m.sig};
+    }
+    if (mig_->acked.size() >= base.quorum()) mig_->done = true;
+  } else {
+    // Seeding must reach the FULL fleet: any server still draining the
+    // key after the coordinator lifts the drain would nack clients with
+    // nobody left to resume them.
+    if (mig_->acked.size() >= base.S()) mig_->done = true;
+  }
+}
+
+void client::handle_nack(const message& m) {
+  const auto it = pending_.find(m.obj);
+  if (it == pending_.end()) return;
+  auto& op = it->second;
+  if (op.parked || m.attempt != op.attempt) return;  // stale or already held
+  // The nack names the server's epoch; pull the map in case it is news.
+  // refresh_map may itself re-issue this op (bumping attempt), in which
+  // case the nack is spent.
+  refresh_map();
+  if (m.attempt != op.attempt) return;
+  if (m.epoch >= epoch()) {
+    // Either the key is draining at our epoch, or the server is ahead of
+    // the (not yet published) map. Both resolve when the coordinator
+    // finishes the key and resumes us.
+    park(m.obj, op);
+  }
+  // m.epoch < epoch(): stale nack from a server we have since overtaken;
+  // the re-issued attempt will be answered on its own.
+}
+
+void client::route(const process_id& from, const message& m) {
+  // Deliveries go to EXISTING automata only: begin_* creates them, and a
+  // message for a dropped (migrated/parked) automaton is by construction
+  // aimed at an abandoned attempt.
+  const auto it = objects_.find(m.obj);
+  if (it == objects_.end()) return;
+  // Replies stamped with an epoch older than this automaton's birth were
+  // produced for the superseded generation (possibly a different
+  // protocol); feeding them in would corrupt the fresh instance.
+  if (m.epoch < it->second.birth) return;
+  std::uint32_t attempt = 0;
+  const auto p = pending_.find(m.obj);
+  if (p != pending_.end()) attempt = p->second.attempt;
+  tagging_netout tagged(outbox_, m.obj, epoch(), attempt);
+  it->second.a->on_message(tagged, from, m);
+}
+
+bool client::dispatch_one(const process_id& from, const message& m) {
+  if (m.type == msg_type::epoch_nack) {
+    handle_nack(m);
+    return true;
+  }
+  if (m.type == msg_type::state_ack || m.type == msg_type::seed_ack) {
+    handle_mig_ack(from, m);
+    return false;  // migration I/O never completes a front-end op
+  }
+  route(from, m);
+  // Server replies carry the server's epoch: learn newer maps lazily,
+  // AFTER routing so the op the reply belongs to is not re-issued from
+  // under it.
+  if (m.epoch > epoch()) refresh_map();
+  return true;
+}
+
+void client::on_message(netout& net, const process_id& from,
+                        const message& m) {
+  const bool poll = dispatch_one(from, m);
+  flush(net);
+  if (poll) poll_object(m.obj);
+}
+
+void client::on_batch(netout& net, const process_id& from,
+                      std::span<const message> msgs) {
+  std::vector<object_id> touched;
+  touched.reserve(msgs.size());
+  for (const auto& m : msgs) {
+    if (dispatch_one(from, m)) touched.push_back(m.obj);
+  }
+  // One flush for the whole batch: replies the k messages triggered
+  // coalesce into (at most) one envelope per destination.
+  flush(net);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    // Poll each object once even if the batch carried several messages
+    // for it.
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) seen = seen || touched[j] == touched[i];
+    if (!seen) poll_object(touched[i]);
+  }
+}
+
 void client::poll_object(object_id obj) {
   const auto it = pending_.find(obj);
-  if (it == pending_.end()) return;
+  if (it == pending_.end() || it->second.parked) return;
   const auto& op = it->second;
-  auto& inner = inner_for(obj);
+  const auto a = objects_.find(obj);
+  if (a == objects_.end()) return;
+  auto& inner = *a->second.a;
   store_result res;
   res.key = op.key;
   res.is_put = op.is_put;
@@ -90,35 +349,6 @@ void client::poll_object(object_id obj) {
   completions_.push_back(std::move(res));
   ++completed_;
   pending_.erase(it);
-}
-
-void client::on_message(netout& net, const process_id& from,
-                        const message& m) {
-  tagging_netout tagged(outbox_, m.obj);
-  inner_for(m.obj).on_message(tagged, from, m);
-  flush(net);
-  poll_object(m.obj);
-}
-
-void client::on_batch(netout& net, const process_id& from,
-                      std::span<const message> msgs) {
-  std::vector<object_id> touched;
-  touched.reserve(msgs.size());
-  for (const auto& m : msgs) {
-    tagging_netout tagged(outbox_, m.obj);
-    inner_for(m.obj).on_message(tagged, from, m);
-    touched.push_back(m.obj);
-  }
-  // One flush for the whole batch: replies the k messages triggered
-  // coalesce into (at most) one envelope per destination.
-  flush(net);
-  for (std::size_t i = 0; i < touched.size(); ++i) {
-    // Poll each object once even if the batch carried several messages
-    // for it.
-    bool seen = false;
-    for (std::size_t j = 0; j < i; ++j) seen = seen || touched[j] == touched[i];
-    if (!seen) poll_object(touched[i]);
-  }
 }
 
 std::unique_ptr<automaton> client::clone() const {

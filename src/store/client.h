@@ -13,12 +13,25 @@
 // distinct keys; all requests started before one flush() leave as batched
 // envelopes (see batching.h), which is where the store's transport win
 // comes from.
+//
+// Reconfiguration (src/reconfig): every outbound message is stamped with
+// the epoch of the client's shard map. When a server's epoch_nack reveals
+// a newer epoch, the client refetches the map from its map_source, drops
+// the inner automata of objects whose protocol changed, and re-issues
+// their in-flight ops under the new map (a fresh attempt number makes
+// stale nacks recognizable). An op nacked because its key is still
+// draining is PARKED -- automaton discarded, invocation remembered -- and
+// re-issued when the migration coordinator signals the drain is over.
+// Client-visible semantics are unchanged: one invocation, one completion,
+// however many epochs the op crossed.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "store/batching.h"
@@ -39,7 +52,8 @@ struct store_result {
 
 class client final : public automaton, public async_client_iface {
  public:
-  client(std::shared_ptr<const shard_map> shards, process_id self);
+  client(std::shared_ptr<const shard_map> shards, process_id self,
+         map_source source = {});
   client(const client& o);
   client& operator=(const client&) = delete;
 
@@ -66,6 +80,44 @@ class client final : public automaton, public async_client_iface {
     return pending_.contains(key_object_id(key));
   }
 
+  // ---------------------------------------------------------- reconfig --
+  // Control-plane surface; call on the automaton's thread (between steps
+  // on the simulator, via node::run_on_reactor* on TCP).
+
+  [[nodiscard]] epoch_t epoch() const { return map_->epoch(); }
+  /// Ops parked behind a draining key, awaiting resume_parked.
+  [[nodiscard]] std::size_t parked_count() const;
+
+  /// Pulls the latest map from the map_source; if it is newer, drops the
+  /// inner automata of objects whose protocol changed and re-issues their
+  /// non-parked in-flight ops under the new epoch (sends buffer in the
+  /// outbox; follow with flush()).
+  void refresh_map();
+
+  /// Re-issues the parked op (if any) that `key` holds, after refreshing
+  /// the map. Called by the migration coordinator once the key's drain
+  /// completed. Follow with flush().
+  void resume_parked(const std::string& key);
+
+  /// Records the migrated state of `key` so the writer automaton the next
+  /// (re-)issued put creates starts above the migrated timestamp. Must be
+  /// installed before the key's drain is lifted.
+  void seed_writer_floor(const std::string& key, const register_snapshot& s);
+
+  // Migration handoff I/O: the coordinator drives these on ONE client (by
+  // convention reader 0). One handoff op at a time.
+
+  /// Phase 1: ask every server for the old-generation state of `key` (the
+  /// generation superseded at `old_epoch` + 1). Completes -- mig_done() --
+  /// after a quorum of valid answers; mig_snapshot() is their maximum.
+  void begin_state_read(const std::string& key, epoch_t old_epoch);
+  /// Phase 2: install `s` as the new-generation state of `key` on every
+  /// server. Completes after ALL servers acked (so no server keeps
+  /// nacking the key after the coordinator lifts the drain).
+  void begin_seed(const std::string& key, const register_snapshot& s);
+  [[nodiscard]] bool mig_done() const { return mig_.has_value() && mig_->done; }
+  [[nodiscard]] const register_snapshot& mig_snapshot() const;
+
   // async_client_iface
   [[nodiscard]] bool op_in_progress() const override {
     return !pending_.empty();
@@ -86,20 +138,62 @@ class client final : public automaton, public async_client_iface {
   [[nodiscard]] std::size_t objects_hosted() const { return objects_.size(); }
 
  private:
-  automaton& inner_for(object_id obj);
-  void poll_object(object_id obj);
-
-  std::shared_ptr<const shard_map> shards_;
-  process_id self_;
-  std::unordered_map<object_id, std::unique_ptr<automaton>> objects_;
-
   struct pending_op {
     std::string key{};
     bool is_put{false};
-    /// Inner completion counter snapshot at invocation.
+    value_t val{};  // written value, kept so the op can be re-issued
+    /// Inner completion counter snapshot at (re-)invocation.
     std::uint64_t before{0};
+    /// Bumped on every re-issue; outbound messages carry it and nacks
+    /// echo it, so nacks aimed at an abandoned attempt are discarded.
+    std::uint32_t attempt{0};
+    /// Parked: automaton discarded, waiting for resume_parked.
+    bool parked{false};
   };
+
+  /// One in-flight migration handoff op (coordinator-driven).
+  struct mig_op {
+    bool is_seed{false};
+    std::string key{};
+    object_id obj{k_default_object};
+    std::uint64_t seq{0};
+    std::unordered_set<std::uint32_t> acked{};
+    register_snapshot best{};
+    bool done{false};
+  };
+
+  /// An inner automaton plus the epoch it was created under. Replies
+  /// stamped with an older epoch belong to a superseded generation's
+  /// automaton (a different protocol) and must not be fed to this one --
+  /// e.g. an abd read_ack carries no seen set and an empty prev tag, and
+  /// would drive a fast_swmr reader's predicate-fail path to bottom.
+  struct inner_automaton {
+    std::unique_ptr<automaton> a;
+    epoch_t birth{k_initial_epoch};
+  };
+
+  automaton& inner_for(object_id obj);
+  void invoke_on(object_id obj, pending_op& op);
+  void reissue(object_id obj, pending_op& op);
+  void park(object_id obj, pending_op& op);
+  void handle_nack(const message& m);
+  void handle_mig_ack(const process_id& from, const message& m);
+  void route(const process_id& from, const message& m);
+  /// Shared nack/mig-ack/route dispatch; returns true when m.obj's
+  /// front-end op should be polled for completion afterwards.
+  bool dispatch_one(const process_id& from, const message& m);
+  void poll_object(object_id obj);
+
+  std::shared_ptr<const shard_map> map_;
+  map_source source_;
+  process_id self_;
+  std::unordered_map<object_id, inner_automaton> objects_;
+  /// Migrated state per object: applied via writer_iface::seed_writer when
+  /// the object's writer automaton is (re)created.
+  std::unordered_map<object_id, register_snapshot> floors_;
   std::unordered_map<object_id, pending_op> pending_;
+  std::optional<mig_op> mig_;
+  std::uint64_t mig_seq_{0};
   batch_collector outbox_;
   std::vector<store_result> completions_;
   std::uint64_t completed_{0};

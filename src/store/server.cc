@@ -5,40 +5,168 @@
 namespace fastreg::store {
 
 server::server(std::shared_ptr<const shard_map> shards, std::uint32_t index)
-    : shards_(std::move(shards)), index_(index) {}
+    : map_(std::move(shards)), index_(index) {}
 
-server::server(const server& o) : shards_(o.shards_), index_(o.index_) {
+server::server(const server& o)
+    : map_(o.map_),
+      prev_map_(o.prev_map_),
+      index_(o.index_),
+      seeded_(o.seeded_) {
   FASTREG_EXPECTS(o.outbox_.empty());
   for (const auto& [obj, a] : o.objects_) {
     objects_.emplace(obj, a->clone());
+  }
+  for (const auto& [obj, a] : o.prev_objects_) {
+    prev_objects_.emplace(obj, a->clone());
   }
 }
 
 automaton& server::inner_for(object_id obj) {
   auto it = objects_.find(obj);
   if (it == objects_.end()) {
-    const auto& proto = shards_->protocol_for_object(obj);
+    const auto& proto = map_->protocol_for_object(obj);
     it = objects_
              .emplace(obj,
-                      proto.make_server(shards_->config().base, index_))
+                      proto.make_server(map_->config().base, index_, obj))
              .first;
   }
   return *it->second;
 }
 
+bool server::moved(object_id obj) const {
+  return prev_map_ != nullptr && object_moves(*prev_map_, *map_, obj);
+}
+
+void server::install_map(std::shared_ptr<const shard_map> next) {
+  FASTREG_EXPECTS(next != nullptr);
+  FASTREG_EXPECTS(next->epoch() == map_->epoch() + 1);
+  prev_objects_.clear();  // previous reconfiguration fully drained by now
+  seeded_.clear();
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (object_moves(*map_, *next, it->first)) {
+      prev_objects_.emplace(it->first, std::move(it->second));
+      it = objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  prev_map_ = std::move(map_);
+  map_ = std::move(next);
+}
+
+void server::send_nack(const process_id& to, const message& m) {
+  message nack;
+  nack.type = msg_type::epoch_nack;
+  nack.obj = m.obj;
+  nack.epoch = map_->epoch();
+  nack.attempt = m.attempt;
+  outbox_.add(to, std::move(nack));
+}
+
+void server::handle_state_req(const process_id& from, const message& m) {
+  register_snapshot snap;
+  const auto prev = prev_objects_.find(m.obj);
+  if (prev != prev_objects_.end()) {
+    auto* s = as_seedable(prev->second.get());
+    FASTREG_CHECK(s != nullptr);
+    snap = s->peek_state();
+  } else if (!moved(m.obj)) {
+    // Defensive: a state read of an unmoved object answers the live
+    // instance (the coordinator normally only reads moved keys).
+    const auto cur = objects_.find(m.obj);
+    if (cur != objects_.end()) {
+      auto* s = as_seedable(cur->second.get());
+      FASTREG_CHECK(s != nullptr);
+      snap = s->peek_state();
+    }
+  }
+  // Moved but never hosted: this server holds no old-generation state, so
+  // the default snapshot (the initial timestamp) is the honest answer.
+  message ack;
+  ack.type = msg_type::state_ack;
+  ack.obj = m.obj;
+  ack.epoch = map_->epoch();
+  ack.mig = true;
+  ack.rcounter = m.rcounter;
+  ack.ts = snap.ts;
+  ack.wid = snap.wid;
+  ack.val = snap.val;
+  ack.prev = snap.prev;
+  ack.sig = snap.sig;
+  outbox_.add(from, std::move(ack));
+}
+
+void server::handle_seed_req(const process_id& from, const message& m) {
+  if (!seeded_.contains(m.obj)) {
+    // Replace whatever stray instance exists (none should: data traffic
+    // for a draining object is nacked until this seed lands).
+    objects_.erase(m.obj);
+    auto& inner = inner_for(m.obj);
+    if (m.ts != k_initial_ts) {
+      auto* s = as_seedable(&inner);
+      FASTREG_CHECK(s != nullptr);
+      s->seed_state({m.ts, m.wid, m.val, m.prev, m.sig});
+    }
+    seeded_.insert(m.obj);
+  }
+  message ack;
+  ack.type = msg_type::seed_ack;
+  ack.obj = m.obj;
+  ack.epoch = map_->epoch();
+  ack.mig = true;
+  ack.rcounter = m.rcounter;
+  outbox_.add(from, std::move(ack));
+}
+
+void server::handle_one(const process_id& from, const message& m) {
+  if (m.type == msg_type::state_req) {
+    handle_state_req(from, m);
+    return;
+  }
+  if (m.type == msg_type::seed_req) {
+    handle_seed_req(from, m);
+    return;
+  }
+  if (m.type == msg_type::epoch_nack || m.type == msg_type::state_ack ||
+      m.type == msg_type::seed_ack) {
+    return;  // not server-bound; a confused or malicious peer sent this
+  }
+  if (from.is_server()) {
+    // Server-to-server traffic (max-min gossip) is routed by generation:
+    // old-generation gossip finishes against the set-aside instances.
+    if (moved(m.obj) && m.epoch < map_->epoch()) {
+      const auto prev = prev_objects_.find(m.obj);
+      if (prev == prev_objects_.end()) return;
+      tagging_netout tagged(outbox_, m.obj, m.epoch);
+      prev->second->on_message(tagged, from, m);
+      return;
+    }
+    tagging_netout tagged(outbox_, m.obj, map_->epoch());
+    inner_for(m.obj).on_message(tagged, from, m);
+    return;
+  }
+  // Client data message. Moved objects are fenced: requests routed under
+  // a superseded map are nacked (the client refetches and retries), and
+  // current-epoch requests are nacked until the migration handoff seeds
+  // the new instance (the client parks until resumed).
+  if (moved(m.obj) &&
+      (m.epoch != map_->epoch() || !seeded_.contains(m.obj))) {
+    send_nack(from, m);
+    return;
+  }
+  tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt);
+  inner_for(m.obj).on_message(tagged, from, m);
+}
+
 void server::on_message(netout& net, const process_id& from,
                         const message& m) {
-  tagging_netout tagged(outbox_, m.obj);
-  inner_for(m.obj).on_message(tagged, from, m);
+  handle_one(from, m);
   outbox_.flush(net);
 }
 
 void server::on_batch(netout& net, const process_id& from,
                       std::span<const message> msgs) {
-  for (const auto& m : msgs) {
-    tagging_netout tagged(outbox_, m.obj);
-    inner_for(m.obj).on_message(tagged, from, m);
-  }
+  for (const auto& m : msgs) handle_one(from, m);
   outbox_.flush(net);
 }
 

@@ -3,11 +3,21 @@
 // triggered by one delivered batch coalesce into batched envelopes (one
 // per destination), so a client that pipelined k ops gets its k acks back
 // in a single transport unit.
+//
+// Reconfiguration (src/reconfig): install_map moves the server to the
+// next epoch. Objects whose protocol changed ("moved") have their old
+// instances set aside as the previous generation; until the migration
+// coordinator seeds an object's new instance, client data messages for it
+// are answered with epoch_nack (stale-epoch requests are nacked even
+// after the drain, so clients routed by a superseded map refetch).
+// Unmoved objects keep their instances and are served across the epoch
+// boundary without interruption.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "store/batching.h"
 #include "store/shard_map.h"
@@ -27,15 +37,44 @@ class server final : public automaton {
   [[nodiscard]] std::unique_ptr<automaton> clone() const override;
   [[nodiscard]] process_id self() const override { return server_id(index_); }
 
-  /// Distinct objects this server hosts (diagnostic).
+  // ---------------------------------------------------------- reconfig --
+  // Control plane; call on the automaton's thread (between steps on the
+  // simulator, via node::run_on_reactor on TCP).
+
+  /// Moves to the next epoch's map (epoch must advance by exactly one).
+  /// Must not be called while a previous reconfiguration is still
+  /// draining -- the coordinator serializes reconfigurations.
+  void install_map(std::shared_ptr<const shard_map> next);
+
+  [[nodiscard]] epoch_t epoch() const { return map_->epoch(); }
+  /// Objects seeded since the last install (diagnostic).
+  [[nodiscard]] std::size_t seeded_count() const { return seeded_.size(); }
+
+  /// Distinct objects this server hosts in the current generation
+  /// (diagnostic).
   [[nodiscard]] std::size_t objects_hosted() const { return objects_.size(); }
 
  private:
   automaton& inner_for(object_id obj);
+  /// True when `obj`'s state moved generations at the last install.
+  [[nodiscard]] bool moved(object_id obj) const;
+  void handle_one(const process_id& from, const message& m);
+  void handle_state_req(const process_id& from, const message& m);
+  void handle_seed_req(const process_id& from, const message& m);
+  void send_nack(const process_id& to, const message& m);
 
-  std::shared_ptr<const shard_map> shards_;
+  std::shared_ptr<const shard_map> map_;
+  /// Map of the previous epoch; null until the first install.
+  std::shared_ptr<const shard_map> prev_map_;
   std::uint32_t index_;
   std::unordered_map<object_id, std::unique_ptr<automaton>> objects_;
+  /// Superseded instances of moved objects, kept for migration state
+  /// reads (and for old-generation gossip stragglers) until the next
+  /// install.
+  std::unordered_map<object_id, std::unique_ptr<automaton>> prev_objects_;
+  /// Moved objects whose new-generation instance was seeded: their drain
+  /// is over.
+  std::unordered_set<object_id> seeded_;
   batch_collector outbox_;
 };
 

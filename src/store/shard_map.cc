@@ -15,7 +15,8 @@ std::string store_config::describe() const {
   return out;
 }
 
-shard_map::shard_map(store_config cfg) : cfg_(std::move(cfg)) {
+shard_map::shard_map(store_config cfg, epoch_t epoch)
+    : cfg_(std::move(cfg)), epoch_(epoch) {
   FASTREG_EXPECTS(cfg_.num_shards >= 1);
   FASTREG_EXPECTS(!cfg_.shard_protocols.empty());
   protos_.reserve(cfg_.num_shards);

@@ -12,6 +12,7 @@
 // while contended shards run abd/mwmr, inside one deployment.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,12 +38,15 @@ struct store_config {
 }
 
 /// Resolved routing table: owns one protocol instance per shard. Immutable
-/// after construction and safe to share (const) across node threads.
+/// after construction and safe to share (const) across node threads. Live
+/// reconfiguration (src/reconfig) never mutates a map: it builds a NEW
+/// shard_map at epoch+1 and swaps the shared pointer everywhere.
 class shard_map {
  public:
-  explicit shard_map(store_config cfg);
+  explicit shard_map(store_config cfg, epoch_t epoch = k_initial_epoch);
 
   [[nodiscard]] const store_config& config() const { return cfg_; }
+  [[nodiscard]] epoch_t epoch() const { return epoch_; }
   [[nodiscard]] std::uint32_t num_shards() const { return cfg_.num_shards; }
 
   [[nodiscard]] std::uint32_t shard_of_object(object_id obj) const {
@@ -64,7 +68,24 @@ class shard_map {
 
  private:
   store_config cfg_;
+  epoch_t epoch_{k_initial_epoch};
   std::vector<std::unique_ptr<protocol>> protos_;  // one per shard
 };
+
+/// Source of the latest installed shard map: how a client refetches the
+/// routing table after a server tells it its epoch is stale. Backed by
+/// reconfig::versioned_map in live deployments; must be safe to call from
+/// any node thread.
+using map_source = std::function<std::shared_ptr<const shard_map>()>;
+
+/// True when `obj` is governed by a different protocol under `to` than
+/// under `from` -- the objects whose register state must be handed off
+/// when `to` replaces `from`. Placement never changes (every server hosts
+/// every shard), so a protocol switch is the only thing that moves state.
+[[nodiscard]] inline bool object_moves(const shard_map& from,
+                                       const shard_map& to, object_id obj) {
+  return from.protocol_for_object(obj).name() !=
+         to.protocol_for_object(obj).name();
+}
 
 }  // namespace fastreg::store

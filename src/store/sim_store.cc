@@ -23,6 +23,12 @@ client& sim_store::writer_client(std::uint32_t i) {
   return client_at(writer_id(i));
 }
 
+server& sim_store::server_at(std::uint32_t i) {
+  auto* s = dynamic_cast<server*>(world_.get(server_id(i)));
+  FASTREG_ENSURES(s != nullptr);
+  return *s;
+}
+
 void sim_store::record_invoke(const process_id& p, const std::string& key,
                               bool is_put, const value_t& v) {
   open_[p][key] =

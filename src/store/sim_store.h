@@ -25,13 +25,19 @@ class sim_store {
   explicit sim_store(store_config cfg);
 
   [[nodiscard]] sim::world& world() { return world_; }
+  /// Deployment-time (epoch 0) configuration; base is fixed for life.
   [[nodiscard]] const store_config& config() const {
     return proto_.config();
   }
-  [[nodiscard]] const shard_map& shards() const { return *proto_.shards(); }
+  /// The latest installed shard map.
+  [[nodiscard]] std::shared_ptr<const shard_map> shards() const {
+    return proto_.shards();
+  }
+  [[nodiscard]] store_protocol& proto() { return proto_; }
 
   [[nodiscard]] client& reader_client(std::uint32_t i);
   [[nodiscard]] client& writer_client(std::uint32_t i);
+  [[nodiscard]] server& server_at(std::uint32_t i);
 
   // ----------------------------------------------------------- invocations --
   void invoke_get(std::uint32_t reader_index, const std::string& key);

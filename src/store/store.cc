@@ -7,44 +7,49 @@
 namespace fastreg::store {
 
 bool store_protocol::feasible(const system_config& cfg) const {
-  for (std::uint32_t s = 0; s < shards_->num_shards(); ++s) {
-    if (!shards_->protocol_for_shard(s).feasible(cfg)) return false;
+  const auto map = shards();
+  for (std::uint32_t s = 0; s < map->num_shards(); ++s) {
+    if (!map->protocol_for_shard(s).feasible(cfg)) return false;
   }
   return true;
 }
 
 int store_protocol::read_rounds() const {
+  const auto map = shards();
   int rounds = 1;
-  for (std::uint32_t s = 0; s < shards_->num_shards(); ++s) {
-    rounds = std::max(rounds, shards_->protocol_for_shard(s).read_rounds());
+  for (std::uint32_t s = 0; s < map->num_shards(); ++s) {
+    rounds = std::max(rounds, map->protocol_for_shard(s).read_rounds());
   }
   return rounds;
 }
 
 int store_protocol::write_rounds() const {
+  const auto map = shards();
   int rounds = 1;
-  for (std::uint32_t s = 0; s < shards_->num_shards(); ++s) {
-    rounds = std::max(rounds, shards_->protocol_for_shard(s).write_rounds());
+  for (std::uint32_t s = 0; s < map->num_shards(); ++s) {
+    rounds = std::max(rounds, map->protocol_for_shard(s).write_rounds());
   }
   return rounds;
 }
 
 std::unique_ptr<automaton> store_protocol::make_writer(
-    const system_config& cfg, std::uint32_t index) const {
-  FASTREG_EXPECTS(cfg.W() == shards_->config().base.W());
-  return std::make_unique<client>(shards_, writer_id(index));
+    const system_config& cfg, std::uint32_t index, object_id) const {
+  FASTREG_EXPECTS(cfg.W() == config().base.W());
+  return std::make_unique<client>(shards(), writer_id(index),
+                                  maps_->source());
 }
 
 std::unique_ptr<automaton> store_protocol::make_reader(
-    const system_config& cfg, std::uint32_t index) const {
-  FASTREG_EXPECTS(cfg.R() == shards_->config().base.R());
-  return std::make_unique<client>(shards_, reader_id(index));
+    const system_config& cfg, std::uint32_t index, object_id) const {
+  FASTREG_EXPECTS(cfg.R() == config().base.R());
+  return std::make_unique<client>(shards(), reader_id(index),
+                                  maps_->source());
 }
 
 std::unique_ptr<automaton> store_protocol::make_server(
-    const system_config& cfg, std::uint32_t index) const {
-  FASTREG_EXPECTS(cfg.S() == shards_->config().base.S());
-  return std::make_unique<server>(shards_, index);
+    const system_config& cfg, std::uint32_t index, object_id) const {
+  FASTREG_EXPECTS(cfg.S() == config().base.S());
+  return std::make_unique<server>(shards(), index);
 }
 
 }  // namespace fastreg::store

@@ -1,12 +1,17 @@
 // store_protocol: presents the whole multi-object store as one `protocol`
 // so the existing deployment machinery -- sim::world::install and
 // net::cluster -- hosts it unchanged. make_writer/make_reader yield store
-// client front-ends, make_server yields the multiplexing store server;
-// all share one resolved shard_map.
+// client front-ends, make_server yields the multiplexing store server.
+//
+// All participants share one reconfig::versioned_map: clients hold its
+// pull-side (map_source) so they can refetch the routing table when a
+// server reply reveals a newer epoch; the reconfiguration coordinator
+// installs new epochs into it (after installing them on every server).
 #pragma once
 
 #include <memory>
 
+#include "reconfig/versioned_map.h"
 #include "store/client.h"
 #include "store/server.h"
 #include "store/shard_map.h"
@@ -16,7 +21,8 @@ namespace fastreg::store {
 class store_protocol final : public protocol {
  public:
   explicit store_protocol(store_config cfg)
-      : shards_(std::make_shared<shard_map>(std::move(cfg))) {}
+      : initial_(std::make_shared<const shard_map>(std::move(cfg))),
+        maps_(std::make_shared<reconfig::versioned_map>(initial_)) {}
 
   [[nodiscard]] std::string name() const override { return "store"; }
 
@@ -29,21 +35,33 @@ class store_protocol final : public protocol {
   [[nodiscard]] int write_rounds() const override;
 
   [[nodiscard]] std::unique_ptr<automaton> make_writer(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_reader(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
   [[nodiscard]] std::unique_ptr<automaton> make_server(
-      const system_config& cfg, std::uint32_t index) const override;
+      const system_config& cfg, std::uint32_t index,
+      object_id obj = k_default_object) const override;
 
-  [[nodiscard]] const std::shared_ptr<const shard_map>& shards() const {
-    return shards_;
+  /// The latest installed shard map (epoch 0's until a reconfiguration).
+  [[nodiscard]] std::shared_ptr<const shard_map> shards() const {
+    return maps_->get();
   }
+  [[nodiscard]] const std::shared_ptr<reconfig::versioned_map>& maps() const {
+    return maps_;
+  }
+  /// The deployment-time (epoch 0) configuration. Its base (S, t, b, R,
+  /// W) is fixed for the deployment's lifetime; num_shards and the
+  /// protocol list reflect epoch 0 only -- consult shards() for the
+  /// current routing.
   [[nodiscard]] const store_config& config() const {
-    return shards_->config();
+    return initial_->config();
   }
 
  private:
-  std::shared_ptr<const shard_map> shards_;
+  std::shared_ptr<const shard_map> initial_;
+  std::shared_ptr<reconfig::versioned_map> maps_;
 };
 
 }  // namespace fastreg::store

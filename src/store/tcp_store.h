@@ -40,6 +40,7 @@ class tcp_store {
     return proto_.config();
   }
   [[nodiscard]] net::cluster& cluster() { return cluster_; }
+  [[nodiscard]] store_protocol& proto() { return proto_; }
 
   /// Blocking single-key ops. nullopt / false on timeout.
   [[nodiscard]] std::optional<store_result> get(

@@ -77,6 +77,74 @@ TEST(FastBft, ValidSignedTsAcceptsGenuineRejectsForged) {
   EXPECT_FALSE(valid_signed_ts(cfg, negative));
 }
 
+TEST(FastBft, SignatureBindsObjectId) {
+  // The signed payload covers the object id, so a correctly signed
+  // timestamp of one object is NOT valid on another object's stream.
+  const auto cfg = bft_cfg(10, 2, 1, 1);
+  message m;
+  m.obj = fnv1a64("account:alice");
+  m.ts = 5;
+  m.val = "rich";
+  m.prev = "poor";
+  const auto payload = signed_payload(m);
+  m.sig = cfg.sigs->sign(
+      writer_id(0),
+      std::span<const std::uint8_t>(payload.data(), payload.size()));
+  ASSERT_TRUE(valid_signed_ts(cfg, m));
+  message replayed = m;
+  replayed.obj = fnv1a64("account:mallory");
+  EXPECT_FALSE(valid_signed_ts(cfg, replayed));
+}
+
+TEST(FastBft, CrossObjectReplayAdversaryIsRejected) {
+  // A malicious server relays object A's genuine signed state into object
+  // B's message stream: servers must drop the write, and a reader must
+  // discard the ack, so B stays at its own (older) state.
+  const auto cfg = bft_cfg(10, 2, 1, 1);
+  const object_id obj_a = fnv1a64("A");
+  const object_id obj_b = fnv1a64("B");
+
+  // Writer of A produces a genuine signed write at ts=1.
+  fast_bft_writer writer_a(cfg, obj_a);
+  class cap final : public netout {
+   public:
+    void send(const process_id& to, message m) override {
+      if (to == server_id(0)) last = std::move(m);
+    }
+    message last{};
+  } net;
+  writer_a.invoke_write(net, "a-value");
+  ASSERT_EQ(net.last.obj, obj_a);
+  ASSERT_TRUE(valid_signed_ts(cfg, net.last));
+
+  // Replay A's signed write into B's stream at a server: dropped, no
+  // reply, state untouched (receivevalid on the bound object id).
+  fast_bft_server server_b(cfg, 0);
+  class count_net final : public netout {
+   public:
+    void send(const process_id&, message) override { ++count; }
+    int count{0};
+  } silent;
+  message replay = net.last;
+  replay.obj = obj_b;
+  server_b.on_message(silent, writer_id(0), replay);
+  EXPECT_EQ(silent.count, 0);
+  EXPECT_EQ(server_b.stored().tv.ts, 0);
+
+  // Replay it as a READACK to B's reader mid-read: discarded as provably
+  // malicious, not counted toward the quorum.
+  fast_bft_reader reader_b(cfg, 0);
+  reader_b.invoke_read(silent);
+  message ack = net.last;
+  ack.obj = obj_b;
+  ack.type = msg_type::read_ack;
+  ack.rcounter = 1;
+  ack.seen = seen_universe();
+  reader_b.on_message(silent, server_id(3), ack);
+  EXPECT_TRUE(reader_b.read_in_progress());
+  EXPECT_EQ(reader_b.discarded_acks(), 1u);
+}
+
 TEST(FastBft, ServerIgnoresForgedWriteback) {
   const auto cfg = bft_cfg(10, 2, 1, 1);
   fast_bft_server srv(cfg, 0);

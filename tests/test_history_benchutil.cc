@@ -232,5 +232,89 @@ TEST(Workload, MessageComplexityScalesWithS) {
   EXPECT_NEAR(large.msgs_per_op, 32.0, 0.5);
 }
 
+// ------------------------------------------------------------- zipf --
+
+TEST(Zipf, ExactDistributionMatchesPowerLaw) {
+  const benchutil::zipf_sampler z(100, 1.0);
+  double total = 0;
+  for (std::uint32_t k = 0; k < 100; ++k) total += z.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // P(rank 0) / P(rank 9) = 10^s for s = 1.
+  EXPECT_NEAR(z.probability(0) / z.probability(9), 10.0, 1e-6);
+  // P(rank 0) = 1 / H_100 ~= 0.1928.
+  EXPECT_NEAR(z.probability(0), 0.1928, 1e-3);
+}
+
+TEST(Zipf, EmpiricalSkewTracksExactDistribution) {
+  const std::uint32_t n = 64;
+  const benchutil::zipf_sampler z(n, 0.99);
+  rng r(77);
+  std::vector<std::uint64_t> counts(n, 0);
+  const std::uint64_t samples = 200'000;
+  for (std::uint64_t i = 0; i < samples; ++i) counts[z.sample(r)]++;
+  // Hot head: each of the top ranks lands within 5% of its exact mass.
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    const double expected = z.probability(k) * static_cast<double>(samples);
+    EXPECT_NEAR(static_cast<double>(counts[k]), expected, expected * 0.05)
+        << "rank " << k;
+  }
+  // And the skew is real: rank 0 draws an order of magnitude more than
+  // the median rank.
+  EXPECT_GT(counts[0], 10 * counts[n / 2]);
+}
+
+TEST(Zipf, DistinctSamplesStayInRangeAndHotKeyHeavy) {
+  const std::uint32_t n = 16;
+  const benchutil::zipf_sampler z(n, 1.2);
+  rng r(5);
+  std::uint32_t key0_hits = 0;
+  const int draws = 400;
+  for (int i = 0; i < draws; ++i) {
+    const auto keys = benchutil::sample_distinct_keys_zipf(r, z, n, 4);
+    ASSERT_EQ(keys.size(), 4u);
+    std::set<std::string> uniq(keys.begin(), keys.end());
+    EXPECT_EQ(uniq.size(), 4u);  // distinct within a batch
+    for (const auto& k : keys) {
+      ASSERT_EQ(k.substr(0, 3), "key");
+      const int rank = std::stoi(k.substr(3));
+      ASSERT_GE(rank, 0);
+      ASSERT_LT(rank, static_cast<int>(n));
+      key0_hits += k == "key0" ? 1 : 0;
+    }
+  }
+  // With s=1.2 over 16 keys, key0 carries ~37% of single-draw mass, so a
+  // 4-distinct batch nearly always contains it.
+  EXPECT_GT(key0_hits, draws * 3 / 4);
+}
+
+TEST(StoreWorkload, ZipfClosedLoopCompletesAndLinearizes) {
+  store::store_config cfg;
+  cfg.base.servers = 7;
+  cfg.base.t_failures = 1;
+  cfg.base.readers = 2;
+  cfg.base.writers = 1;
+  cfg.num_shards = 4;
+  cfg.shard_protocols = {"fast_swmr", "abd"};
+  benchutil::store_workload_options opt;
+  opt.num_keys = 16;
+  opt.gets_per_reader = 32;
+  opt.puts_per_writer = 16;
+  opt.batch = 4;
+  opt.dist = benchutil::key_dist::zipf;
+  opt.zipf_s = 1.1;
+  const auto rep = benchutil::run_store_measured(cfg, opt);
+  EXPECT_TRUE(rep.all_complete);
+  EXPECT_TRUE(rep.hist.verify().ok);
+  // The skew concentrates traffic: the hottest key sees far more ops
+  // than the coldest (uniform would spread 80 ops over 16 keys evenly).
+  std::size_t hottest = 0, total = 0;
+  for (const auto& [key, h] : rep.hist.all()) {
+    hottest = std::max(hottest, h.size());
+    total += h.size();
+  }
+  EXPECT_EQ(total, 2u * 32u + 16u);
+  EXPECT_GT(hottest, total / 8);
+}
+
 }  // namespace
 }  // namespace fastreg

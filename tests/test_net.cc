@@ -48,6 +48,38 @@ TEST(Framing, MessageRoundTrip) {
   EXPECT_EQ(*f->msg, m);
 }
 
+TEST(Framing, EpochAttemptAndMigSurviveTheWire) {
+  // The reconfiguration coordinate travels end to end: epoch, attempt and
+  // the migration flag must round-trip through frames, including the new
+  // control message types.
+  for (const auto type : {msg_type::epoch_nack, msg_type::state_req,
+                          msg_type::state_ack, msg_type::seed_req,
+                          msg_type::seed_ack, msg_type::read_req}) {
+    message m;
+    m.type = type;
+    m.obj = fnv1a64("moving-key");
+    m.epoch = 0x1122334455667788ull;
+    m.attempt = 3;
+    m.mig = type != msg_type::read_req;
+    m.ts = 9;
+    m.wid = 2;
+    m.val = "migrated";
+    m.prev = "older";
+    m.sig = {9, 8, 7};
+    m.rcounter = 12;
+    const auto bytes = encode_msg_frame(server_id(0), m);
+    frame_buffer fb;
+    fb.feed(bytes.data(), bytes.size());
+    const auto f = fb.next();
+    ASSERT_TRUE(f.has_value()) << to_string(type);
+    ASSERT_TRUE(f->msg.has_value());
+    EXPECT_EQ(*f->msg, m) << to_string(type);
+    EXPECT_EQ(f->msg->epoch, m.epoch);
+    EXPECT_EQ(f->msg->attempt, 3u);
+    EXPECT_EQ(f->msg->mig, m.mig);
+  }
+}
+
 TEST(Framing, ByteAtATimeDelivery) {
   message m;
   m.type = msg_type::write_req;

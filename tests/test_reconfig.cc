@@ -1,0 +1,483 @@
+// The live reconfiguration subsystem: plan validation, the epoch-versioned
+// map registry, online key migration on the simulator (values surviving
+// protocol switches, ops spanning the epoch boundary, parked ops resuming)
+// and on the TCP deployment under concurrent client traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "crypto/sig.h"
+#include "reconfig/control.h"
+#include "reconfig/coordinator.h"
+#include "reconfig/plan.h"
+#include "reconfig/versioned_map.h"
+#include "store/sim_store.h"
+#include "store/tcp_store.h"
+
+namespace fastreg::reconfig {
+namespace {
+
+store::store_config make_cfg(std::vector<std::string> protos,
+                             std::uint32_t num_shards = 2,
+                             std::uint32_t R = 2, std::uint32_t S = 7,
+                             std::uint32_t t = 1, std::uint32_t W = 1) {
+  store::store_config cfg;
+  cfg.base.servers = S;
+  cfg.base.t_failures = t;
+  cfg.base.readers = R;
+  cfg.base.writers = W;
+  cfg.num_shards = num_shards;
+  cfg.shard_protocols = std::move(protos);
+  return cfg;
+}
+
+/// Interleaves coordinator control actions with random message delivery
+/// until the migration finishes.
+void drive_reconfig(store::sim_store& s, coordinator& coord, rng& r) {
+  std::uint64_t guard = 0;
+  while (!coord.done()) {
+    ASSERT_LT(++guard, 1'000'000u);
+    coord.step();
+    if (!s.world().in_transit().empty()) s.run_random(r, 1);
+  }
+}
+
+void run_until_idle(store::sim_store& s, rng& r) {
+  std::uint64_t guard = 0;
+  while (!s.idle()) {
+    ASSERT_LT(++guard, 1'000'000u);
+    ASSERT_FALSE(s.world().in_transit().empty());
+    s.run_random(r, 1);
+  }
+}
+
+// ------------------------------------------------------------ plans --
+
+TEST(ReconfigPlan, RejectsUnknownProtocol) {
+  store::shard_map cur(make_cfg({"abd"}));
+  reconfig_plan plan{2, {"no_such_protocol"}};
+  EXPECT_NE(validate_plan(cur, plan).find("unknown"), std::string::npos);
+}
+
+TEST(ReconfigPlan, RejectsSingleWriterProtocolWhenMultiWriter) {
+  store::shard_map cur(make_cfg({"mwmr"}, 2, 2, 7, 1, /*W=*/2));
+  reconfig_plan plan{2, {"abd"}};
+  EXPECT_NE(validate_plan(cur, plan).find("single-writer"),
+            std::string::npos);
+}
+
+TEST(ReconfigPlan, RejectsInfeasibleProtocol) {
+  // S = 4, t = 1, R = 2: fast_swmr needs S > (R+2)t = 4.
+  store::shard_map cur(make_cfg({"abd"}, 2, 2, /*S=*/4));
+  reconfig_plan plan{2, {"fast_swmr"}};
+  EXPECT_NE(validate_plan(cur, plan).find("infeasible"), std::string::npos);
+}
+
+TEST(ReconfigPlan, RejectsSwitchIntoFastBft) {
+  store::shard_map cur(make_cfg({"abd"}, 2, 2, /*S=*/8));
+  reconfig_plan plan{2, {"fast_bft"}};
+  EXPECT_NE(validate_plan(cur, plan).find("fast_bft"), std::string::npos);
+}
+
+TEST(ReconfigPlan, RejectsUnsignedMigrationUnderByzantineFaults) {
+  // With b > 0 the state read only trusts signed answers; a reshard that
+  // could move unsigned (abd) state would seed bottom. Must be rejected
+  // at validation.
+  auto cfg = make_cfg({"abd"}, 2, 1, /*S=*/8);
+  cfg.base.b_malicious = 1;
+  store::shard_map cur(cfg);
+  reconfig_plan plan{3, {"abd"}};
+  EXPECT_NE(validate_plan(cur, plan).find("b > 0"), std::string::npos);
+  // Same layout (nothing moves) stays allowed.
+  EXPECT_EQ(validate_plan(cur, reconfig_plan{2, {"abd"}}), "");
+}
+
+TEST(ReconfigPlan, AllowsSameLayoutFastBft) {
+  auto cfg = make_cfg({"fast_bft"}, 2, 1, /*S=*/8);
+  cfg.base.b_malicious = 1;
+  store::shard_map cur(cfg);
+  reconfig_plan plan{2, {"fast_bft"}};
+  EXPECT_EQ(validate_plan(cur, plan), "");
+}
+
+TEST(ReconfigPlan, BuildsNextEpochMap) {
+  store::shard_map cur(make_cfg({"abd"}, 2));
+  reconfig_plan plan{3, {"fast_swmr", "abd"}};
+  ASSERT_EQ(validate_plan(cur, plan), "");
+  const auto next = build_next_map(cur, plan);
+  EXPECT_EQ(next->epoch(), 1u);
+  EXPECT_EQ(next->num_shards(), 3u);
+  EXPECT_EQ(next->config().base.S(), cur.config().base.S());
+}
+
+TEST(VersionedMapDeath, InstallMustAdvanceByOne) {
+  versioned_map maps(std::make_shared<const store::shard_map>(
+      make_cfg({"abd"})));
+  auto skip = std::make_shared<const store::shard_map>(make_cfg({"abd"}),
+                                                       /*epoch=*/2);
+  EXPECT_DEATH(maps.install(skip), "precondition");
+}
+
+// -------------------------------------------------- sim migrations --
+
+TEST(SimReconfig, ValuesSurviveProtocolSwitchAndShardCountChange) {
+  store::sim_store s(make_cfg({"abd"}, 2));
+  rng r(11);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back("key" + std::to_string(i));
+  for (const auto& k : keys) s.invoke_put(0, k, "v:" + k);
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, keys);
+  ASSERT_TRUE(
+      coord.start(s.shards(), reconfig_plan{3, {"fast_swmr", "abd"}}))
+      << coord.error();
+  drive_reconfig(s, coord, r);
+  EXPECT_EQ(s.proto().maps()->epoch(), 1u);
+  EXPECT_GT(coord.stats().keys_moved, 0u);
+  for (std::uint32_t i = 0; i < s.config().base.S(); ++i) {
+    EXPECT_EQ(s.server_at(i).epoch(), 1u);
+  }
+
+  // Every migrated value must be readable under the new map, from both
+  // readers, with no post-migration writes.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    s.invoke_get(static_cast<std::uint32_t>(i % 2), keys[i]);
+  }
+  run_until_idle(s, r);
+  const auto& hist = s.histories();
+  EXPECT_TRUE(hist.all_complete());
+  for (const auto& k : keys) {
+    const auto reads = hist.all().at(k).completed_reads();
+    ASSERT_EQ(reads.size(), 1u) << k;
+    EXPECT_EQ(reads[0].val, "v:" + k) << k;
+  }
+  EXPECT_TRUE(hist.verify().ok);
+}
+
+TEST(SimReconfig, FastReadsAfterPromotionToFastSwmr) {
+  // One shard, abd -> fast_swmr: the "promote the hot shard" move.
+  store::sim_store s(make_cfg({"abd"}, 1));
+  rng r(12);
+  s.invoke_put(0, "hot", "h1");
+  run_until_idle(s, r);
+  s.invoke_get(0, "hot");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, {"hot"});
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+      << coord.error();
+  drive_reconfig(s, coord, r);
+
+  s.invoke_get(1, "hot");
+  run_until_idle(s, r);
+  s.invoke_put(0, "hot", "h2");
+  run_until_idle(s, r);
+  s.invoke_get(0, "hot");
+  run_until_idle(s, r);
+
+  const auto& h = s.histories().all().at("hot");
+  const auto reads = h.completed_reads();
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_EQ(reads[0].rounds, 2);  // abd
+  EXPECT_EQ(reads[0].val, "h1");
+  EXPECT_EQ(reads[1].rounds, 1);  // fast_swmr, migrated value
+  EXPECT_EQ(reads[1].val, "h1");
+  EXPECT_EQ(reads[2].rounds, 1);  // fast_swmr, post-migration write
+  EXPECT_EQ(reads[2].val, "h2");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, OpsParkDuringDrainAndResume) {
+  store::sim_store s(make_cfg({"abd"}, 1));
+  rng r(13);
+  s.invoke_put(0, "k", "v1");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, {"k"});
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+      << coord.error();
+  // Clients invoke while the key drains. WITHOUT advancing the
+  // coordinator, the ops must end up parked (nacked by the fence), not
+  // completed and not lost.
+  s.invoke_get(0, "k");
+  s.invoke_put(0, "k", "v2");
+  std::uint64_t guard = 0;
+  while (!s.world().in_transit().empty()) {
+    ASSERT_LT(++guard, 100'000u);
+    s.run_random(r, 1);
+  }
+  EXPECT_TRUE(s.reader_client(0).op_in_progress());
+  EXPECT_TRUE(s.writer_client(0).op_in_progress());
+  EXPECT_EQ(s.reader_client(0).parked_count(), 1u);
+  EXPECT_EQ(s.writer_client(0).parked_count(), 1u);
+
+  // Finishing the migration resumes both ops.
+  drive_reconfig(s, coord, r);
+  run_until_idle(s, r);
+  const auto& h = s.histories().all().at("k");
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto reads = h.completed_reads();
+  ASSERT_EQ(reads.size(), 1u);
+  // The read and the write were concurrent: either order linearizes.
+  EXPECT_TRUE(reads[0].val == "v1" || reads[0].val == "v2");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, HistoriesSpanningEpochChangeLinearize) {
+  // Concurrent gets/puts on overlapping keys while a reshard with a
+  // protocol flip runs mid-workload, under the aggressive random
+  // schedule. Every per-key history spans the epoch boundary and must
+  // still pass the atomicity checker.
+  const std::vector<std::string> keys = {"a", "b", "c", "d", "e"};
+  for (std::uint64_t seed = 21; seed <= 32; ++seed) {
+    store::sim_store s(make_cfg({"fast_swmr", "abd"}, 4, /*R=*/3));
+    rng r(seed);
+    sim_control ctl(s);
+    coordinator coord(ctl, keys);
+    bool started = false;
+    std::uint32_t puts_left = 24;
+    std::vector<std::uint32_t> gets_left(3, 16);
+    std::uint64_t put_seq = 0;
+    std::uint64_t guard = 0;
+    for (;;) {
+      ASSERT_LT(++guard, 1'000'000u);
+      if (!started && puts_left <= 16) {
+        // Mid-workload: flip the protocol assignment and change the
+        // shard count, so most objects migrate.
+        started = true;
+        ASSERT_TRUE(coord.start(s.shards(),
+                                reconfig_plan{5, {"abd", "fast_swmr"}}))
+            << coord.error();
+      }
+      if (started && !coord.done()) coord.step();
+      const bool can_put =
+          puts_left > 0 && !s.writer_client(0).op_in_progress();
+      bool can_get = false;
+      for (std::uint32_t i = 0; i < 3; ++i) {
+        can_get = can_get || (gets_left[i] > 0 &&
+                              !s.reader_client(i).op_in_progress());
+      }
+      const bool can_deliver = !s.world().in_transit().empty();
+      if (!can_put && !can_get && !can_deliver &&
+          (!started || coord.done())) {
+        break;
+      }
+      const auto dice = r.below(8);
+      if (dice == 0 && can_put) {
+        --puts_left;
+        s.invoke_put(0, keys[r.below(keys.size())],
+                     "v" + std::to_string(++put_seq));
+        continue;
+      }
+      if (dice == 1 && can_get) {
+        const auto i = static_cast<std::uint32_t>(r.below(3));
+        if (gets_left[i] > 0 && !s.reader_client(i).op_in_progress()) {
+          --gets_left[i];
+          s.invoke_get(i, keys[r.below(keys.size())]);
+        }
+        continue;
+      }
+      if (can_deliver) s.run_random(r, 1);
+    }
+    ASSERT_TRUE(started);
+    EXPECT_TRUE(coord.done());
+    EXPECT_TRUE(s.histories().all_complete()) << "seed " << seed;
+    const auto res = s.histories().verify();
+    EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.error;
+  }
+}
+
+TEST(SimReconfig, SequentialReshardsCompose) {
+  // Two reconfigurations back to back (epoch 0 -> 1 -> 2), with traffic
+  // between and after: the second install must cleanly retire the first
+  // one's previous generation and re-fence the moved keys.
+  store::sim_store s(make_cfg({"abd"}, 2));
+  rng r(41);
+  const std::vector<std::string> keys = {"m", "n", "o"};
+  std::uint64_t seq = 0;
+  for (const auto& k : keys) s.invoke_put(0, k, k + std::to_string(++seq));
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  {
+    coordinator coord(ctl, keys);
+    ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{3, {"fast_swmr"}}))
+        << coord.error();
+    drive_reconfig(s, coord, r);
+  }
+  for (const auto& k : keys) s.invoke_put(0, k, k + std::to_string(++seq));
+  run_until_idle(s, r);
+  {
+    coordinator coord(ctl, keys);
+    ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{2, {"abd"}}))
+        << coord.error();
+    drive_reconfig(s, coord, r);
+  }
+  EXPECT_EQ(s.proto().maps()->epoch(), 2u);
+  for (const auto& k : keys) s.invoke_get(1, k);
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  EXPECT_TRUE(s.histories().verify().ok);
+  for (const auto& k : keys) {
+    const auto reads = s.histories().all().at(k).completed_reads();
+    ASSERT_EQ(reads.size(), 1u);
+    EXPECT_EQ(reads[0].rounds, 2);  // back on abd
+    EXPECT_EQ(reads[0].val.substr(0, 1), k);  // second-round write value
+  }
+}
+
+TEST(SimReconfig, SameLayoutEpochBumpIsInvisibleToOps) {
+  auto cfg = make_cfg({"fast_bft"}, 2, /*R=*/1, /*S=*/8);
+  cfg.base.b_malicious = 1;
+  cfg.base.sigs = crypto::make_signature_scheme("oracle", /*seed=*/99);
+  store::sim_store s(cfg);
+  rng r(31);
+  s.invoke_put(0, "x", "x1");
+  s.invoke_put(0, "y", "y1");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, {"x", "y"});
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{2, {"fast_bft"}}))
+      << coord.error();
+  drive_reconfig(s, coord, r);
+  EXPECT_EQ(coord.stats().keys_moved, 0u);  // nothing moves: carried over
+  EXPECT_EQ(s.proto().maps()->epoch(), 1u);
+
+  // Ops keep flowing across the bump; the carried fast_bft instances
+  // (including their signed state) answer without re-migration.
+  s.invoke_get(0, "x");
+  run_until_idle(s, r);
+  s.invoke_put(0, "x", "x2");
+  run_until_idle(s, r);
+  s.invoke_get(0, "x");
+  run_until_idle(s, r);
+  const auto reads = s.histories().all().at("x").completed_reads();
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].val, "x1");
+  EXPECT_EQ(reads[1].val, "x2");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+// ----------------------------------- every migration pair linearizes --
+
+using migration_pair = std::pair<std::string, std::string>;
+
+class ReconfigEveryPair : public ::testing::TestWithParam<migration_pair> {};
+
+TEST_P(ReconfigEveryPair, PutMigrateGetPutGet) {
+  const auto& [from, to] = GetParam();
+  store::sim_store s(make_cfg({from}, 2));
+  rng r(fnv1a64(from + to));
+  const std::vector<std::string> keys = {"p", "q", "r"};
+  std::uint64_t seq = 0;
+  for (const auto& k : keys) {
+    s.invoke_put(0, k, k + std::to_string(++seq));
+  }
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, keys);
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{2, {to}}))
+      << coord.error();
+  drive_reconfig(s, coord, r);
+  EXPECT_EQ(coord.stats().keys_moved, from == to ? 0u : keys.size());
+
+  for (const auto& k : keys) {
+    s.invoke_get(0, k);
+  }
+  run_until_idle(s, r);
+  for (const auto& k : keys) {
+    s.invoke_put(0, k, k + std::to_string(++seq));
+  }
+  run_until_idle(s, r);
+  for (const auto& k : keys) {
+    s.invoke_get(1, k);
+  }
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto res = s.histories().verify();
+  EXPECT_TRUE(res.ok) << from << "->" << to << ": " << res.error;
+  // Second round of reads sees the post-migration writes.
+  for (const auto& k : keys) {
+    const auto reads = s.histories().all().at(k).completed_reads();
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_EQ(reads[1].val.substr(0, 1), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AtomicProtocols, ReconfigEveryPair,
+    ::testing::Values(migration_pair{"abd", "fast_swmr"},
+                      migration_pair{"fast_swmr", "abd"},
+                      migration_pair{"abd", "maxmin"},
+                      migration_pair{"maxmin", "fast_swmr"},
+                      migration_pair{"fast_swmr", "mwmr"},
+                      migration_pair{"mwmr", "abd"},
+                      migration_pair{"abd", "abd"}),
+    [](const auto& info) {
+      return info.param.first + "_to_" + info.param.second;
+    });
+
+// ------------------------------------------------------------- TCP --
+
+TEST(TcpReconfig, LiveReshardUnderConcurrentTraffic) {
+  store::tcp_store ts(make_cfg({"abd"}, 2, /*R=*/2, /*S=*/5));
+  ts.start();
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+  for (const auto& k : keys) {
+    ASSERT_TRUE(ts.put(0, k, k + ":0"));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int n = 1; n <= 200 && (!stop.load() || n <= 4); ++n) {
+      ASSERT_TRUE(ts.put(0, keys[static_cast<std::size_t>(n) % keys.size()],
+                         "w" + std::to_string(n)));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    readers.emplace_back([&, i] {
+      for (int n = 0; n <= 200 && (!stop.load() || n < 2); ++n) {
+        const auto res = ts.multi_get(i, {keys[0], keys[2]});
+        ASSERT_TRUE(res.has_value());
+      }
+    });
+  }
+
+  tcp_control ctl(ts);
+  coordinator coord(ctl, keys);
+  ASSERT_TRUE(coord.start(ts.proto().shards(),
+                          reconfig_plan{3, {"fast_swmr", "abd"}}))
+      << coord.error();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!coord.done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    coord.step();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  writer.join();
+  for (auto& th : readers) th.join();
+
+  // Post-reshard, the store still serves every key.
+  for (const auto& k : keys) {
+    const auto res = ts.get(1, k);
+    ASSERT_TRUE(res.has_value()) << k;
+    EXPECT_FALSE(res->val.empty()) << k;
+  }
+  const auto hist = ts.gather();
+  const auto res = hist.verify();
+  EXPECT_TRUE(res.ok) << res.error;
+  ts.stop();
+}
+
+}  // namespace
+}  // namespace fastreg::reconfig

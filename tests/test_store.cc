@@ -108,7 +108,7 @@ TEST(SimStore, ShardProtocolDictatesReadRounds) {
   std::string fast_key, abd_key;
   for (int i = 0; fast_key.empty() || abd_key.empty(); ++i) {
     const auto key = "key" + std::to_string(i);
-    (s.shards().shard_of_key(key) == 0 ? fast_key : abd_key) = key;
+    (s.shards()->shard_of_key(key) == 0 ? fast_key : abd_key) = key;
   }
   s.invoke_put(0, fast_key, "f");
   s.invoke_put(0, abd_key, "a");
