@@ -125,9 +125,8 @@ double zipf_sampler::probability(std::uint32_t k) const {
 
 std::vector<std::string> sample_distinct_keys_zipf(rng& r,
                                                    const zipf_sampler& zipf,
-                                                   std::uint32_t n,
                                                    std::uint32_t k) {
-  FASTREG_EXPECTS(k <= n);
+  FASTREG_EXPECTS(k <= zipf.n());
   std::vector<std::uint32_t> picked;
   picked.reserve(k);
   std::uint64_t guard = 0;
@@ -182,7 +181,7 @@ store_report run_store_measured(const store::store_config& cfg,
                           opt.dist == key_dist::zipf ? opt.zipf_s : 0.0);
   auto pick_keys = [&](std::uint32_t k) {
     return opt.dist == key_dist::zipf
-               ? sample_distinct_keys_zipf(r, zipf, opt.num_keys, k)
+               ? sample_distinct_keys_zipf(r, zipf, k)
                : sample_distinct_keys(r, idx, k);
   };
   std::uint64_t guard = 0;

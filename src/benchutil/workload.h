@@ -66,6 +66,10 @@ class zipf_sampler {
   [[nodiscard]] std::uint32_t sample(rng& r) const;
   /// P(rank k): the sampler's exact discrete distribution.
   [[nodiscard]] double probability(std::uint32_t k) const;
+  /// Domain size: ranks 0..n()-1.
+  [[nodiscard]] std::uint32_t n() const {
+    return static_cast<std::uint32_t>(cdf_.size());
+  }
 
  private:
   std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
@@ -113,8 +117,8 @@ struct store_report {
 
 /// Samples `k` distinct key names Zipf-distributed by rank (rejection on
 /// duplicates, so small k stays hot-key heavy without repeats). Requires
-/// k <= the sampler's n.
+/// k <= zipf.n().
 [[nodiscard]] std::vector<std::string> sample_distinct_keys_zipf(
-    rng& r, const zipf_sampler& zipf, std::uint32_t n, std::uint32_t k);
+    rng& r, const zipf_sampler& zipf, std::uint32_t k);
 
 }  // namespace fastreg::benchutil

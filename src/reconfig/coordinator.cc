@@ -32,10 +32,17 @@ void coordinator::advance_key() {
     const auto& key = keys_[next_key_];
     ++next_key_;
     ++stats_.keys_considered;
-    if (!store::object_moves(*old_map_, *new_map_,
-                             store::key_object_id(key))) {
+    const auto obj = store::key_object_id(key);
+    if (!store::object_moves(*old_map_, *new_map_, obj)) {
       continue;  // same protocol either side: instances carried over
     }
+    // One handoff per OBJECT: object_moves stays true for the whole
+    // reconfiguration, so a duplicated key (or a distinct key colliding
+    // to the same object id) would otherwise re-run the handoff against
+    // the stale previous-generation snapshot -- re-flooring the writer
+    // below live state and parking a put that then completes
+    // acknowledged-but-unstored.
+    if (!handled_.insert(obj).second) continue;
     ++stats_.keys_moved;
     cur_key_ = key;
     const epoch_t old_epoch = old_map_->epoch();

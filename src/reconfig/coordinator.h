@@ -21,6 +21,18 @@
 //  3. done when every moved key drained. Keys outside `keys` stay fenced
 //     until migrated by a later reconfiguration -- pass every key in use.
 //
+// LIVENESS ASSUMPTION: step 2c requires an ack from EVERY server, so a
+// single crashed or partitioned server stalls the migration of every
+// moved key -- and with it every client op parked on one. While a
+// reconfiguration is in flight the deployment therefore does NOT enjoy
+// the t-crash tolerance of the underlying register protocols; run the
+// coordinator only while the full fleet is believed healthy, and treat a
+// stuck migration as an operator-visible incident (done() stays false,
+// parked_count() stays nonzero). Data-plane ops on keys that are not
+// moving retain their usual fault tolerance throughout. Lifting this --
+// quorum seeding plus a server-side lazy fetch of the seed on first
+// post-drain access -- is tracked as a ROADMAP open item.
+//
 // The coordinator is an incremental state machine: start() performs the
 // synchronous control-plane installs, then step() advances the handoff
 // pipeline; call it interleaved with whatever is driving the transport
@@ -33,6 +45,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "reconfig/plan.h"
@@ -78,7 +91,8 @@ struct reconfig_stats {
 class coordinator {
  public:
   /// `keys`: every key whose state must be handed off if it moves. Keys
-  /// that do not move under the plan are skipped cheaply.
+  /// that do not move under the plan are skipped cheaply; duplicates are
+  /// handed off only once.
   coordinator(control_plane& ctl, std::vector<std::string> keys);
 
   /// Validates the plan against `cur` (the currently installed map),
@@ -104,6 +118,8 @@ class coordinator {
 
   control_plane& ctl_;
   std::vector<std::string> keys_;
+  /// Objects already handed off this reconfiguration (dedups keys_).
+  std::unordered_set<object_id> handled_;
   std::shared_ptr<const store::shard_map> old_map_;
   std::shared_ptr<const store::shard_map> new_map_;
   std::size_t next_key_{0};

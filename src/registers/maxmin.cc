@@ -28,7 +28,7 @@ void maxmin_server::on_message(netout& net, const process_id& from,
     }
     case msg_type::read_req: {
       if (!from.is_reader()) return;
-      auto& g = gathers_[{from.index, m.rcounter}];
+      auto& g = gathers_[{from.index, m.rcounter, m.attempt}];
       g.got_read_req = true;
       // Broadcast our current timestamp to the other servers, tagged with
       // the read instance it serves. Our own contribution is folded in
@@ -52,7 +52,7 @@ void maxmin_server::on_message(netout& net, const process_id& from,
     }
     case msg_type::gossip: {
       if (!from.is_server()) return;
-      auto& g = gathers_[{m.origin.index, m.rcounter}];
+      auto& g = gathers_[{m.origin.index, m.rcounter, m.attempt}];
       if (!g.senders.insert(from.index).second) return;
       if (m.wts() > g.max_ts) {
         g.max_ts = m.wts();

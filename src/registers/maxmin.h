@@ -17,6 +17,7 @@
 
 #include <map>
 #include <optional>
+#include <tuple>
 #include <unordered_set>
 
 #include "registers/abd.h"
@@ -65,8 +66,15 @@ class maxmin_server final : public automaton, public seedable {
   std::uint32_t index_;
   wts_t ts_{};
   value_t val_{};
-  // Keyed by (reader index, rcounter): one gather per read instance.
-  std::map<std::pair<std::uint32_t, std::uint64_t>, gather> gathers_{};
+  // Keyed by (reader index, rcounter, attempt): one gather per read
+  // instance. The attempt (0 outside the store) separates a re-issued
+  // read from a superseded attempt whose straggling request or gossip
+  // carries the same rcounter -- the reply a gather produces is tagged
+  // with its attempt, and a reply tagged with a stale attempt would be
+  // dropped by the store client, starving the live read of this server's
+  // answer (maybe_reply answers each gather exactly once).
+  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>, gather>
+      gathers_{};
 };
 
 class maxmin_reader final : public automaton, public reader_iface {

@@ -1,6 +1,6 @@
 #include "store/client.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "crypto/sig.h"
@@ -125,16 +125,14 @@ void client::refresh_map() {
   // Objects whose protocol changed get fresh automata (their server-side
   // instances were replaced too); unchanged objects keep automaton and
   // in-flight ops -- their instances carried over on every server.
-  std::vector<object_id> dropped;
+  std::unordered_set<object_id> dropped;
   for (const auto& [obj, inner] : objects_) {
-    if (object_moves(*map_, *latest, obj)) dropped.push_back(obj);
+    if (object_moves(*map_, *latest, obj)) dropped.insert(obj);
   }
   for (const auto obj : dropped) objects_.erase(obj);
   map_ = std::move(latest);
   for (auto& [obj, op] : pending_) {
-    if (op.parked || !std::count(dropped.begin(), dropped.end(), obj)) {
-      continue;
-    }
+    if (op.parked || !dropped.contains(obj)) continue;
     reissue(obj, op);
   }
 }
@@ -154,7 +152,19 @@ void client::resume_parked(const std::string& key) {
 
 void client::seed_writer_floor(const std::string& key,
                                const register_snapshot& s) {
-  floors_[key_object_id(key)] = s;
+  const object_id obj = key_object_id(key);
+  floors_[obj] = s;
+  // A put already in flight on this object may run on an automaton created
+  // BEFORE the floor existed (invoked at the new epoch while the key was
+  // draining). Its un-floored requests could slip past the fence once the
+  // servers seed, complete against acks that merely echo the request's
+  // timestamp, and be lost. Park it: the automaton is discarded, and the
+  // coordinator's resume_parked (which always follows a floor install)
+  // re-issues the op through a freshly floored automaton.
+  const auto it = pending_.find(obj);
+  if (it != pending_.end() && !it->second.parked && it->second.is_put) {
+    park(obj, it->second);
+  }
 }
 
 void client::begin_state_read(const std::string& key, epoch_t old_epoch) {
@@ -275,6 +285,11 @@ void client::route(const process_id& from, const message& m) {
   std::uint32_t attempt = 0;
   const auto p = pending_.find(m.obj);
   if (p != pending_.end()) attempt = p->second.attempt;
+  // reissue() recreates the inner automaton with fresh counters, so a
+  // straggler reply addressed to an abandoned attempt at the SAME epoch
+  // can alias the live attempt's counters. The attempt stamp
+  // disambiguates (mirroring the check handle_nack performs).
+  if (m.attempt != attempt) return;
   tagging_netout tagged(outbox_, m.obj, epoch(), attempt);
   it->second.a->on_message(tagged, from, m);
 }

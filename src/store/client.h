@@ -101,7 +101,10 @@ class client final : public automaton, public async_client_iface {
 
   /// Records the migrated state of `key` so the writer automaton the next
   /// (re-)issued put creates starts above the migrated timestamp. Must be
-  /// installed before the key's drain is lifted.
+  /// installed before the key's drain is lifted. A put already in flight
+  /// on the key is parked (its automaton predates the floor, so its
+  /// requests could complete below the seeded state); the resume that
+  /// follows every floor install re-issues it floored.
   void seed_writer_floor(const std::string& key, const register_snapshot& s);
 
   // Migration handoff I/O: the coordinator drives these on ONE client (by
@@ -113,7 +116,9 @@ class client final : public automaton, public async_client_iface {
   void begin_state_read(const std::string& key, epoch_t old_epoch);
   /// Phase 2: install `s` as the new-generation state of `key` on every
   /// server. Completes after ALL servers acked (so no server keeps
-  /// nacking the key after the coordinator lifts the drain).
+  /// nacking the key after the coordinator lifts the drain). This is the
+  /// full-fleet wait behind the coordinator's liveness assumption: one
+  /// unresponsive server stalls the handoff (see reconfig/coordinator.h).
   void begin_seed(const std::string& key, const register_snapshot& s);
   [[nodiscard]] bool mig_done() const { return mig_.has_value() && mig_->done; }
   [[nodiscard]] const register_snapshot& mig_snapshot() const;

@@ -134,14 +134,17 @@ void server::handle_one(const process_id& from, const message& m) {
   if (from.is_server()) {
     // Server-to-server traffic (max-min gossip) is routed by generation:
     // old-generation gossip finishes against the set-aside instances.
+    // The attempt tag rides along even on the gossip path: a client-bound
+    // reply a gossip message triggers (maxmin's maybe_reply) must carry
+    // the attempt of the read it serves, or the client would drop it.
     if (moved(m.obj) && m.epoch < map_->epoch()) {
       const auto prev = prev_objects_.find(m.obj);
       if (prev == prev_objects_.end()) return;
-      tagging_netout tagged(outbox_, m.obj, m.epoch);
+      tagging_netout tagged(outbox_, m.obj, m.epoch, m.attempt);
       prev->second->on_message(tagged, from, m);
       return;
     }
-    tagging_netout tagged(outbox_, m.obj, map_->epoch());
+    tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt);
     inner_for(m.obj).on_message(tagged, from, m);
     return;
   }

@@ -270,7 +270,7 @@ TEST(Zipf, DistinctSamplesStayInRangeAndHotKeyHeavy) {
   std::uint32_t key0_hits = 0;
   const int draws = 400;
   for (int i = 0; i < draws; ++i) {
-    const auto keys = benchutil::sample_distinct_keys_zipf(r, z, n, 4);
+    const auto keys = benchutil::sample_distinct_keys_zipf(r, z, 4);
     ASSERT_EQ(keys.size(), 4u);
     std::set<std::string> uniq(keys.begin(), keys.end());
     EXPECT_EQ(uniq.size(), 4u);  // distinct within a batch

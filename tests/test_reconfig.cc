@@ -228,6 +228,113 @@ TEST(SimReconfig, OpsParkDuringDrainAndResume) {
   EXPECT_TRUE(s.histories().verify().ok);
 }
 
+TEST(SimReconfig, DuplicateKeysInCoordinatorListHandOffOnce) {
+  // A duplicated key must not re-run the handoff: object_moves stays
+  // true for the whole reconfiguration, so a second visit would read the
+  // STALE previous-generation snapshot, re-floor the writers below live
+  // state and park an in-flight put into an acknowledged-but-unstored
+  // completion.
+  store::sim_store s(make_cfg({"abd"}, 1));
+  rng r(55);
+  s.invoke_put(0, "k", "v1");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, {"k", "k", "k"});
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+      << coord.error();
+  drive_reconfig(s, coord, r);
+  EXPECT_EQ(coord.stats().keys_considered, 3u);
+  EXPECT_EQ(coord.stats().keys_moved, 1u);
+
+  s.invoke_put(0, "k", "v2");
+  run_until_idle(s, r);
+  s.invoke_get(0, "k");
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto reads = s.histories().all().at("k").completed_reads();
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].val, "v2");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, InFlightPutAtNewEpochCannotOutrunWriterFloor) {
+  // Regression (lost-update race): a put invoked at the NEW epoch while
+  // its key drains, BEFORE the coordinator installs the writer floor,
+  // runs on an un-floored automaton (abd ts=1). If its write_reqs stay
+  // in transit until after the servers seed the migrated state, no
+  // epoch_nack is ever produced and the acks echo the request's
+  // timestamp -- the put must NOT complete off those acks with no server
+  // storing the value. The floor install parks the put; the resume
+  // re-issues it above the migrated timestamp.
+  store::sim_store s(make_cfg({"fast_swmr"}, 1));
+  rng r(77);
+  s.invoke_put(0, "k", "v1");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, {"k"});
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"abd"}}))
+      << coord.error();
+  // The writer learns the new epoch (the map is already published) and
+  // invokes while the state read is still in flight: the put's requests
+  // leave at the new epoch, from an automaton that never saw a floor.
+  s.world().invoke_step(writer_id(0), [&](netout& net) {
+    s.writer_client(0).refresh_map();
+    s.writer_client(0).flush(net);
+  });
+  ASSERT_EQ(s.writer_client(0).epoch(), 1u);
+  s.invoke_put(0, "k", "v2");
+
+  // Adversarial schedule, phase by phase. First: deliver only the state
+  // read, holding the put's write_reqs, until the coordinator installs
+  // the floor (parking the put) and puts the seed_reqs in transit.
+  const auto has_seed_req = [&] {
+    return !s.world()
+                .find_envelopes([](const sim::envelope& e) {
+                  return e.msg.type == msg_type::seed_req;
+                })
+                .empty();
+  };
+  std::uint64_t guard = 0;
+  while (!has_seed_req()) {
+    ASSERT_LT(++guard, 100'000u);
+    coord.step();
+    s.world().deliver_matching([](const sim::envelope& e) {
+      return e.msg.mig && e.msg.type != msg_type::seed_req;
+    });
+  }
+  // The servers seed; their seed_acks stay in transit, so the
+  // coordinator cannot resume anyone yet.
+  s.world().deliver_matching([](const sim::envelope& e) {
+    return e.msg.type == msg_type::seed_req;
+  });
+  // Now the held un-floored write_reqs land on the freshly seeded
+  // servers (no nack anymore), and their acks -- echoing the request's
+  // own timestamp -- come back to the writer. Without the floor-install
+  // park, the put would complete HERE, before the resume, with no server
+  // storing v2.
+  s.world().deliver_matching(
+      [](const sim::envelope& e) { return !e.msg.mig; });  // write_reqs
+  s.world().deliver_matching(
+      [](const sim::envelope& e) { return !e.msg.mig; });  // write_acks
+  s.drain_completions();
+  ASSERT_TRUE(s.writer_client(0).op_in_progress());
+  EXPECT_EQ(s.writer_client(0).parked_count(), 1u);
+
+  // Release everything; the resume re-issues the put above the migrated
+  // timestamp, it completes and must be durable.
+  drive_reconfig(s, coord, r);
+  run_until_idle(s, r);
+  s.invoke_get(0, "k");
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto reads = s.histories().all().at("k").completed_reads();
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].val, "v2");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
 TEST(SimReconfig, HistoriesSpanningEpochChangeLinearize) {
   // Concurrent gets/puts on overlapping keys while a reshard with a
   // protocol flip runs mid-workload, under the aggressive random
