@@ -45,6 +45,7 @@ std::vector<std::uint8_t> encode_batch_frame(const process_id& from,
 }
 
 void frame_buffer::feed(const std::uint8_t* data, std::size_t n) {
+  if (corrupt_) return;  // connection is due for a reset; drop the bytes
   // Compact occasionally so the buffer does not grow without bound.
   if (consumed_ > 0 && consumed_ == buf_.size()) {
     buf_.clear();
@@ -58,6 +59,7 @@ void frame_buffer::feed(const std::uint8_t* data, std::size_t n) {
 
 std::optional<frame> frame_buffer::next() {
   for (;;) {
+    if (corrupt_) return std::nullopt;
     const std::size_t avail = buf_.size() - consumed_;
     if (avail < 4) return std::nullopt;
     std::uint32_t len = 0;
@@ -66,9 +68,13 @@ std::optional<frame> frame_buffer::next() {
              << (8 * i);
     }
     if (len == 0 || len > max_frame_bytes) {
-      // Hopeless stream corruption: drop everything buffered.
+      // Hopeless: with the length prefix untrustworthy there is no
+      // reliable frame boundary left on this stream. Latch corrupt();
+      // the owner resets the connection (see the class comment).
       ++malformed_;
-      consumed_ = buf_.size();
+      corrupt_ = true;
+      buf_.clear();
+      consumed_ = 0;
       return std::nullopt;
     }
     if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;

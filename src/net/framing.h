@@ -38,20 +38,36 @@ struct frame {
 /// Incremental frame decoder: feed raw bytes, pop complete frames.
 /// Malformed frames (bad decode) are dropped with a count, never fatal --
 /// a Byzantine peer must not be able to crash a correct process.
+///
+/// Two failure severities:
+///  * A frame with a PLAUSIBLE length prefix but an undecodable payload
+///    is skipped by exactly its declared extent; later frames on the
+///    stream still parse (malformed_count grows).
+///  * An IMPLAUSIBLE length prefix (zero, or beyond max_frame_bytes)
+///    means framing itself is lost: every byte after it is unattributable
+///    garbage, and scanning for the "next" frame could resynchronize on
+///    attacker-chosen bytes. The buffer latches corrupt(): no further
+///    frames are produced and fed bytes are discarded. The connection
+///    MUST be reset -- net::node closes it (the peer reconnects with
+///    fresh framing state and retransmits per protocol retry rules);
+///    intact frames popped before the corruption are unaffected.
 class frame_buffer {
  public:
   void feed(const std::uint8_t* data, std::size_t n);
   [[nodiscard]] std::optional<frame> next();
   [[nodiscard]] std::uint64_t malformed_count() const { return malformed_; }
+  /// Framing lost (hopeless length prefix): reset the connection.
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
 
-  /// Upper bound on accepted frame payloads; larger frames count as
-  /// malformed and the declared length is skipped.
+  /// Upper bound on accepted frame payloads; larger frames mark the
+  /// stream corrupt.
   static constexpr std::uint32_t max_frame_bytes = 16 * 1024 * 1024;
 
  private:
   std::vector<std::uint8_t> buf_;
   std::size_t consumed_{0};
   std::uint64_t malformed_{0};
+  bool corrupt_{false};
 };
 
 }  // namespace fastreg::net

@@ -54,6 +54,10 @@ std::uint16_t node::listen_port() const {
 
 void node::start() {
   FASTREG_EXPECTS(!thread_.joinable());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    started_ = true;
+  }
   thread_ = std::thread([this] { reactor_main(); });
 }
 
@@ -65,6 +69,7 @@ void node::stop() {
   });
   thread_.join();
 }
+
 
 void node::post(std::function<void()> fn) {
   {
@@ -143,20 +148,27 @@ bool node::blocking_op(const std::function<void(automaton&, netout&)>& start,
 }
 
 void node::run_on_reactor(const std::function<void(automaton&)>& fn) {
-  bool inline_run = false;
+  // Reactor not running (never started, already stopped, or it exited
+  // before draining the task): the caller has exclusive access, run
+  // inline instead of waiting forever on a task nothing will drain.
+  if (!try_run_on_reactor(fn)) fn(*automaton_);
+}
+
+bool node::try_run_on_reactor(const std::function<void(automaton&)>& fn) {
   {
-    // Reactor not running (never started, or already exited): the caller
-    // has exclusive access, run inline instead of waiting forever on a
-    // task nothing will drain.
+    // Only a definitely-not-running reactor short-circuits. A merely
+    // stop-REQUESTED reactor may still be draining: returning false here
+    // would let run_on_reactor's inline fallback race the live reactor
+    // thread; posting is safe either way (the task runs on the reactor,
+    // or the exit path discards it and the wait below observes that).
     std::lock_guard<std::mutex> lk(mu_);
-    inline_run = reactor_exited_ || !thread_.joinable();
-  }
-  if (inline_run) {
-    fn(*automaton_);
-    return;
+    if (!started_ || reactor_exited_) return false;
   }
   auto done = std::make_shared<bool>(false);
-  post([this, &fn, done] {
+  // fn is copied into the task: if the reactor exits without draining
+  // it, the closure outlives this call (reactor_main clears the queue on
+  // exit, but the post() below can land just after that).
+  post([this, fn, done] {
     fn(*automaton_);
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -166,7 +178,9 @@ void node::run_on_reactor(const std::function<void(automaton&)>& fn) {
   });
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return *done || reactor_exited_; });
-  if (!*done) fn(*automaton_);  // reactor exited before draining the task
+  // A task the reactor exited without draining never ran and never will;
+  // report the node unreachable rather than running fn here.
+  return *done;
 }
 
 void node::run_on_reactor_net(
@@ -275,6 +289,9 @@ void node::reactor_main() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     reactor_exited_ = true;
+    // Undrained tasks never run: they must not fire on a later start()
+    // (their captures may be long dead by then).
+    tasks_.clear();
   }
   cv_.notify_all();
 }
@@ -307,6 +324,16 @@ void node::handle_readable(int fd) {
     if (f->msg.has_value()) {
       automaton_->on_message(*this, f->from, *f->msg);
     }
+  }
+  if (c.in.corrupt()) {
+    // Framing lost on this stream (frame_buffer's contract): the only
+    // safe recovery is a reset. The peer reconnects with fresh framing
+    // state; undelivered messages are covered by the protocols' quorum
+    // waits and the store's retry paths.
+    LOG_DEBUG("%s: corrupt frame stream from fd %d; closing connection",
+              to_string(self_).c_str(), fd);
+    close_conn(fd);
+    return;
   }
   poll_client_completion();
 }
@@ -422,9 +449,8 @@ void node::send_batch(const process_id& to, std::vector<message> msgs) {
     return;
   }
   // Chunk so no frame approaches frame_buffer::max_frame_bytes -- the
-  // receiver treats an oversized frame as stream corruption and drops the
-  // connection's whole buffer, which batching large values could
-  // otherwise trigger.
+  // receiver treats an oversized frame as stream corruption and resets
+  // the connection, which batching large values could otherwise trigger.
   constexpr std::size_t chunk_limit = frame_buffer::max_frame_bytes / 4;
   std::size_t begin = 0;
   std::size_t bytes = 0;

@@ -77,6 +77,15 @@ class node final : public netout {
   /// messages may still mutate (e.g. draining store completions).
   void run_on_reactor(const std::function<void(automaton&)>& fn);
 
+  /// Like run_on_reactor, but NEVER runs `fn` inline when the reactor is
+  /// not running: returns false instead (also when the reactor exits
+  /// before draining the task). For callers that treat a stopped node as
+  /// crashed (the reconfiguration control plane) -- the inline fallback
+  /// would mutate a "crashed" automaton behind the deployment's back and
+  /// is racy against a concurrent stop().
+  [[nodiscard]] bool try_run_on_reactor(
+      const std::function<void(automaton&)>& fn);
+
   /// Like run_on_reactor, but hands `fn` this node's netout so it can
   /// start or re-issue protocol traffic (the reconfiguration control
   /// plane: migration handoff ops, resuming parked ops). Does NOT wait
@@ -134,6 +143,7 @@ class node final : public netout {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> tasks_;
+  bool started_{false};
   bool stop_requested_{false};
   bool reactor_exited_{false};
   checker::history hist_;

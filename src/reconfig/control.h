@@ -22,11 +22,11 @@ class sim_control final : public control_plane {
  public:
   explicit sim_control(store::sim_store& s) : s_(s) {}
 
-  void for_each_server(
-      const std::function<void(store::server&)>& fn) override {
-    for (std::uint32_t i = 0; i < s_.config().base.S(); ++i) {
-      fn(s_.server_at(i));
-    }
+  bool with_server(std::uint32_t index,
+                   const std::function<void(store::server&)>& fn) override {
+    if (s_.world().crashed(server_id(index))) return false;
+    fn(s_.server_at(index));
+    return true;
   }
 
   void publish(std::shared_ptr<const store::shard_map> next) override {
@@ -69,13 +69,14 @@ class tcp_control final : public control_plane {
  public:
   explicit tcp_control(store::tcp_store& s) : s_(s) {}
 
-  void for_each_server(
-      const std::function<void(store::server&)>& fn) override {
-    for (std::uint32_t i = 0; i < s_.config().base.S(); ++i) {
-      s_.cluster().server(i).run_on_reactor([&](automaton& a) {
-        fn(dynamic_cast<store::server&>(a));
-      });
-    }
+  bool with_server(std::uint32_t index,
+                   const std::function<void(store::server&)>& fn) override {
+    // A stopped node models a crashed server; control actions skip it.
+    // try_run_on_reactor is atomic against a concurrent stop() -- plain
+    // run_on_reactor would fall back to running inline, un-crashing the
+    // automaton's state behind the deployment's back.
+    return s_.cluster().server(index).try_run_on_reactor(
+        [&](automaton& a) { fn(dynamic_cast<store::server&>(a)); });
   }
 
   void publish(std::shared_ptr<const store::shard_map> next) override {

@@ -1,11 +1,22 @@
 // The reconfiguration coordinator: installs an epoch-versioned shard map
-// fleet-wide and migrates every moved key online.
+// fleet-wide and migrates every moved object online.
 //
 // Protocol (per reconfiguration):
-//  1. install the new map on EVERY server (each starts tagging replies
-//     with the new epoch and fencing moved objects), then publish it to
-//     the versioned_map so clients can refetch;
-//  2. per moved key, a dual-quorum handoff:
+//  1. PRE-FLIGHT: count reachable servers (fewer than a quorum aborts the
+//     reconfiguration before anything is installed) and collect each
+//     server's unseeded_moved_objects() -- state a server fenced in the
+//     previous generation but never received the seed for. Those objects
+//     are FORCE-MOVED: fenced and handed off again even if their protocol
+//     does not change, so no replica silently serves regressed state.
+//  2. INSTALL + DISCOVERY: install the new map on every reachable server
+//     (each starts tagging replies with the new epoch and fencing moved
+//     objects) and, in the same control action, read the server's object
+//     index. The migration set is the union of the indexes -- every
+//     completed write created instances on a quorum of servers, so a
+//     quorum of indexes covers every key the store actually hosts; the
+//     constructor's `keys` list only ADDS candidates (it is no longer
+//     required to be complete). Then publish the map so clients refetch.
+//  3. Per moved object, a dual-quorum handoff:
 //     a. STATE READ: ask all servers for the old-generation state, take
 //        the maximum over a quorum of answers. Quorum intersection with
 //        the old generation's write/read quorums guarantees the maximum
@@ -13,25 +24,25 @@
 //        established (the feasibility conditions S > 2t, resp.
 //        S > (R+2)t + (R+1)b, give a nonempty intersection);
 //     b. WRITER FLOOR: hand the snapshot to every writer client, so the
-//        fresh writer automaton the key gets at the new epoch resumes
+//        fresh writer automaton the object gets at the new epoch resumes
 //        above the migrated timestamp;
-//     c. SEED: install the snapshot as the key's new-generation state on
-//        ALL servers (full-fleet, so nobody keeps nacking afterwards);
-//     d. RESUME: unpark the key on every client.
-//  3. done when every moved key drained. Keys outside `keys` stay fenced
-//     until migrated by a later reconfiguration -- pass every key in use.
+//     c. SEED: install the snapshot as the object's new-generation state;
+//        completes at a QUORUM of acks;
+//     d. RESUME: unpark the object on every client.
+//  4. done when every moved object drained.
 //
-// LIVENESS ASSUMPTION: step 2c requires an ack from EVERY server, so a
-// single crashed or partitioned server stalls the migration of every
-// moved key -- and with it every client op parked on one. While a
-// reconfiguration is in flight the deployment therefore does NOT enjoy
-// the t-crash tolerance of the underlying register protocols; run the
-// coordinator only while the full fleet is believed healthy, and treat a
-// stuck migration as an operator-visible incident (done() stays false,
-// parked_count() stays nonzero). Data-plane ops on keys that are not
-// moving retain their usual fault tolerance throughout. Lifting this --
-// quorum seeding plus a server-side lazy fetch of the seed on first
-// post-drain access -- is tracked as a ROADMAP open item.
+// LIVENESS: every wait in the pipeline is a quorum wait, so the
+// deployment keeps the t-crash tolerance of the underlying register
+// protocols THROUGH a reconfiguration: a reshard completes, and every
+// parked client op resumes, with up to t servers crashed or partitioned.
+// A server that missed the quorum seed of step 3c pulls the snapshot from
+// a generation peer on its first post-drain access (the lazy seed fetch,
+// store/server.h) before answering, so it cannot stall clients either.
+// Keys never listed and never written are also safe: discovery covers
+// everything hosted, and a first-ever access to a brand-new object under
+// a drained map self-seeds bottom once a safe majority of peers confirms
+// no old-generation state exists. (The pre-PR-3 implementation seeded the
+// FULL fleet and migrated only the keys it was given; see CHANGES.md.)
 //
 // The coordinator is an incremental state machine: start() performs the
 // synchronous control-plane installs, then step() advances the handoff
@@ -62,9 +73,12 @@ class control_plane {
  public:
   virtual ~control_plane() = default;
 
-  /// Runs `fn` against every store server automaton, one at a time.
-  virtual void for_each_server(
-      const std::function<void(store::server&)>& fn) = 0;
+  /// Runs `fn` against server `index`'s automaton; returns false without
+  /// running it when the server is crashed or stopped. Control actions
+  /// skip unreachable servers -- the quorum-based handoff tolerates up to
+  /// t of them.
+  virtual bool with_server(std::uint32_t index,
+                           const std::function<void(store::server&)>& fn) = 0;
   /// Publishes `next` to the deployment's versioned_map.
   virtual void publish(std::shared_ptr<const store::shard_map> next) = 0;
   /// Runs `fn` as a step of the migrator client (by convention reader 0)
@@ -84,21 +98,32 @@ class control_plane {
 
 struct reconfig_stats {
   epoch_t new_epoch{0};
+  /// Distinct objects the servers' indexes reported hosting.
+  std::size_t keys_discovered{0};
   std::size_t keys_considered{0};
   std::size_t keys_moved{0};
 };
 
 class coordinator {
  public:
-  /// `keys`: every key whose state must be handed off if it moves. Keys
-  /// that do not move under the plan are skipped cheaply; duplicates are
-  /// handed off only once.
-  coordinator(control_plane& ctl, std::vector<std::string> keys);
+  /// `keys`: extra keys to consider for handoff, beyond what discovery
+  /// finds in the servers' object indexes. Listing keys is optional --
+  /// anything a completed write created is discovered -- and listing a
+  /// key that does not move (or duplicating one) is harmless.
+  ///
+  /// One coordinator drives ONE reconfiguration: construct a fresh one
+  /// per reshard (start() on a finished coordinator trips its
+  /// phase-is-idle contract check rather than reusing stale handoff
+  /// state). A start() that returned false may be retried.
+  explicit coordinator(control_plane& ctl,
+                       std::vector<std::string> keys = {});
 
   /// Validates the plan against `cur` (the currently installed map),
-  /// installs the new map fleet-wide and publishes it. Returns false
-  /// (with error()) on an invalid plan. On success the migration pipeline
-  /// is armed; drive it with step().
+  /// installs the new map on every reachable server (at least a quorum
+  /// must be reachable), discovers the hosted object set and publishes
+  /// the map. Returns false (with error()) on an invalid plan or an
+  /// unreachable fleet. On success the migration pipeline is armed;
+  /// drive it with step().
   bool start(std::shared_ptr<const store::shard_map> cur,
              const reconfig_plan& plan);
 
@@ -113,17 +138,25 @@ class coordinator {
  private:
   enum class phase { idle, reading, seeding, done };
 
-  /// Skips keys that do not move; arms the next handoff or finishes.
-  void advance_key();
+  /// True when `obj`'s state must be handed off under this plan.
+  [[nodiscard]] bool target_moves(object_id obj) const;
+  /// Skips objects that do not move; arms the next handoff or finishes.
+  void advance_target();
 
   control_plane& ctl_;
   std::vector<std::string> keys_;
-  /// Objects already handed off this reconfiguration (dedups keys_).
+  /// Handoff candidates: the explicit keys' objects first, then every
+  /// discovered object not already covered (sorted for determinism).
+  std::vector<object_id> targets_;
+  /// Objects already handed off this reconfiguration (dedups targets_).
   std::unordered_set<object_id> handled_;
+  /// Objects re-fenced by fiat because a server reported missing their
+  /// previous generation's seed (their protocol may be unchanged).
+  std::unordered_set<object_id> force_moved_;
   std::shared_ptr<const store::shard_map> old_map_;
   std::shared_ptr<const store::shard_map> new_map_;
-  std::size_t next_key_{0};
-  std::string cur_key_{};
+  std::size_t next_target_{0};
+  object_id cur_obj_{k_default_object};
   phase phase_{phase::idle};
   std::string error_{};
   reconfig_stats stats_{};

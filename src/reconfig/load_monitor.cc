@@ -1,0 +1,88 @@
+#include "reconfig/load_monitor.h"
+
+#include "common/check.h"
+
+namespace fastreg::reconfig {
+
+std::optional<reconfig_plan> build_hot_shard_plan(
+    const store::shard_map& cur, const std::vector<std::uint64_t>& totals,
+    const load_monitor_options& opt) {
+  const std::uint32_t n = cur.num_shards();
+  FASTREG_EXPECTS(totals.size() == n);
+  std::uint64_t total = 0;
+  for (const auto c : totals) total += c;
+  if (total < opt.min_total_ops) return std::nullopt;
+
+  // Resolve the current round-robin assignment to one name per shard, so
+  // the new plan can change exactly the hot ones.
+  const auto& names = cur.config().shard_protocols;
+  std::vector<std::string> assignment(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    assignment[s] = names[s % names.size()];
+  }
+
+  const double hot_share =
+      opt.hot_factor / static_cast<double>(n);
+  bool changed = false;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const double share =
+        static_cast<double>(totals[s]) / static_cast<double>(total);
+    if (share >= hot_share && assignment[s] != opt.fast_protocol) {
+      assignment[s] = opt.fast_protocol;
+      changed = true;
+    }
+  }
+  if (!changed) return std::nullopt;
+
+  reconfig_plan plan{n, std::move(assignment)};
+  if (!validate_plan(cur, plan).empty()) return std::nullopt;
+  return plan;
+}
+
+std::optional<reconfig_plan> load_monitor::sample(
+    const store::shard_map& cur) {
+  totals_.assign(cur.num_shards(), 0);
+  const auto& base = cur.config().base;
+  for (std::uint32_t i = 0; i < base.S(); ++i) {
+    ctl_.with_server(i, [&](store::server& s) {
+      const auto& counts = s.shard_ops();
+      // A server mid-install may briefly disagree on the shard count;
+      // only same-geometry counters are comparable.
+      if (counts.size() != totals_.size()) return;
+      for (std::size_t j = 0; j < counts.size(); ++j) {
+        totals_[j] += counts[j];
+      }
+      s.reset_shard_ops();
+    });
+  }
+  return build_hot_shard_plan(cur, totals_, opt_);
+}
+
+auto_resharder::auto_resharder(control_plane& ctl, store::map_source maps,
+                               options opt)
+    : ctl_(ctl), maps_(std::move(maps)), opt_(opt), mon_(ctl, opt.monitor) {
+  FASTREG_EXPECTS(maps_ != nullptr);
+  FASTREG_EXPECTS(opt_.sample_every > 0);
+}
+
+void auto_resharder::step() {
+  if (coord_ && !coord_->done()) {
+    coord_->step();
+    return;
+  }
+  if (++ticks_ % opt_.sample_every != 0) return;
+  auto cur = maps_();
+  FASTREG_CHECK(cur != nullptr);
+  const auto plan = mon_.sample(*cur);
+  if (!plan) return;
+  coord_.emplace(ctl_);  // discovery supplies the key set
+  if (!coord_->start(std::move(cur), *plan)) {
+    // An unreachable fleet (or a racing manual reshard) is transient;
+    // drop the attempt and keep watching.
+    coord_.reset();
+    return;
+  }
+  ++started_;
+}
+
+}  // namespace fastreg::reconfig

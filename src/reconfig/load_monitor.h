@@ -1,0 +1,114 @@
+// Load-triggered automatic resharding.
+//
+// Store servers count client data messages per shard of the current map
+// (server::shard_ops). The load_monitor samples those counters across the
+// reachable fleet, and when a shard's share of the window's traffic is
+// disproportionate (a Zipf workload concentrates a few hot objects on a
+// few shards), builds a reconfig_plan that promotes the hot shards to a
+// fast (one-round-read) protocol while leaving the rest alone. The
+// auto_resharder closes the loop: it samples periodically and, when a
+// plan appears, starts and drives a migration coordinator -- no operator
+// in the loop. This is the ROADMAP's "watch per-shard load and reshard
+// hot shards to fast protocols" item.
+//
+// Promotion only: demotion churn (hot shard cools down, gets demoted,
+// heats up again) costs a full handoff per flip; operators can still
+// reshard by hand for that. A plan is proposed only when it validates
+// under the deployment's base config (e.g. fast_swmr must be feasible:
+// S > (R+2)t), so an auto-resharder on an infeasible deployment simply
+// never fires.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reconfig/coordinator.h"
+#include "reconfig/plan.h"
+#include "store/shard_map.h"
+
+namespace fastreg::reconfig {
+
+struct load_monitor_options {
+  /// A shard is hot when its share of the sample window's ops is at
+  /// least hot_factor times the fair share (1 / num_shards).
+  double hot_factor{2.0};
+  /// Ignore sample windows with fewer total ops than this (noise guard).
+  std::uint64_t min_total_ops{200};
+  /// Protocol hot shards are promoted to.
+  std::string fast_protocol{"fast_swmr"};
+};
+
+/// Expands `cur`'s round-robin protocol list to one name per shard,
+/// promotes every hot shard (per `totals`, the summed per-shard op
+/// counts) to opt.fast_protocol, and returns the resulting plan -- or
+/// nullopt when the window is too small, nothing qualifies, or the plan
+/// would not validate. Pure function; unit-testable without a transport.
+[[nodiscard]] std::optional<reconfig_plan> build_hot_shard_plan(
+    const store::shard_map& cur, const std::vector<std::uint64_t>& totals,
+    const load_monitor_options& opt);
+
+class load_monitor {
+ public:
+  explicit load_monitor(control_plane& ctl, load_monitor_options opt = {})
+      : ctl_(ctl), opt_(opt) {}
+
+  /// Sums per-shard op counters across reachable servers and RESETS them
+  /// (each call samples a fresh window), then applies
+  /// build_hot_shard_plan.
+  [[nodiscard]] std::optional<reconfig_plan> sample(
+      const store::shard_map& cur);
+
+  /// The last sample's summed per-shard counts (diagnostic).
+  [[nodiscard]] const std::vector<std::uint64_t>& last_totals() const {
+    return totals_;
+  }
+
+ private:
+  control_plane& ctl_;
+  load_monitor_options opt_;
+  std::vector<std::uint64_t> totals_;
+};
+
+/// The self-driving loop: sample the load every `sample_every` steps;
+/// when the monitor proposes a plan, start a coordinator on it and drive
+/// the migration to completion, then go back to watching.
+class auto_resharder {
+ public:
+  struct options {
+    load_monitor_options monitor{};
+    /// step() calls between load samples (a sample resets the window).
+    std::uint64_t sample_every{64};
+  };
+
+  /// `maps` supplies the currently installed shard map (the deployment's
+  /// versioned_map source).
+  auto_resharder(control_plane& ctl, store::map_source maps, options opt);
+  auto_resharder(control_plane& ctl, store::map_source maps)
+      : auto_resharder(ctl, std::move(maps), options{}) {}
+
+  /// One control action: advances an in-flight reshard, or counts toward
+  /// the next load sample and starts a reshard when one is due and a hot
+  /// shard shows. Call interleaved with transport progress.
+  void step();
+
+  /// True while a started reshard has not finished.
+  [[nodiscard]] bool resharding() const {
+    return coord_.has_value() && !coord_->done();
+  }
+  [[nodiscard]] std::uint64_t reshards_started() const { return started_; }
+  [[nodiscard]] const load_monitor& monitor() const { return mon_; }
+
+ private:
+  control_plane& ctl_;
+  store::map_source maps_;
+  options opt_;
+  load_monitor mon_;
+  /// The in-flight (or last finished) migration; rebuilt per reshard.
+  std::optional<coordinator> coord_;
+  std::uint64_t ticks_{0};
+  std::uint64_t started_{0};
+};
+
+}  // namespace fastreg::reconfig

@@ -43,6 +43,10 @@ const char* to_string(msg_type t) {
       return "SEED";
     case msg_type::seed_ack:
       return "SEEDACK";
+    case msg_type::fetch_req:
+      return "FETCH";
+    case msg_type::fetch_ack:
+      return "FETCHACK";
   }
   return "?";
 }
@@ -96,7 +100,7 @@ std::optional<message> decode_message(byte_reader& r) {
   message m;
   const auto type = r.get_u8();
   if (!type || *type < 1 ||
-      *type > static_cast<std::uint8_t>(msg_type::seed_ack)) {
+      *type > static_cast<std::uint8_t>(msg_type::fetch_ack)) {
     return std::nullopt;
   }
   m.type = static_cast<msg_type>(*type);

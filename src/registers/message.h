@@ -46,7 +46,20 @@ enum class msg_type : std::uint8_t {
   // state of the object's new-generation instance and stop nacking it.
   seed_req = 13,
   seed_ack = 14,
+  // Server-to-server lazy seed fetch: a server that missed the quorum
+  // seed of a moved object asks its generation peers for the seeded
+  // snapshot on first post-drain access. The ack's `rcounter` carries the
+  // k_fetch_* flag bits; when k_fetch_seeded is set, (ts, wid, val, prev,
+  // sig) is the ORIGINAL seed snapshot of the object's generation.
+  fetch_req = 15,
+  fetch_ack = 16,
 };
+
+/// fetch_ack flag bits (carried in message::rcounter): the answering peer
+/// holds the object's seeded new-generation snapshot / still holds its
+/// previous-generation instance.
+inline constexpr std::uint64_t k_fetch_seeded = 1;
+inline constexpr std::uint64_t k_fetch_prev_hosted = 2;
 
 [[nodiscard]] const char* to_string(msg_type t);
 

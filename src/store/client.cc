@@ -19,6 +19,7 @@ client::client(const client& o)
       self_(o.self_),
       floors_(o.floors_),
       pending_(o.pending_),
+      attempts_(o.attempts_),
       mig_(o.mig_),
       mig_seq_(o.mig_seq_),
       completions_(o.completions_),
@@ -53,6 +54,7 @@ automaton& client::inner_for(object_id obj) {
 
 void client::invoke_on(object_id obj, pending_op& op) {
   auto& inner = inner_for(obj);
+  op.epoch = epoch();
   tagging_netout tagged(outbox_, obj, epoch(), op.attempt);
   if (op.is_put) {
     auto* w = as_writer(&inner);
@@ -74,6 +76,7 @@ void client::begin_get(const std::string& key) {
   auto& op = pending_[obj];
   op.key = key;
   op.is_put = false;
+  op.attempt = ++attempts_[obj];
   invoke_on(obj, op);
 }
 
@@ -85,6 +88,7 @@ void client::begin_put(const std::string& key, value_t v) {
   op.key = key;
   op.is_put = true;
   op.val = std::move(v);
+  op.attempt = ++attempts_[obj];
   invoke_on(obj, op);
 }
 
@@ -106,7 +110,7 @@ void client::reissue(object_id obj, pending_op& op) {
   // The abandoned attempt's automaton state (including any acks it
   // gathered) is protocol state of a superseded generation; discard it
   // and start over against the current map.
-  op.attempt += 1;
+  op.attempt = ++attempts_[obj];
   op.parked = false;
   objects_.erase(obj);
   invoke_on(obj, op);
@@ -138,21 +142,32 @@ void client::refresh_map() {
 }
 
 void client::resume_parked(const std::string& key) {
+  resume_parked(key_object_id(key));
+}
+
+void client::resume_parked(object_id obj) {
   refresh_map();
-  const auto it = pending_.find(key_object_id(key));
-  if (it == pending_.end()) return;
-  // Re-issue ANY pending op on the key, parked or still in flight: an op
-  // whose pre-seed nack is still in transit would otherwise park when the
-  // nack lands, with no later resume coming (the coordinator visits each
-  // key once). Re-issuing bumps the attempt, so the straggler nack is
-  // recognizably stale; after this pass every server has seeded the key,
-  // so the fresh attempt cannot be nacked at this epoch again.
+  const auto it = pending_.find(obj);
+  if (it == pending_.end() || !it->second.parked) return;
+  // Only PARKED ops re-issue here. A non-parked in-flight op is either
+  // answered normally or buffered at a server behind a lazy seed fetch
+  // (store/server.h) and completes when the fetch replays it; re-issuing
+  // it would discard an automaton whose requests servers may have
+  // already processed, and the replacement's restarted per-client
+  // request counter would be silently ignored by protocols that guard
+  // against stale counters (fast_swmr line 26). Nacks cannot strand an
+  // in-flight op either: handle_nack re-issues any attempt issued under
+  // an older epoch and only parks current-epoch attempts, which only a
+  // later reconfiguration nacks (and then resumes).
   reissue(it->first, it->second);
 }
 
 void client::seed_writer_floor(const std::string& key,
                                const register_snapshot& s) {
-  const object_id obj = key_object_id(key);
+  seed_writer_floor(key_object_id(key), s);
+}
+
+void client::seed_writer_floor(object_id obj, const register_snapshot& s) {
   floors_[obj] = s;
   // A put already in flight on this object may run on an automaton created
   // BEFORE the floor existed (invoked at the new epoch while the key was
@@ -167,12 +182,11 @@ void client::seed_writer_floor(const std::string& key,
   }
 }
 
-void client::begin_state_read(const std::string& key, epoch_t old_epoch) {
+void client::begin_state_read(object_id obj, epoch_t old_epoch) {
   FASTREG_EXPECTS(!mig_ || mig_->done);
   mig_.emplace();
   mig_->is_seed = false;
-  mig_->key = key;
-  mig_->obj = key_object_id(key);
+  mig_->obj = obj;
   mig_->seq = ++mig_seq_;
   message m;
   m.type = msg_type::state_req;
@@ -185,17 +199,20 @@ void client::begin_state_read(const std::string& key, epoch_t old_epoch) {
   }
 }
 
-void client::begin_seed(const std::string& key, const register_snapshot& s) {
+void client::begin_seed(object_id obj, const register_snapshot& s,
+                        epoch_t new_epoch) {
   FASTREG_EXPECTS(!mig_ || mig_->done);
   mig_.emplace();
   mig_->is_seed = true;
-  mig_->key = key;
-  mig_->obj = key_object_id(key);
+  mig_->obj = obj;
   mig_->seq = ++mig_seq_;
   message m;
   m.type = msg_type::seed_req;
   m.obj = mig_->obj;
-  m.epoch = epoch();
+  // The coordinator names the generation explicitly: this client's own
+  // map may lag (it only refreshes from data-path replies), and the
+  // servers reject seeds not stamped with their current generation.
+  m.epoch = new_epoch;
   m.mig = true;
   m.rcounter = mig_->seq;
   m.ts = s.ts;
@@ -245,10 +262,11 @@ void client::handle_mig_ack(const process_id& from, const message& m) {
     }
     if (mig_->acked.size() >= base.quorum()) mig_->done = true;
   } else {
-    // Seeding must reach the FULL fleet: any server still draining the
-    // key after the coordinator lifts the drain would nack clients with
-    // nobody left to resume them.
-    if (mig_->acked.size() >= base.S()) mig_->done = true;
+    // Seeding completes at a QUORUM of acks, so a crashed or partitioned
+    // server cannot stall the handoff. A server that missed the seed
+    // lazily pulls the snapshot from a generation peer on first
+    // post-drain access (store/server.h) instead of nacking forever.
+    if (mig_->acked.size() >= base.quorum()) mig_->done = true;
   }
 }
 
@@ -263,10 +281,20 @@ void client::handle_nack(const message& m) {
   refresh_map();
   if (m.attempt != op.attempt) return;
   if (m.epoch >= epoch()) {
-    // Either the key is draining at our epoch, or the server is ahead of
-    // the (not yet published) map. Both resolve when the coordinator
-    // finishes the key and resumes us.
-    park(m.obj, op);
+    if (op.epoch < epoch()) {
+      // The attempt was issued under a superseded map but the object's
+      // protocol did not change (refresh_map would have re-issued it
+      // otherwise) -- it was force-moved by the coordinator (see
+      // store/server.h). Re-issue under the current epoch: the fresh
+      // attempt is served, or buffered behind the object's lazy seed
+      // fetch, without depending on a resume that may already be past.
+      reissue(m.obj, op);
+    } else {
+      // Nacked at the attempt's own epoch: a later reconfiguration
+      // fenced the object (or its fetch buffer overflowed); the
+      // migration that fences it resumes us.
+      park(m.obj, op);
+    }
   }
   // m.epoch < epoch(): stale nack from a server we have since overtaken;
   // the re-issued attempt will be answered on its own.
@@ -285,10 +313,12 @@ void client::route(const process_id& from, const message& m) {
   std::uint32_t attempt = 0;
   const auto p = pending_.find(m.obj);
   if (p != pending_.end()) attempt = p->second.attempt;
-  // reissue() recreates the inner automaton with fresh counters, so a
-  // straggler reply addressed to an abandoned attempt at the SAME epoch
-  // can alias the live attempt's counters. The attempt stamp
-  // disambiguates (mirroring the check handle_nack performs).
+  // Invocations and reissues recreate inner automata with fresh
+  // counters, so a straggler reply addressed to an abandoned attempt at
+  // the SAME epoch could alias the live attempt's counters. The attempt
+  // stamp -- per-object and monotonic across ops, so stragglers of
+  // EARLIER ops cannot alias either -- disambiguates (mirroring the
+  // check handle_nack performs).
   if (m.attempt != attempt) return;
   tagging_netout tagged(outbox_, m.obj, epoch(), attempt);
   it->second.a->on_message(tagged, from, m);

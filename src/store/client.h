@@ -94,32 +94,41 @@ class client final : public automaton, public async_client_iface {
   /// outbox; follow with flush()).
   void refresh_map();
 
-  /// Re-issues the parked op (if any) that `key` holds, after refreshing
-  /// the map. Called by the migration coordinator once the key's drain
-  /// completed. Follow with flush().
+  /// Re-issues the parked op (if any) the object holds, after refreshing
+  /// the map. Called by the migration coordinator once the object's drain
+  /// completed. Follow with flush(). The string overload hashes the key.
   void resume_parked(const std::string& key);
+  void resume_parked(object_id obj);
 
-  /// Records the migrated state of `key` so the writer automaton the next
-  /// (re-)issued put creates starts above the migrated timestamp. Must be
-  /// installed before the key's drain is lifted. A put already in flight
-  /// on the key is parked (its automaton predates the floor, so its
-  /// requests could complete below the seeded state); the resume that
-  /// follows every floor install re-issues it floored.
+  /// Records the migrated state of the object so the writer automaton the
+  /// next (re-)issued put creates starts above the migrated timestamp.
+  /// Must be installed before the object's drain is lifted. A put already
+  /// in flight on the object is parked (its automaton predates the floor,
+  /// so its requests could complete below the seeded state); the resume
+  /// that follows every floor install re-issues it floored.
   void seed_writer_floor(const std::string& key, const register_snapshot& s);
+  void seed_writer_floor(object_id obj, const register_snapshot& s);
 
   // Migration handoff I/O: the coordinator drives these on ONE client (by
-  // convention reader 0). One handoff op at a time.
+  // convention reader 0). One handoff op at a time. The coordinator works
+  // in object ids (live discovery reads them out of server indexes, where
+  // the original key strings do not exist).
 
-  /// Phase 1: ask every server for the old-generation state of `key` (the
-  /// generation superseded at `old_epoch` + 1). Completes -- mig_done() --
-  /// after a quorum of valid answers; mig_snapshot() is their maximum.
-  void begin_state_read(const std::string& key, epoch_t old_epoch);
-  /// Phase 2: install `s` as the new-generation state of `key` on every
-  /// server. Completes after ALL servers acked (so no server keeps
-  /// nacking the key after the coordinator lifts the drain). This is the
-  /// full-fleet wait behind the coordinator's liveness assumption: one
-  /// unresponsive server stalls the handoff (see reconfig/coordinator.h).
-  void begin_seed(const std::string& key, const register_snapshot& s);
+  /// Phase 1: ask every server for the old-generation state of the object
+  /// (the generation superseded at `old_epoch` + 1). Completes --
+  /// mig_done() -- after a quorum of valid answers; mig_snapshot() is
+  /// their maximum.
+  void begin_state_read(object_id obj, epoch_t old_epoch);
+  /// Phase 2: install `s` as the new-generation state of the object on
+  /// every server, stamped with `new_epoch` (the generation being
+  /// seeded; servers drop seeds of another generation, so a seed_req
+  /// delayed past the migration it belongs to cannot install stale
+  /// state later). Completes after a QUORUM of acks -- the paper's
+  /// t-crash tolerance holds through the handoff; servers that missed
+  /// the seed lazily fetch it from a generation peer on first
+  /// post-drain access (store/server.h).
+  void begin_seed(object_id obj, const register_snapshot& s,
+                  epoch_t new_epoch);
   [[nodiscard]] bool mig_done() const { return mig_.has_value() && mig_->done; }
   [[nodiscard]] const register_snapshot& mig_snapshot() const;
 
@@ -149,9 +158,16 @@ class client final : public automaton, public async_client_iface {
     value_t val{};  // written value, kept so the op can be re-issued
     /// Inner completion counter snapshot at (re-)invocation.
     std::uint64_t before{0};
-    /// Bumped on every re-issue; outbound messages carry it and nacks
-    /// echo it, so nacks aimed at an abandoned attempt are discarded.
+    /// Current attempt id, from the per-object monotonic counter
+    /// (attempts_): advanced on every invocation AND re-issue, so
+    /// stragglers aimed at an abandoned attempt -- of this op or any
+    /// earlier op on the object -- are recognizably stale. Outbound
+    /// messages carry it and nacks echo it.
     std::uint32_t attempt{0};
+    /// Epoch the current attempt was issued under. A nack reaching an
+    /// attempt issued under an older epoch re-issues it; a nack at the
+    /// attempt's own epoch parks it (handle_nack).
+    epoch_t epoch{k_initial_epoch};
     /// Parked: automaton discarded, waiting for resume_parked.
     bool parked{false};
   };
@@ -159,7 +175,6 @@ class client final : public automaton, public async_client_iface {
   /// One in-flight migration handoff op (coordinator-driven).
   struct mig_op {
     bool is_seed{false};
-    std::string key{};
     object_id obj{k_default_object};
     std::uint64_t seq{0};
     std::unordered_set<std::uint32_t> acked{};
@@ -197,6 +212,8 @@ class client final : public automaton, public async_client_iface {
   /// the object's writer automaton is (re)created.
   std::unordered_map<object_id, register_snapshot> floors_;
   std::unordered_map<object_id, pending_op> pending_;
+  /// Per-object attempt counter (monotonic across ops; see pending_op).
+  std::unordered_map<object_id, std::uint32_t> attempts_;
   std::optional<mig_op> mig_;
   std::uint64_t mig_seq_{0};
   batch_collector outbox_;

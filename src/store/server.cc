@@ -1,17 +1,37 @@
 #include "store/server.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace fastreg::store {
 
+namespace {
+
+/// Client data messages held per object while a lazy seed fetch is in
+/// flight; overflow is nacked (the client parks and is resumed by the
+/// object's migration).
+constexpr std::size_t k_max_fetch_waiting = 64;
+/// Gossip held per object during a fetch; overflow is dropped (gossip
+/// is max-merging and self-heals once the instance is seeded).
+constexpr std::size_t k_max_fetch_gossip = 16;
+
+}  // namespace
+
 server::server(std::shared_ptr<const shard_map> shards, std::uint32_t index)
-    : map_(std::move(shards)), index_(index) {}
+    : map_(std::move(shards)), index_(index) {
+  shard_ops_.assign(map_->num_shards(), 0);
+}
 
 server::server(const server& o)
     : map_(o.map_),
       prev_map_(o.prev_map_),
       index_(o.index_),
-      seeded_(o.seeded_) {
+      seed_snaps_(o.seed_snaps_),
+      fetches_(o.fetches_),
+      fetch_subs_(o.fetch_subs_),
+      force_moved_(o.force_moved_),
+      shard_ops_(o.shard_ops_) {
   FASTREG_EXPECTS(o.outbox_.empty());
   for (const auto& [obj, a] : o.objects_) {
     objects_.emplace(obj, a->clone());
@@ -34,24 +54,67 @@ automaton& server::inner_for(object_id obj) {
 }
 
 bool server::moved(object_id obj) const {
-  return prev_map_ != nullptr && object_moves(*prev_map_, *map_, obj);
+  return prev_map_ != nullptr && (object_moves(*prev_map_, *map_, obj) ||
+                                  force_moved_.contains(obj));
 }
 
-void server::install_map(std::shared_ptr<const shard_map> next) {
+std::vector<object_id> server::list_objects() const {
+  std::vector<object_id> out;
+  out.reserve(objects_.size() + prev_objects_.size());
+  for (const auto& [obj, a] : objects_) out.push_back(obj);
+  for (const auto& [obj, a] : prev_objects_) {
+    if (!objects_.contains(obj)) out.push_back(obj);
+  }
+  return out;
+}
+
+std::vector<object_id> server::unseeded_moved_objects() const {
+  // Objects whose superseded state is still set aside un-seeded (a moved
+  // object never hosted here has no state to regress to: a fresh bottom
+  // instance in a later generation is indistinguishable from a server
+  // the register was simply never written to), plus objects with a lazy
+  // fetch still buffered -- the next install nacks their buffered
+  // traffic, so the next migration must re-fence and resume them.
+  std::vector<object_id> out;
+  for (const auto& [obj, a] : prev_objects_) {
+    if (!seed_snaps_.contains(obj)) out.push_back(obj);
+  }
+  for (const auto& [obj, st] : fetches_) out.push_back(obj);
+  return out;
+}
+
+void server::reset_shard_ops() { shard_ops_.assign(map_->num_shards(), 0); }
+
+void server::install_map(std::shared_ptr<const shard_map> next,
+                         const std::unordered_set<object_id>& force_move) {
   FASTREG_EXPECTS(next != nullptr);
   FASTREG_EXPECTS(next->epoch() == map_->epoch() + 1);
-  prev_objects_.clear();  // previous reconfiguration fully drained by now
-  seeded_.clear();
+  prev_objects_.clear();  // superseded generation retired
+  seed_snaps_.clear();
   for (auto it = objects_.begin(); it != objects_.end();) {
-    if (object_moves(*map_, *next, it->first)) {
+    if (object_moves(*map_, *next, it->first) ||
+        force_move.contains(it->first)) {
       prev_objects_.emplace(it->first, std::move(it->second));
       it = objects_.erase(it);
     } else {
       ++it;
     }
   }
+  force_moved_ = force_move;
   prev_map_ = std::move(map_);
   map_ = std::move(next);
+  shard_ops_.assign(map_->num_shards(), 0);
+  // Fetches of the retired generation cannot resolve anymore; nack what
+  // they buffered (gossip is simply dropped: it means nothing across
+  // generations). The nacks carry the NEW epoch, so the clients refetch
+  // the map and re-issue or park; every fetch object was reported
+  // through unseeded_moved_objects(), so the new migration force-moves
+  // it, hands it off and resumes whoever parked.
+  for (auto& [obj, st] : fetches_) {
+    for (const auto& [from, m] : st.waiting) send_nack(from, m);
+  }
+  fetches_.clear();
+  fetch_subs_.clear();
 }
 
 void server::send_nack(const process_id& to, const message& m) {
@@ -96,19 +159,60 @@ void server::handle_state_req(const process_id& from, const message& m) {
   outbox_.add(from, std::move(ack));
 }
 
-void server::handle_seed_req(const process_id& from, const message& m) {
-  if (!seeded_.contains(m.obj)) {
-    // Replace whatever stray instance exists (none should: data traffic
-    // for a draining object is nacked until this seed lands).
-    objects_.erase(m.obj);
-    auto& inner = inner_for(m.obj);
-    if (m.ts != k_initial_ts) {
-      auto* s = as_seedable(&inner);
-      FASTREG_CHECK(s != nullptr);
-      s->seed_state({m.ts, m.wid, m.val, m.prev, m.sig});
-    }
-    seeded_.insert(m.obj);
+void server::adopt_seed(object_id obj, const register_snapshot& snap) {
+  if (seed_snaps_.contains(obj)) return;
+  // Replace whatever stray instance exists (none should: data traffic
+  // for a draining object is held back until a seed lands).
+  objects_.erase(obj);
+  auto& inner = inner_for(obj);
+  if (snap.ts != k_initial_ts) {
+    auto* s = as_seedable(&inner);
+    FASTREG_CHECK(s != nullptr);
+    s->seed_state(snap);
   }
+  seed_snaps_.emplace(obj, snap);
+  // Push the seed to every peer whose fetch_req this server answered
+  // empty-handed; their buffered traffic is waiting on it.
+  const auto subs = fetch_subs_.find(obj);
+  if (subs != fetch_subs_.end()) {
+    message note;
+    note.type = msg_type::fetch_ack;
+    note.obj = obj;
+    note.epoch = map_->epoch();
+    note.mig = true;
+    note.rcounter = k_fetch_seeded;
+    note.ts = snap.ts;
+    note.wid = snap.wid;
+    note.val = snap.val;
+    note.prev = snap.prev;
+    note.sig = snap.sig;
+    for (const auto peer : subs->second) {
+      outbox_.add(server_id(peer), note);
+    }
+    fetch_subs_.erase(subs);
+  }
+}
+
+void server::finish_fetch(object_id obj) {
+  const auto it = fetches_.find(obj);
+  if (it == fetches_.end()) return;
+  auto st = std::move(it->second);
+  fetches_.erase(it);
+  for (auto& [from, m] : st.gossip_waiting) handle_one(from, m);
+  for (auto& [from, m] : st.waiting) handle_one(from, m);
+}
+
+void server::handle_seed_req(const process_id& from, const message& m) {
+  // Only seeds of the CURRENT generation install. With quorum
+  // completion, a seed_req may outlive the migration it belongs to;
+  // letting a delayed previous-generation seed land after the next
+  // install would record stale state as this generation's seed (and
+  // ack it into the new seed quorum). Drop it -- nobody waits for its
+  // ack anymore.
+  if (m.epoch != map_->epoch()) return;
+  adopt_seed(m.obj, {m.ts, m.wid, m.val, m.prev, m.sig});
+  // A lazy fetch racing the coordinator's own seed resolves here.
+  finish_fetch(m.obj);
   message ack;
   ack.type = msg_type::seed_ack;
   ack.obj = m.obj;
@@ -118,6 +222,104 @@ void server::handle_seed_req(const process_id& from, const message& m) {
   outbox_.add(from, std::move(ack));
 }
 
+void server::enqueue_fetch(const process_id& from, const message& m) {
+  auto [it, inserted] = fetches_.try_emplace(m.obj);
+  if (from.is_server()) {
+    // Gossip rides its own (smaller) buffer so a chatty protocol cannot
+    // starve client data of buffer space; overflow drops it.
+    if (it->second.gossip_waiting.size() < k_max_fetch_gossip) {
+      it->second.gossip_waiting.emplace_back(from, m);
+    }
+  } else if (it->second.waiting.size() >= k_max_fetch_waiting) {
+    // Overflow guard; in practice unreachable for client data (clients
+    // keep at most one op in flight per object). The nacked client
+    // parks and the object's migration resumes it.
+    send_nack(from, m);
+    return;
+  } else {
+    it->second.waiting.emplace_back(from, m);
+  }
+  if (!inserted) return;  // fetch already in flight; just wait with it
+  message req;
+  req.type = msg_type::fetch_req;
+  req.obj = m.obj;
+  req.epoch = map_->epoch();
+  req.mig = true;
+  for (std::uint32_t j = 0; j < map_->config().base.S(); ++j) {
+    if (j == index_) continue;
+    outbox_.add(server_id(j), req);
+  }
+}
+
+void server::handle_fetch_req(const process_id& from, const message& m) {
+  if (!from.is_server()) return;
+  message ack;
+  ack.type = msg_type::fetch_ack;
+  ack.obj = m.obj;
+  ack.epoch = map_->epoch();
+  ack.mig = true;
+  if (m.epoch == map_->epoch()) {
+    if (const auto snap_it = seed_snaps_.find(m.obj);
+        snap_it != seed_snaps_.end()) {
+      ack.rcounter |= k_fetch_seeded;
+      const auto& snap = snap_it->second;
+      ack.ts = snap.ts;
+      ack.wid = snap.wid;
+      ack.val = snap.val;
+      ack.prev = snap.prev;
+      ack.sig = snap.sig;
+    } else {
+      // Empty-handed: remember the requester and push the seed to it the
+      // moment one is adopted here (adopt_seed), so a fetch that raced
+      // the coordinator's seed wave still resolves.
+      fetch_subs_[m.obj].insert(from.index);
+      if (prev_objects_.contains(m.obj)) {
+        ack.rcounter |= k_fetch_prev_hosted;
+      }
+    }
+  }
+  // Epoch mismatch: answer with our epoch and no flags; the requester
+  // drops acks of another generation (and a behind requester will learn
+  // the new epoch via its own install).
+  outbox_.add(from, std::move(ack));
+}
+
+void server::handle_fetch_ack(const process_id& from, const message& m) {
+  if (!from.is_server() || m.epoch != map_->epoch()) return;
+  const auto it = fetches_.find(m.obj);
+  if (it == fetches_.end()) return;  // already resolved
+  if ((m.rcounter & k_fetch_seeded) != 0) {
+    adopt_seed(m.obj, {m.ts, m.wid, m.val, m.prev, m.sig});
+    finish_fetch(m.obj);
+    return;
+  }
+  auto& st = it->second;
+  if (st.dormant) return;
+  if (!st.answered.insert(from.index).second) return;
+  st.any_prev = st.any_prev || (m.rcounter & k_fetch_prev_hosted) != 0;
+  // Decide once a safe majority of peers answered: of the S-1 peers, up
+  // to t may be crashed, so S-1-t answers is the most we may wait for.
+  const auto& base = map_->config().base;
+  if (st.answered.size() < base.S() - 1 - base.t()) return;
+  if (st.any_prev || prev_objects_.contains(m.obj)) {
+    // Old-generation state survives somewhere reachable, so the
+    // coordinator's handoff for this object is still in flight (it
+    // discovers the object from the same indexes). Hold the buffered
+    // traffic; we are subscribed at every answerer, and the seed wave
+    // reaches a quorum of them, so a seeded notification is coming.
+    // Which answers arrived when does not matter -- prev_hosted is a
+    // per-generation constant, unlike seeded-ness.
+    st.dormant = true;
+    return;
+  }
+  // No seed and no old-generation state on any reachable server: any
+  // value a completed old-epoch op established would live on a quorum,
+  // which intersects self plus the answered set in at least one server.
+  // The object was simply never written -- seed bottom and serve.
+  adopt_seed(m.obj, {});
+  finish_fetch(m.obj);
+}
+
 void server::handle_one(const process_id& from, const message& m) {
   if (m.type == msg_type::state_req) {
     handle_state_req(from, m);
@@ -125,6 +327,14 @@ void server::handle_one(const process_id& from, const message& m) {
   }
   if (m.type == msg_type::seed_req) {
     handle_seed_req(from, m);
+    return;
+  }
+  if (m.type == msg_type::fetch_req) {
+    handle_fetch_req(from, m);
+    return;
+  }
+  if (m.type == msg_type::fetch_ack) {
+    handle_fetch_ack(from, m);
     return;
   }
   if (m.type == msg_type::epoch_nack || m.type == msg_type::state_ack ||
@@ -137,26 +347,49 @@ void server::handle_one(const process_id& from, const message& m) {
     // The attempt tag rides along even on the gossip path: a client-bound
     // reply a gossip message triggers (maxmin's maybe_reply) must carry
     // the attempt of the read it serves, or the client would drop it.
-    if (moved(m.obj) && m.epoch < map_->epoch()) {
-      const auto prev = prev_objects_.find(m.obj);
-      if (prev == prev_objects_.end()) return;
-      tagging_netout tagged(outbox_, m.obj, m.epoch, m.attempt);
-      prev->second->on_message(tagged, from, m);
-      return;
+    if (moved(m.obj)) {
+      if (m.epoch < map_->epoch()) {
+        const auto prev = prev_objects_.find(m.obj);
+        if (prev == prev_objects_.end()) return;
+        tagging_netout tagged(outbox_, m.obj, m.epoch, m.attempt);
+        prev->second->on_message(tagged, from, m);
+        return;
+      }
+      if (!seed_snaps_.contains(m.obj)) {
+        // Current-generation gossip is fenced exactly like client data:
+        // feeding it to a fresh un-seeded instance would accumulate
+        // state (and possibly be counted in peers' quorums) that
+        // adopt_seed later destroys. Buffer it with the fetch and merge
+        // it into the seeded instance on replay.
+        enqueue_fetch(from, m);
+        return;
+      }
     }
     tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt);
     inner_for(m.obj).on_message(tagged, from, m);
     return;
   }
-  // Client data message. Moved objects are fenced: requests routed under
-  // a superseded map are nacked (the client refetches and retries), and
-  // current-epoch requests are nacked until the migration handoff seeds
-  // the new instance (the client parks until resumed).
-  if (moved(m.obj) &&
-      (m.epoch != map_->epoch() || !seeded_.contains(m.obj))) {
-    send_nack(from, m);
-    return;
+  // Client data message: apply the epoch fence, then count it against
+  // its shard (the load monitor's sampling source). Counting only what
+  // is actually served keeps the signal honest: a buffered message is
+  // counted once on replay, not once per fence crossing, and stale
+  // nacked traffic is not load.
+  if (moved(m.obj)) {
+    // Requests routed under a superseded map are nacked (the client
+    // refetches and retries). Current-epoch requests for an object whose
+    // seed this server has not received are held back while a lazy fetch
+    // pulls the seeded snapshot from a generation peer (or establishes
+    // that the object was never written anywhere); see the class comment.
+    if (m.epoch != map_->epoch()) {
+      send_nack(from, m);
+      return;
+    }
+    if (!seed_snaps_.contains(m.obj)) {
+      enqueue_fetch(from, m);
+      return;
+    }
   }
+  ++shard_ops_[map_->shard_of_object(m.obj)];
   tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt);
   inner_for(m.obj).on_message(tagged, from, m);
 }

@@ -6,18 +6,49 @@
 //
 // Reconfiguration (src/reconfig): install_map moves the server to the
 // next epoch. Objects whose protocol changed ("moved") have their old
-// instances set aside as the previous generation; until the migration
-// coordinator seeds an object's new instance, client data messages for it
-// are answered with epoch_nack (stale-epoch requests are nacked even
-// after the drain, so clients routed by a superseded map refetch).
+// instances set aside as the previous generation; stale-epoch requests
+// for them are nacked (clients routed by a superseded map refetch).
 // Unmoved objects keep their instances and are served across the epoch
 // boundary without interruption.
+//
+// Lazy seed fetch: the migration coordinator seeds a moved object's
+// new-generation state on a QUORUM of servers (reconfig/coordinator.h).
+// A server that has not seen the seed -- the handoff may still be in
+// flight, or this server was partitioned out of the seeded quorum -- and
+// receives a current-epoch data message for the object does not nack it:
+// it buffers the message and asks its generation peers for the seeded
+// snapshot (fetch_req). The first peer that holds the generation's
+// ORIGINAL seed snapshot supplies it (fetch_ack with k_fetch_seeded); the
+// server seeds from it and replays the buffered messages. Otherwise the
+// fetch resolves once a safe majority of peers answered (of the S-1
+// peers, at most t may be crashed, so S-1-t answers is the most it may
+// wait for):
+//  * Some answerer (or this server) still holds previous-generation
+//    state for the object: the handoff is in flight. The buffered
+//    messages stay buffered, and every peer that answered "no seed"
+//    recorded a SUBSCRIPTION; the moment it adopts a seed it pushes an
+//    unsolicited seeded fetch_ack to its subscribers. The coordinator's
+//    seed wave reaches a quorum, and (feasibility: S > 2t) at least one
+//    quorum member is among the S-1-t answerers, so the notification --
+//    and with it the buffered messages' replay -- cannot be lost. No
+//    nack is involved, so there is no window where a client parks after
+//    the coordinator already resumed its object.
+//  * Nobody reachable holds old-generation state or a seed: the object
+//    was never written (any state a completed old-epoch op established
+//    lives on a quorum, which intersects the answerers plus self). The
+//    server self-seeds the initial snapshot -- a register nobody ever
+//    wrote starts at bottom -- and serves; this is how a brand-new key
+//    becomes usable under a drained map without any operator listing it.
+// Only the crash model runs this path: plans that move state under b > 0
+// are rejected at validation (reconfig/plan.cc).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "store/batching.h"
 #include "store/shard_map.h"
@@ -44,23 +75,83 @@ class server final : public automaton {
   /// Moves to the next epoch's map (epoch must advance by exactly one).
   /// Must not be called while a previous reconfiguration is still
   /// draining -- the coordinator serializes reconfigurations.
-  void install_map(std::shared_ptr<const shard_map> next);
+  /// `force_move`: objects to set aside and fence even though their
+  /// protocol does not change -- the coordinator passes the fleet-wide
+  /// union of unseeded_moved_objects(), so state a server missed the
+  /// previous generation's quorum seed for is re-handed-off (re-fenced,
+  /// re-read from a quorum, re-seeded) instead of silently regressing.
+  void install_map(std::shared_ptr<const shard_map> next,
+                   const std::unordered_set<object_id>& force_move = {});
 
   [[nodiscard]] epoch_t epoch() const { return map_->epoch(); }
   /// Objects seeded since the last install (diagnostic).
-  [[nodiscard]] std::size_t seeded_count() const { return seeded_.size(); }
+  [[nodiscard]] std::size_t seeded_count() const {
+    return seed_snaps_.size();
+  }
 
   /// Distinct objects this server hosts in the current generation
   /// (diagnostic).
   [[nodiscard]] std::size_t objects_hosted() const { return objects_.size(); }
 
+  /// The server's object index: every object it hosts, current AND
+  /// previous generation. The reconfiguration coordinator unions these
+  /// across a quorum of servers to discover the live key set (every
+  /// completed write created instances on a quorum, so a quorum of
+  /// indexes covers it); queried right after install_map, when no new
+  /// moved instance can be born until its seed lands.
+  [[nodiscard]] std::vector<object_id> list_objects() const;
+
+  /// Moved objects whose superseded state is still set aside but whose
+  /// new-generation seed never arrived here (this server missed the
+  /// quorum seed). Reported to the coordinator before the NEXT install
+  /// so it can force-move them; see install_map.
+  [[nodiscard]] std::vector<object_id> unseeded_moved_objects() const;
+
+  /// Client data messages per current-map shard since the last
+  /// install_map or reset (the reconfig::load_monitor's sampling source).
+  [[nodiscard]] const std::vector<std::uint64_t>& shard_ops() const {
+    return shard_ops_;
+  }
+  void reset_shard_ops();
+
  private:
+  /// A lazy seed fetch in flight for one moved, un-seeded object.
+  struct fetch_state {
+    /// Client data messages held back until the fetch resolves; a full
+    /// buffer nacks the overflow (the client parks and is resumed by
+    /// the object's migration).
+    std::vector<std::pair<process_id, message>> waiting{};
+    /// Server-to-server gossip held back likewise, in its own smaller
+    /// buffer so a gossip-chatty protocol cannot starve client data of
+    /// buffer space; overflow is dropped (gossip is max-merging and
+    /// self-healing, and a nack would mean nothing to a server).
+    std::vector<std::pair<process_id, message>> gossip_waiting{};
+    /// Peers that answered without a seed (k_fetch_seeded clear).
+    std::unordered_set<std::uint32_t> answered{};
+    /// Some answering peer still hosts previous-generation state.
+    bool any_prev{false};
+    /// Enough peers answered and the handoff is in flight: stop
+    /// counting, keep buffering, and wait for a peer's seed
+    /// notification (we are subscribed everywhere we asked).
+    bool dormant{false};
+  };
+
   automaton& inner_for(object_id obj);
   /// True when `obj`'s state moved generations at the last install.
   [[nodiscard]] bool moved(object_id obj) const;
   void handle_one(const process_id& from, const message& m);
   void handle_state_req(const process_id& from, const message& m);
   void handle_seed_req(const process_id& from, const message& m);
+  void handle_fetch_req(const process_id& from, const message& m);
+  void handle_fetch_ack(const process_id& from, const message& m);
+  /// Installs `snap` as obj's seeded new-generation state (idempotent)
+  /// and pushes seeded fetch_acks to this object's fetch subscribers.
+  void adopt_seed(object_id obj, const register_snapshot& snap);
+  /// Buffers a data message for a moved, un-seeded object and starts (or
+  /// joins) the object's lazy seed fetch.
+  void enqueue_fetch(const process_id& from, const message& m);
+  /// Replays what a now-seeded fetch buffered.
+  void finish_fetch(object_id obj);
   void send_nack(const process_id& to, const message& m);
 
   std::shared_ptr<const shard_map> map_;
@@ -72,9 +163,25 @@ class server final : public automaton {
   /// reads (and for old-generation gossip stragglers) until the next
   /// install.
   std::unordered_map<object_id, std::unique_ptr<automaton>> prev_objects_;
-  /// Moved objects whose new-generation instance was seeded: their drain
-  /// is over.
-  std::unordered_set<object_id> seeded_;
+  /// Original seed snapshot per seeded object -- one entry per moved
+  /// object whose drain is over (seeded-ness IS membership here), kept
+  /// for the generation so this server can answer peers' lazy fetches
+  /// with exactly what the coordinator installed (a live instance's
+  /// CURRENT state may include not-yet-established later writes, which
+  /// must not be seeded).
+  std::unordered_map<object_id, register_snapshot> seed_snaps_;
+  /// Lazy fetches in flight, by object.
+  std::unordered_map<object_id, fetch_state> fetches_;
+  /// Peers whose fetch_req for the object this server answered without a
+  /// seed; they get an unsolicited seeded fetch_ack the moment one is
+  /// adopted here. Cleared per generation.
+  std::unordered_map<object_id, std::unordered_set<std::uint32_t>>
+      fetch_subs_;
+  /// Objects the last install set aside by coordinator fiat (their
+  /// protocol did not change); they fence and migrate like moved ones.
+  std::unordered_set<object_id> force_moved_;
+  /// Client data messages per shard of the current map (load signal).
+  std::vector<std::uint64_t> shard_ops_;
   batch_collector outbox_;
 };
 

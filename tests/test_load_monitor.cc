@@ -1,0 +1,144 @@
+// Load-triggered automatic resharding: the hot-shard plan builder as a
+// pure function, and the auto_resharder closing the loop on the simulator
+// (a Zipf-style hot key gets its shard promoted to fast_swmr without an
+// operator, mid-traffic, with per-key atomicity intact).
+#include <gtest/gtest.h>
+
+#include "reconfig/control.h"
+#include "reconfig/load_monitor.h"
+#include "store/sim_store.h"
+
+namespace fastreg::reconfig {
+namespace {
+
+store::store_config make_cfg(std::vector<std::string> protos,
+                             std::uint32_t num_shards, std::uint32_t S = 7,
+                             std::uint32_t R = 2) {
+  store::store_config cfg;
+  cfg.base.servers = S;
+  cfg.base.t_failures = 1;
+  cfg.base.readers = R;
+  cfg.base.writers = 1;
+  cfg.num_shards = num_shards;
+  cfg.shard_protocols = std::move(protos);
+  return cfg;
+}
+
+// ------------------------------------------------- plan builder (pure) --
+
+TEST(HotShardPlan, PromotesTheHotShardOnly) {
+  store::shard_map cur(make_cfg({"abd"}, 4));
+  const auto plan =
+      build_hot_shard_plan(cur, {900, 40, 30, 30}, load_monitor_options{});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->num_shards, 4u);
+  const std::vector<std::string> want = {"fast_swmr", "abd", "abd", "abd"};
+  EXPECT_EQ(plan->shard_protocols, want);
+}
+
+TEST(HotShardPlan, QuietWindowProposesNothing) {
+  store::shard_map cur(make_cfg({"abd"}, 4));
+  EXPECT_FALSE(build_hot_shard_plan(cur, {50, 1, 1, 1},
+                                    load_monitor_options{})
+                   .has_value());  // below min_total_ops
+}
+
+TEST(HotShardPlan, BalancedLoadProposesNothing) {
+  store::shard_map cur(make_cfg({"abd"}, 4));
+  EXPECT_FALSE(build_hot_shard_plan(cur, {250, 250, 250, 250},
+                                    load_monitor_options{})
+                   .has_value());  // nobody reaches hot_factor x fair share
+}
+
+TEST(HotShardPlan, AlreadyFastShardProposesNothing) {
+  store::shard_map cur(make_cfg({"fast_swmr"}, 2));
+  EXPECT_FALSE(build_hot_shard_plan(cur, {900, 100},
+                                    load_monitor_options{})
+                   .has_value());
+}
+
+TEST(HotShardPlan, InfeasibleFastProtocolProposesNothing) {
+  // S = 4, t = 1, R = 2: fast_swmr needs S > (R+2)t = 4, so promotion
+  // would not validate; the monitor must stay quiet instead of wedging
+  // the coordinator with an invalid plan.
+  store::shard_map cur(make_cfg({"abd"}, 2, /*S=*/4));
+  EXPECT_FALSE(build_hot_shard_plan(cur, {900, 100},
+                                    load_monitor_options{})
+                   .has_value());
+}
+
+// ------------------------------------------- auto-resharder, end to end --
+
+TEST(SimAutoReshard, HotShardPromotedWithoutAnOperator) {
+  store::sim_store s(make_cfg({"abd"}, 4));
+  rng r(123);
+  // Give every key initial state so discovery has something to migrate.
+  const std::vector<std::string> keys = {"hot", "c1", "c2", "c3"};
+  std::uint64_t seq = 0;
+  for (const auto& k : keys) s.invoke_put(0, k, k + std::to_string(++seq));
+  std::uint64_t guard = 0;
+  while (!s.idle()) {
+    ASSERT_LT(++guard, 1'000'000u);
+    s.run_random(r, 1);
+  }
+
+  sim_control ctl(s);
+  auto_resharder::options opt;
+  // One sim step delivers one message and an op costs ~20 of them, so a
+  // 400-step window holds enough ops to clear the noise guard.
+  opt.sample_every = 400;
+  opt.monitor.min_total_ops = 64;
+  auto_resharder ar(ctl, s.proto().maps()->source(), opt);
+
+  // Heavily skewed closed loop: ~7 of 8 ops hit "hot". The monitor must
+  // notice, reshard once, and the migration must drain mid-traffic.
+  std::uint32_t puts_left = 300;
+  std::vector<std::uint32_t> gets_left(2, 300);
+  guard = 0;
+  for (;;) {
+    ASSERT_LT(++guard, 2'000'000u);
+    ar.step();
+    const auto pick = [&]() -> const std::string& {
+      return r.below(8) < 7 ? keys[0] : keys[1 + r.below(3)];
+    };
+    if (puts_left > 0 && !s.writer_client(0).op_in_progress()) {
+      --puts_left;
+      s.invoke_put(0, pick(), "v" + std::to_string(++seq));
+    }
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      if (gets_left[i] > 0 && !s.reader_client(i).op_in_progress()) {
+        --gets_left[i];
+        s.invoke_get(i, pick());
+      }
+    }
+    if (!s.world().in_transit().empty()) {
+      s.run_random(r, 1);
+    } else if (puts_left == 0 && gets_left[0] == 0 && gets_left[1] == 0 &&
+               !ar.resharding() && s.idle()) {
+      break;
+    }
+  }
+  EXPECT_GE(ar.reshards_started(), 1u);
+  EXPECT_FALSE(ar.resharding());
+  EXPECT_GE(s.proto().maps()->epoch(), 1u);
+  // The hot key's shard now runs the fast protocol...
+  const auto cur = s.shards();
+  EXPECT_EQ(cur->protocol_for_object(store::key_object_id("hot")).name(),
+            "fast_swmr");
+  // ...and serves one-round reads.
+  s.invoke_get(0, "hot");
+  guard = 0;
+  while (!s.idle()) {
+    ASSERT_LT(++guard, 1'000'000u);
+    s.run_random(r, 1);
+  }
+  const auto reads = s.histories().all().at("hot").completed_reads();
+  ASSERT_FALSE(reads.empty());
+  EXPECT_EQ(reads.back().rounds, 1);
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto res = s.histories().verify();
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+}  // namespace
+}  // namespace fastreg::reconfig

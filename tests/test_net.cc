@@ -1,10 +1,13 @@
 // TCP transport: framing robustness, then end-to-end protocol runs over
 // real localhost sockets.
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
 
 #include "checker/atomicity.h"
 #include "net/cluster.h"
 #include "net/framing.h"
+#include "net/socket.h"
 #include "registers/registry.h"
 #include "sim_test_util.h"
 
@@ -197,15 +200,78 @@ TEST(Framing, HostileBatchCountRejectedWithoutAllocating) {
   EXPECT_EQ(fb.malformed_count(), 1u);
 }
 
-TEST(Framing, OversizedLengthDropsBuffer) {
+TEST(Framing, OversizedLengthLatchesCorrupt) {
   std::vector<std::uint8_t> evil = {0xff, 0xff, 0xff, 0xff, 1};
   frame_buffer fb;
   fb.feed(evil.data(), evil.size());
   EXPECT_FALSE(fb.next().has_value());
   EXPECT_EQ(fb.malformed_count(), 1u);
+  // An implausible length prefix means framing is lost for good: the
+  // buffer latches corrupt() and the owner must reset the connection.
+  EXPECT_TRUE(fb.corrupt());
+  // Bytes fed after the corruption are unattributable garbage: ignored.
+  const auto good = encode_hello(writer_id(0));
+  fb.feed(good.data(), good.size());
+  EXPECT_FALSE(fb.next().has_value());
+}
+
+TEST(Framing, ZeroLengthLatchesCorrupt) {
+  std::vector<std::uint8_t> evil = {0, 0, 0, 0, 7};
+  frame_buffer fb;
+  fb.feed(evil.data(), evil.size());
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_TRUE(fb.corrupt());
+  EXPECT_EQ(fb.malformed_count(), 1u);
+}
+
+TEST(Framing, IntactFramesBeforeCorruptionStillParse) {
+  // Frames already framed correctly ahead of the bad length prefix are
+  // delivered; only the tail after it is lost to the reset.
+  const auto a = encode_hello(reader_id(1));
+  const auto b = encode_msg_frame(server_id(2), message{});
+  std::vector<std::uint8_t> bytes;
+  bytes.insert(bytes.end(), a.begin(), a.end());
+  bytes.insert(bytes.end(), b.begin(), b.end());
+  bytes.insert(bytes.end(), {0xff, 0xff, 0xff, 0xff});  // hopeless prefix
+  frame_buffer fb;
+  fb.feed(bytes.data(), bytes.size());
+  const auto f1 = fb.next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->kind, frame_kind::hello);
+  const auto f2 = fb.next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->kind, frame_kind::msg);
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_TRUE(fb.corrupt());
 }
 
 // ------------------------------------------------------------- end-to-end
+
+TEST(Cluster, CorruptStreamResetsConnectionAndServerKeepsServing) {
+  cluster c(make_cfg(3, 1, 1), *make_protocol("abd"));
+  c.start();
+  ASSERT_TRUE(c.writer().blocking_write("before-garbage"));
+
+  // A raw connection feeding an implausible length prefix: the server
+  // must reset it (frame_buffer's corruption contract) rather than stall
+  // or crash, and unrelated clients keep being served.
+  unique_fd evil = connect_to(c.book().server_ports[0]);
+  ASSERT_TRUE(evil.valid());
+  const std::uint8_t garbage[] = {0xff, 0xff, 0xff, 0xff, 0x42};
+  ASSERT_EQ(::send(evil.get(), garbage, sizeof garbage, 0),
+            static_cast<ssize_t>(sizeof garbage));
+  // The server closes the connection: read() sees EOF (0) or a reset.
+  pollfd pfd{evil.get(), POLLIN | POLLHUP, 0};
+  ASSERT_GT(::poll(&pfd, 1, 5000), 0) << "server never reset the stream";
+  std::uint8_t buf[16];
+  EXPECT_LE(::recv(evil.get(), buf, sizeof buf, 0), 0);
+
+  ASSERT_TRUE(c.writer().blocking_write("after-garbage"));
+  const auto r = c.reader(0).blocking_read();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->val, "after-garbage");
+  c.stop();
+}
 
 TEST(Cluster, FastSwmrWriteReadOverTcp) {
   cluster c(make_cfg(5, 1, 2), *make_protocol("fast_swmr"));

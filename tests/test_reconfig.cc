@@ -191,7 +191,7 @@ TEST(SimReconfig, FastReadsAfterPromotionToFastSwmr) {
   EXPECT_TRUE(s.histories().verify().ok);
 }
 
-TEST(SimReconfig, OpsParkDuringDrainAndResume) {
+TEST(SimReconfig, OpsHoldDuringDrainAndComplete) {
   store::sim_store s(make_cfg({"abd"}, 1));
   rng r(13);
   s.invoke_put(0, "k", "v1");
@@ -202,8 +202,10 @@ TEST(SimReconfig, OpsParkDuringDrainAndResume) {
   ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
       << coord.error();
   // Clients invoke while the key drains. WITHOUT advancing the
-  // coordinator, the ops must end up parked (nacked by the fence), not
-  // completed and not lost.
+  // coordinator, the ops must end up held -- re-issued under the new
+  // epoch and buffered behind the servers' lazy seed fetch (no seed
+  // exists anywhere yet, and the old generation's state is still set
+  // aside, so the fetches go dormant) -- not completed and not lost.
   s.invoke_get(0, "k");
   s.invoke_put(0, "k", "v2");
   std::uint64_t guard = 0;
@@ -213,10 +215,10 @@ TEST(SimReconfig, OpsParkDuringDrainAndResume) {
   }
   EXPECT_TRUE(s.reader_client(0).op_in_progress());
   EXPECT_TRUE(s.writer_client(0).op_in_progress());
-  EXPECT_EQ(s.reader_client(0).parked_count(), 1u);
-  EXPECT_EQ(s.writer_client(0).parked_count(), 1u);
+  EXPECT_EQ(s.histories().all().at("k").completed_reads().size(), 0u);
 
-  // Finishing the migration resumes both ops.
+  // Finishing the migration seeds the servers, which replay what they
+  // buffered; the floor install parks and re-issues the in-flight put.
   drive_reconfig(s, coord, r);
   run_until_idle(s, r);
   const auto& h = s.histories().all().at("k");
@@ -531,6 +533,317 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.first + "_to_" + info.param.second;
     });
 
+// ---------------------------------------- crash-tolerant reconfiguration --
+
+TEST(SimReconfig, CrashedServerMidReshardStillCompletes) {
+  // Regression for the full-fleet seed deadlock: one server dies
+  // mid-reshard and the migration (plus every op held behind a drain)
+  // must still complete -- every wait in the pipeline is a quorum wait.
+  store::sim_store s(make_cfg({"abd"}, 1, /*R=*/2, /*S=*/7));
+  rng r(91);
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+  std::uint64_t seq = 0;
+  for (const auto& k : keys) s.invoke_put(0, k, k + std::to_string(++seq));
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, keys);
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+      << coord.error();
+  // Kill a server mid-migration, with handoff traffic in flight; invoke
+  // ops on draining keys so completions depend on the drain lifting.
+  s.invoke_get(0, "k1");
+  s.invoke_put(0, "k2", "mid");
+  std::uint64_t steps = 0;
+  while (!coord.done() && steps < 40) {
+    coord.step();
+    steps += s.run_random(r, 1);
+  }
+  ASSERT_FALSE(coord.done());  // still migrating when the crash hits
+  s.world().crash(server_id(6));
+  s.invoke_get(1, "k3");
+  drive_reconfig(s, coord, r);
+  EXPECT_TRUE(coord.done());
+  EXPECT_EQ(coord.stats().keys_moved, keys.size());
+  run_until_idle(s, r);
+  EXPECT_EQ(s.reader_client(0).parked_count(), 0u);
+  EXPECT_EQ(s.writer_client(0).parked_count(), 0u);
+
+  // The store still serves every key with the crash outstanding (S = 7,
+  // t = 1: quorums of the 6 live servers suffice).
+  for (const auto& k : keys) s.invoke_get(0, k);
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto res = s.histories().verify();
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(SimReconfig, ServerCrashedForEntireMigration) {
+  // The crash predates start(): the install skips the dead server, the
+  // handoffs run on quorums of the survivors, and done() still turns
+  // true with zero parked ops.
+  store::sim_store s(make_cfg({"abd"}, 2, /*R=*/2, /*S=*/7));
+  rng r(92);
+  const std::vector<std::string> keys = {"a", "b", "c"};
+  std::uint64_t seq = 0;
+  for (const auto& k : keys) s.invoke_put(0, k, k + std::to_string(++seq));
+  run_until_idle(s, r);
+
+  s.world().crash(server_id(3));
+  sim_control ctl(s);
+  coordinator coord(ctl, keys);
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{3, {"fast_swmr"}}))
+      << coord.error();
+  s.invoke_put(0, "a", "during");
+  drive_reconfig(s, coord, r);
+  EXPECT_TRUE(coord.done());
+  run_until_idle(s, r);
+  for (const auto& k : keys) s.invoke_get(1, k);
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto reads = s.histories().all().at("a").completed_reads();
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].val, "during");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, TooManyCrashedServersRefusedUpFront) {
+  store::sim_store s(make_cfg({"abd"}, 1, /*R=*/2, /*S=*/5));
+  rng r(93);
+  s.invoke_put(0, "k", "v");
+  run_until_idle(s, r);
+  s.world().crash(server_id(0));
+  s.world().crash(server_id(1));  // 3 of 5 reachable < quorum 4
+  sim_control ctl(s);
+  coordinator coord(ctl, {"k"});
+  EXPECT_FALSE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}));
+  EXPECT_NE(coord.error().find("quorum"), std::string::npos);
+  // Nothing was installed or published: the fleet stays at the old epoch
+  // (2 of 5 crashed exceeds t = 1, so the data plane is degraded anyway,
+  // but the refusal means no key was fenced on the survivors).
+  EXPECT_EQ(s.proto().maps()->epoch(), 0u);
+  for (std::uint32_t i = 2; i < 5; ++i) {
+    EXPECT_EQ(s.server_at(i).epoch(), 0u) << i;
+  }
+}
+
+TEST(SimReconfig, UnlistedKeyDiscoveredAndMigrated) {
+  // Regression for the permanently-fenced-key bug: a reshard that omits
+  // hosted keys from the coordinator's list must still migrate them --
+  // discovery unions the servers' object indexes.
+  store::sim_store s(make_cfg({"abd"}, 1, /*R=*/2, /*S=*/7));
+  rng r(94);
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+  std::uint64_t seq = 0;
+  for (const auto& k : keys) s.invoke_put(0, k, k + std::to_string(++seq));
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, {"k0", "k1"});  // k2, k3 omitted
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+      << coord.error();
+  drive_reconfig(s, coord, r);
+  EXPECT_EQ(coord.stats().keys_discovered, keys.size());
+  EXPECT_EQ(coord.stats().keys_moved, keys.size());
+
+  // The omitted keys serve reads under the new protocol (one round).
+  s.invoke_get(0, "k2");
+  run_until_idle(s, r);
+  s.invoke_get(1, "k3");
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  for (const auto* k : {"k2", "k3"}) {
+    const auto reads = s.histories().all().at(k).completed_reads();
+    ASSERT_EQ(reads.size(), 1u) << k;
+    EXPECT_EQ(reads[0].rounds, 1) << k;
+    EXPECT_EQ(reads[0].val.substr(0, 2), k) << k;
+  }
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, DiscoveryAloneMigratesEverything) {
+  // No keys at all: the coordinator migrates purely from the indexes.
+  store::sim_store s(make_cfg({"abd"}, 2, /*R=*/2, /*S=*/7));
+  rng r(95);
+  const std::vector<std::string> keys = {"x", "y", "z"};
+  std::uint64_t seq = 0;
+  for (const auto& k : keys) s.invoke_put(0, k, k + std::to_string(++seq));
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl);
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{2, {"fast_swmr"}}))
+      << coord.error();
+  drive_reconfig(s, coord, r);
+  EXPECT_EQ(coord.stats().keys_discovered, keys.size());
+  EXPECT_EQ(coord.stats().keys_moved, keys.size());
+  for (const auto& k : keys) s.invoke_get(0, k);
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, LazySeedFetchHealsServerThatMissedTheSeed) {
+  // Partition-style loss: every seed_req to server 0 is dropped, so it
+  // misses the quorum seed entirely. Its first post-drain access must
+  // pull the snapshot from a generation peer before answering.
+  store::sim_store s(make_cfg({"abd"}, 1, /*R=*/2, /*S=*/7));
+  rng r(96);
+  s.invoke_put(0, "k", "v1");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl, {"k"});
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+      << coord.error();
+  std::uint64_t guard = 0;
+  while (!coord.done()) {
+    ASSERT_LT(++guard, 1'000'000u);
+    coord.step();
+    s.world().drop_matching([](const sim::envelope& e) {
+      return e.msg.type == msg_type::seed_req && e.to == server_id(0);
+    });
+    if (!s.world().in_transit().empty()) s.run_random(r, 1);
+  }
+  EXPECT_EQ(s.server_at(0).seeded_count(), 0u);  // missed the seed wave
+  for (std::uint32_t i = 1; i < 7; ++i) {
+    EXPECT_EQ(s.server_at(i).seeded_count(), 1u) << i;
+  }
+
+  // A fast_swmr read waits for S - t = 6 of 7 answers, so server 0 is on
+  // the critical path of every read once any other server lags; the read
+  // completing proves the lazy fetch answered.
+  s.invoke_get(0, "k");
+  run_until_idle(s, r);
+  EXPECT_EQ(s.server_at(0).seeded_count(), 1u);  // healed via fetch
+  const auto reads = s.histories().all().at("k").completed_reads();
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].val, "v1");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, BrandNewKeyUsableUnderDrainedMap) {
+  // A key nobody ever wrote, first touched after a reshard: no server
+  // hosts state for it, so the lazy fetch establishes "never written"
+  // from a safe majority of peers and self-seeds bottom.
+  store::sim_store s(make_cfg({"abd"}, 1, /*R=*/2, /*S=*/7));
+  rng r(97);
+  s.invoke_put(0, "old", "o1");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  coordinator coord(ctl);
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+      << coord.error();
+  drive_reconfig(s, coord, r);
+
+  s.invoke_put(0, "brand-new", "n1");
+  run_until_idle(s, r);
+  s.invoke_get(0, "brand-new");
+  run_until_idle(s, r);
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto reads = s.histories().all().at("brand-new").completed_reads();
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].val, "n1");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, MissedSeedStateReHandedOffByNextReshard) {
+  // Server 0 misses the seed of "k" in epoch 1. Epoch 2 keeps the
+  // protocol for "k" unchanged, so nothing would ordinarily move -- but
+  // the pre-flight collects server 0's unseeded report and force-moves
+  // "k": it is re-fenced, re-read from a quorum and re-seeded, instead
+  // of server 0 silently serving regressed (bottom) state.
+  store::sim_store s(make_cfg({"abd"}, 1, /*R=*/2, /*S=*/7));
+  rng r(98);
+  s.invoke_put(0, "k", "v1");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  {
+    coordinator coord(ctl, {"k"});
+    ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+        << coord.error();
+    std::uint64_t guard = 0;
+    while (!coord.done()) {
+      ASSERT_LT(++guard, 1'000'000u);
+      coord.step();
+      s.world().drop_matching([](const sim::envelope& e) {
+        return e.msg.type == msg_type::seed_req && e.to == server_id(0);
+      });
+      if (!s.world().in_transit().empty()) s.run_random(r, 1);
+    }
+  }
+  ASSERT_EQ(s.server_at(0).seeded_count(), 0u);
+
+  // Epoch 2: same protocol for every object (fast_swmr -> fast_swmr with
+  // a different shard count moves nothing by protocol comparison).
+  {
+    coordinator coord(ctl);
+    ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{2, {"fast_swmr"}}))
+        << coord.error();
+    drive_reconfig(s, coord, r);
+    EXPECT_EQ(coord.stats().keys_moved, 1u);  // the force-moved "k"
+  }
+  EXPECT_EQ(s.server_at(0).seeded_count(), 1u);  // finally seeded
+  s.invoke_get(0, "k");
+  run_until_idle(s, r);
+  const auto reads = s.histories().all().at("k").completed_reads();
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].val, "v1");
+  EXPECT_EQ(reads[0].rounds, 1);
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
+TEST(SimReconfig, SeedDelayedPastItsMigrationIsDropped) {
+  // With quorum completion a seed_req can outlive the migration it
+  // belongs to. One held in transit across the NEXT install must not
+  // land as that generation's seed (it would record stale state and ack
+  // itself into the new seed quorum); servers drop seeds not stamped
+  // with their current generation.
+  store::sim_store s(make_cfg({"abd"}, 1, /*R=*/2, /*S=*/7));
+  rng r(99);
+  s.invoke_put(0, "k", "v1");
+  run_until_idle(s, r);
+
+  sim_control ctl(s);
+  const auto held = [](const sim::envelope& e) {
+    return e.msg.type == msg_type::seed_req && e.to == server_id(0);
+  };
+  {
+    coordinator coord(ctl, {"k"});
+    ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{1, {"fast_swmr"}}))
+        << coord.error();
+    std::uint64_t guard = 0;
+    while (!coord.done()) {
+      ASSERT_LT(++guard, 1'000'000u);
+      coord.step();
+      s.world().deliver_matching(
+          [&](const sim::envelope& e) { return !held(e); });
+    }
+  }
+  // The epoch-1 seed_req to server 0 is still in flight.
+  ASSERT_EQ(s.world().find_envelopes(held).size(), 1u);
+  ASSERT_EQ(s.server_at(0).seeded_count(), 0u);
+
+  coordinator coord(ctl);
+  ASSERT_TRUE(coord.start(s.shards(), reconfig_plan{2, {"fast_swmr"}}))
+      << coord.error();  // epoch 2; "k" force-moved (server 0 missed it)
+  // The stale epoch-1 seed finally lands -- after the epoch-2 install.
+  ASSERT_EQ(s.world().deliver_matching(held), 1u);
+  EXPECT_EQ(s.server_at(0).seeded_count(), 0u);  // dropped, not adopted
+
+  drive_reconfig(s, coord, r);
+  EXPECT_EQ(coord.stats().keys_moved, 1u);
+  EXPECT_EQ(s.server_at(0).seeded_count(), 1u);  // the REAL epoch-2 seed
+  s.invoke_get(0, "k");
+  run_until_idle(s, r);
+  const auto reads = s.histories().all().at("k").completed_reads();
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].val, "v1");
+  EXPECT_TRUE(s.histories().verify().ok);
+}
+
 // ------------------------------------------------------------- TCP --
 
 TEST(TcpReconfig, LiveReshardUnderConcurrentTraffic) {
@@ -582,6 +895,64 @@ TEST(TcpReconfig, LiveReshardUnderConcurrentTraffic) {
   }
   const auto hist = ts.gather();
   const auto res = hist.verify();
+  EXPECT_TRUE(res.ok) << res.error;
+  ts.stop();
+}
+
+TEST(TcpReconfig, ReshardCompletesWithServerCrashedThroughout) {
+  // The acceptance scenario on real sockets: one server is down for the
+  // ENTIRE migration (stopped before start()), concurrent client traffic
+  // keeps flowing, and the reshard -- driven purely by discovery, no key
+  // list -- still completes with every op accounted for.
+  store::tcp_store ts(make_cfg({"abd"}, 2, /*R=*/2, /*S=*/5));
+  ts.start();
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+  for (const auto& k : keys) {
+    ASSERT_TRUE(ts.put(0, k, k + ":0"));
+  }
+  ts.cluster().server(4).stop();  // crashed for the whole reshard
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int n = 1; n <= 200 && (!stop.load() || n <= 4); ++n) {
+      ASSERT_TRUE(ts.put(0, keys[static_cast<std::size_t>(n) % keys.size()],
+                         "w" + std::to_string(n)));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    readers.emplace_back([&, i] {
+      for (int n = 0; n <= 200 && (!stop.load() || n < 2); ++n) {
+        const auto res = ts.multi_get(i, {keys[1], keys[3]});
+        ASSERT_TRUE(res.has_value());
+      }
+    });
+  }
+
+  tcp_control ctl(ts);
+  coordinator coord(ctl);  // discovery supplies the key set
+  ASSERT_TRUE(coord.start(ts.proto().shards(),
+                          reconfig_plan{3, {"fast_swmr", "abd"}}))
+      << coord.error();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!coord.done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    coord.step();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(coord.stats().keys_discovered, keys.size());
+  stop.store(true);
+  writer.join();
+  for (auto& th : readers) th.join();
+
+  // Post-reshard, quorums of the 4 live servers serve every key.
+  for (const auto& k : keys) {
+    const auto res = ts.get(1, k);
+    ASSERT_TRUE(res.has_value()) << k;
+    EXPECT_FALSE(res->val.empty()) << k;
+  }
+  const auto res = ts.gather().verify();
   EXPECT_TRUE(res.ok) << res.error;
   ts.stop();
 }
