@@ -52,8 +52,8 @@ int main() {
 
   std::printf("== E5.b: the correct 2-phase MWMR baseline ==\n");
   {
-    table t({"W", "R", "S", "t", "read_p50", "write_p50", "rd_rounds",
-             "wr_rounds", "linearizable"});
+    table t({"W", "R", "S", "t", "ops", "read_p50", "write_p50",
+             "rd_rounds", "wr_rounds", "linearizable"});
     for (std::uint32_t W : {2u, 3u}) {
       system_config cfg;
       cfg.servers = 7;
@@ -63,18 +63,24 @@ int main() {
       auto proto = make_protocol("mwmr");
       // Latency is measured through writer 0 (rounds are identical for all
       // writers); multi-writer linearizability is exercised by the tests.
+      // History sizes here are far past the old exponential checker's
+      // 63-op cap -- the polynomial checker verifies them outright.
       workload_options opt;
-      opt.num_writes = 15;
-      opt.reads_per_reader = 15;
+      opt.num_writes = 200;
+      opt.reads_per_reader = 200;
+      opt.concurrent = true;
       const auto rep = run_measured(*proto, cfg, opt);
-      t.add_row({std::to_string(W), "2", "7", "2",
-                 fmt(rep.read_latency.p50()), fmt(rep.write_latency.p50()),
-                 fmt(rep.read_rounds.mean()), fmt(rep.write_rounds.mean()),
-                 checker::check_linearizable(rep.hist).ok ? "yes" : "NO"});
+      t.add_row(
+          {std::to_string(W), "2", "7", "2",
+           std::to_string(rep.hist.size()), fmt(rep.read_latency.p50()),
+           fmt(rep.write_latency.p50()), fmt(rep.read_rounds.mean()),
+           fmt(rep.write_rounds.mean()),
+           checker::check_mwmr_linearizable(rep.hist).ok ? "yes" : "NO"});
     }
     t.print();
     std::printf("expected: rd_rounds = wr_rounds = 2.0 -- both op types pay "
-                "the second round-trip.\n");
+                "the second round-trip -- and every history (600 ops, "
+                "checked in O(n log n)) linearizable.\n");
   }
   return 0;
 }

@@ -1,0 +1,304 @@
+#include "benchutil/stress.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <random>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "crypto/sig.h"
+#include "reconfig/control.h"
+#include "reconfig/coordinator.h"
+#include "reconfig/plan.h"
+#include "store/sim_store.h"
+#include "store/tcp_store.h"
+
+namespace fastreg::benchutil {
+namespace {
+
+store::store_config make_store_cfg(const stress_options& opt) {
+  store::store_config cfg;
+  cfg.base.servers = opt.S;
+  cfg.base.t_failures = opt.t;
+  cfg.base.b_malicious = opt.b;
+  cfg.base.readers = opt.R;
+  cfg.base.writers = opt.W;
+  if (!opt.sig_scheme.empty()) {
+    cfg.base.sigs =
+        crypto::make_signature_scheme(opt.sig_scheme, /*seed=*/opt.seed);
+  }
+  cfg.num_shards = opt.num_shards;
+  cfg.shard_protocols = {opt.protocol};
+  return cfg;
+}
+
+std::vector<std::string> make_keys(std::uint32_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    keys.push_back("k" + std::to_string(i));
+  }
+  return keys;
+}
+
+reconfig::reconfig_plan make_reshard_plan(const stress_options& opt) {
+  reconfig::reconfig_plan plan;
+  plan.num_shards = opt.reshard_num_shards != 0 ? opt.reshard_num_shards
+                                                : opt.num_shards + 1;
+  plan.shard_protocols = opt.reshard_protocols.empty()
+                             ? std::vector<std::string>{opt.protocol}
+                             : opt.reshard_protocols;
+  return plan;
+}
+
+/// Dumps the failing key's full history next to the test (the ctest
+/// working directory) and returns the path for the failure message.
+std::string write_failure_dump(const stress_options& opt,
+                               std::uint64_t seed,
+                               const checker::history& h,
+                               const std::string& failing_key,
+                               const std::string& error) {
+  const std::string path =
+      opt.label + "_seed_" + std::to_string(seed) + ".history";
+  std::ofstream out(path);
+  out << "# fastreg stress failure\n"
+      << "# label: " << opt.label << "  protocol: " << opt.protocol << "\n"
+      << "# replay: FASTREG_STRESS_SEED=" << seed << "\n"
+      << "# failing key: " << failing_key << "\n"
+      << "# error: " << error << "\n\n"
+      << h.dump();
+  return path;
+}
+
+/// Per-key verification; on a violation, records the error and dumps
+/// the offending history.
+void verify_into(stress_report& rep, const stress_options& opt,
+                 const store::store_histories& hist) {
+  std::string failing_key;
+  rep.check = hist.verify(stress_verify_mode(opt), &failing_key);
+  if (rep.check.ok) return;
+  const auto it = hist.all().find(failing_key);
+  if (it != hist.all().end()) {
+    rep.dump_path = write_failure_dump(opt, rep.seed, it->second,
+                                       failing_key, rep.check.error);
+  }
+}
+
+void fill_counts(stress_report& rep, const store::store_histories& hist) {
+  rep.total_ops = hist.total_ops();
+  rep.max_key_ops = hist.max_key_ops();
+  rep.all_complete = hist.all_complete();
+}
+
+}  // namespace
+
+std::string stress_report::describe() const {
+  std::string s = "seed=" + std::to_string(seed) +
+                  " (replay with FASTREG_STRESS_SEED=" +
+                  std::to_string(seed) + ")";
+  if (!check.ok) s += "; " + check.error;
+  if (!dump_path.empty()) s += "; failing history dumped to " + dump_path;
+  if (!all_complete) s += "; some operations never completed";
+  if (op_failures > 0) {
+    s += "; " + std::to_string(op_failures) + " client ops failed";
+  }
+  return s;
+}
+
+store::verify_mode stress_verify_mode(const stress_options& opt) {
+  if (opt.W > 1) return store::verify_mode::mwmr;
+  if (opt.protocol == "regular") return store::verify_mode::swmr_regular;
+  return store::verify_mode::swmr_atomic;
+}
+
+std::uint64_t stress_seed_from_env() {
+  if (const char* env = std::getenv("FASTREG_STRESS_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  std::random_device rd;
+  std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  seed ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return seed;
+}
+
+std::uint32_t stress_iters(std::uint32_t base) {
+  std::uint64_t mult = 1;
+  if (const char* env = std::getenv("FASTREG_STRESS_ITERS")) {
+    mult = std::strtoull(env, nullptr, 0);
+    if (mult == 0) mult = 1;
+  }
+  const std::uint64_t scaled = static_cast<std::uint64_t>(base) * mult;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(scaled, 0xffffffffull));
+}
+
+// ------------------------------------------------------------- simulator --
+
+stress_report run_sim_stress(const stress_options& opt) {
+  FASTREG_EXPECTS(opt.crash_servers <= opt.t);
+  stress_report rep;
+  rep.seed = opt.seed;
+
+  store::sim_store s(make_store_cfg(opt));
+  rng r(opt.seed);
+  sim::uniform_delay delays(opt.delay_lo, opt.delay_hi);
+  const auto keys = make_keys(opt.num_keys);
+
+  std::vector<std::uint32_t> puts_left(opt.W, opt.puts_per_writer);
+  std::vector<std::uint32_t> gets_left(opt.R, opt.gets_per_reader);
+  std::vector<std::uint64_t> put_seq(opt.W, 0);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(opt.W) * opt.puts_per_writer +
+      static_cast<std::uint64_t>(opt.R) * opt.gets_per_reader;
+  const std::uint64_t trigger = total / 3;
+
+  std::uint64_t invoked = 0, guard = 0;
+  bool crashed = false;
+  std::optional<reconfig::sim_control> ctl;
+  std::optional<reconfig::coordinator> coord;
+
+  for (;;) {
+    FASTREG_CHECK(++guard < 200'000'000);
+    if (!crashed && opt.crash_servers > 0 && invoked >= trigger) {
+      crashed = true;
+      for (std::uint32_t i = 0; i < opt.crash_servers; ++i) {
+        s.world().crash(server_id(opt.S - 1 - i));
+      }
+    }
+    if (opt.reshard && !coord && invoked >= trigger) {
+      ctl.emplace(s);
+      coord.emplace(*ctl);
+      if (!coord->start(s.shards(), make_reshard_plan(opt))) {
+        rep.check = {false, "reshard failed to start: " + coord->error()};
+        fill_counts(rep, s.histories());
+        return rep;
+      }
+    }
+    const bool coord_active = coord.has_value() && !coord->done();
+    if (coord_active) coord->step();
+
+    bool invoked_now = false;
+    for (std::uint32_t j = 0; j < opt.W; ++j) {
+      if (puts_left[j] == 0 || s.writer_client(j).op_in_progress()) continue;
+      --puts_left[j];
+      ++invoked;
+      invoked_now = true;
+      s.invoke_put(j, keys[r.below(keys.size())],
+                   "w" + std::to_string(j) + ":" +
+                       std::to_string(++put_seq[j]));
+    }
+    for (std::uint32_t i = 0; i < opt.R; ++i) {
+      if (gets_left[i] == 0 || s.reader_client(i).op_in_progress()) continue;
+      --gets_left[i];
+      ++invoked;
+      invoked_now = true;
+      s.invoke_get(i, keys[r.below(keys.size())]);
+    }
+
+    if (s.world().in_transit().empty()) {
+      if (invoked_now || coord_active) continue;
+      break;  // drained: quotas spent (or nothing can ever move again)
+    }
+    if (opt.timed) {
+      s.run_timed(r, delays, /*max_steps=*/1);
+    } else {
+      s.run_random(r, /*max_steps=*/1);
+    }
+  }
+
+  rep.final_epoch = s.proto().maps()->epoch();
+  fill_counts(rep, s.histories());
+  verify_into(rep, opt, s.histories());
+  return rep;
+}
+
+// ------------------------------------------------------------------- TCP --
+
+stress_report run_tcp_stress(const stress_options& opt) {
+  FASTREG_EXPECTS(opt.crash_servers <= opt.t);
+  stress_report rep;
+  rep.seed = opt.seed;
+
+  store::tcp_store ts(make_store_cfg(opt));
+  ts.start();
+  const auto keys = make_keys(opt.num_keys);
+
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> failures{0};
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(opt.W) * opt.puts_per_writer +
+      static_cast<std::uint64_t>(opt.R) * opt.gets_per_reader;
+  const bool midway_actions = opt.crash_servers > 0 || opt.reshard;
+  const std::uint64_t trigger = total / 3;
+
+  std::vector<std::thread> threads;
+  threads.reserve(opt.W + opt.R);
+  for (std::uint32_t j = 0; j < opt.W; ++j) {
+    threads.emplace_back([&, j] {
+      rng tr(opt.seed ^ (0x9e3779b97f4a7c15ull * (j + 1)));
+      for (std::uint32_t n = 1; n <= opt.puts_per_writer; ++n) {
+        const auto& key = keys[tr.below(keys.size())];
+        if (!ts.put(j, key,
+                    "w" + std::to_string(j) + ":" + std::to_string(n))) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        attempts.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::uint32_t i = 0; i < opt.R; ++i) {
+    threads.emplace_back([&, i] {
+      rng tr(opt.seed ^ (0xbf58476d1ce4e5b9ull * (i + 1)));
+      for (std::uint32_t n = 0; n < opt.gets_per_reader; ++n) {
+        const auto& key = keys[tr.below(keys.size())];
+        if (!ts.get(i, key).has_value()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        attempts.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  if (midway_actions) {
+    while (attempts.load(std::memory_order_relaxed) < trigger) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (std::uint32_t i = 0; i < opt.crash_servers; ++i) {
+      ts.cluster().server(opt.S - 1 - i).stop();
+    }
+    if (opt.reshard) {
+      reconfig::tcp_control ctl(ts);
+      reconfig::coordinator coord(ctl);
+      if (!coord.start(ts.proto().shards(), make_reshard_plan(opt))) {
+        rep.check = {false, "reshard failed to start: " + coord.error()};
+      } else {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(120);
+        while (!coord.done() &&
+               std::chrono::steady_clock::now() < deadline) {
+          coord.step();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (!coord.done()) {
+          rep.check = {false, "reshard did not complete within deadline"};
+        }
+      }
+    }
+  }
+
+  for (auto& th : threads) th.join();
+  rep.op_failures = failures.load();
+  rep.final_epoch = ts.proto().maps()->epoch();
+  const auto hist = ts.gather();
+  fill_counts(rep, hist);
+  if (rep.check.ok) verify_into(rep, opt, hist);
+  ts.stop();
+  return rep;
+}
+
+}  // namespace fastreg::benchutil

@@ -1,0 +1,98 @@
+// Seeded, reproducible randomized stress harness: drives any register
+// protocol as a store shard across BOTH transports -- the deterministic
+// simulator (adversarial message reordering or timed uniform delays,
+// mid-run server crashes, a live reshard) and the real-socket TCP cluster
+// (concurrent client threads, a stopped server, a live reshard) -- and
+// verifies every per-key history with the checker the protocol's contract
+// calls for. The polynomial MWMR checker makes per-key histories of 10^4+
+// operations verifiable, which is the scale where fast-path violations
+// that small histories never hit actually show up.
+//
+// Reproducibility contract: every run is a pure function of
+// stress_options::seed. Tests take the seed from FASTREG_STRESS_SEED
+// (random otherwise), print it on every failure, and the failing per-key
+// history is dumped to a file whose path is part of the failure message,
+// so any red run replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/atomicity.h"
+#include "store/histories.h"
+
+namespace fastreg::benchutil {
+
+struct stress_options {
+  /// Shard protocol driven on every shard (registry name).
+  std::string protocol{"mwmr"};
+  std::uint32_t num_shards{1};
+  std::uint32_t num_keys{1};
+  std::uint32_t S{5}, t{1}, b{0}, R{2}, W{2};
+  /// Signature scheme for fast_bft shards ("" = none).
+  std::string sig_scheme{};
+  std::uint32_t puts_per_writer{200};
+  std::uint32_t gets_per_reader{200};
+  std::uint64_t seed{1};
+  /// Simulator schedule: false = adversarial random reordering, true =
+  /// timed steps with uniform link delays in [delay_lo, delay_hi].
+  bool timed{false};
+  std::uint64_t delay_lo{5};
+  std::uint64_t delay_hi{80};
+  /// Crash this many servers (<= t) a third of the way into the run
+  /// (sim: world::crash; TCP: node::stop).
+  std::uint32_t crash_servers{0};
+  /// Run one live reshard a third of the way in, concurrent with the
+  /// workload. Empty reshard_protocols = keep the same protocol and
+  /// change only the shard count (epoch bump + routing change); naming
+  /// protocols makes objects move through the full dual-quorum handoff.
+  bool reshard{false};
+  std::uint32_t reshard_num_shards{0};
+  std::vector<std::string> reshard_protocols{};
+  /// Tag used in dump file names and failure messages.
+  std::string label{"stress"};
+};
+
+struct stress_report {
+  std::uint64_t seed{0};
+  bool all_complete{false};
+  /// Client-visible op failures (TCP timeouts); always 0 on the sim.
+  std::uint64_t op_failures{0};
+  std::size_t total_ops{0};
+  std::size_t max_key_ops{0};
+  epoch_t final_epoch{0};
+  /// Per-key verification under the protocol's contract checker.
+  checker::check_result check{};
+  /// Set when !check.ok: file holding the failing key's full history.
+  std::string dump_path{};
+
+  [[nodiscard]] bool ok() const {
+    return check.ok && all_complete && op_failures == 0;
+  }
+  /// One-line reproduction recipe for failure messages.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The checker a shard protocol's history contract demands: mwmr for
+/// multi-writer runs, conditions (1)-(3) for "regular", the exact SWMR
+/// check otherwise.
+[[nodiscard]] store::verify_mode stress_verify_mode(
+    const stress_options& opt);
+
+/// Runs the workload on the deterministic simulator.
+[[nodiscard]] stress_report run_sim_stress(const stress_options& opt);
+
+/// Runs the workload on the localhost TCP cluster with one thread per
+/// client (W writer threads, R reader threads).
+[[nodiscard]] stress_report run_tcp_stress(const stress_options& opt);
+
+/// FASTREG_STRESS_SEED when set, otherwise fresh entropy. Print the seed
+/// on every failure so the run can be replayed.
+[[nodiscard]] std::uint64_t stress_seed_from_env();
+
+/// `base` scaled by FASTREG_STRESS_ITERS (default 1): the knob nightly
+/// soak jobs raise ~20x without touching the tests.
+[[nodiscard]] std::uint32_t stress_iters(std::uint32_t base);
+
+}  // namespace fastreg::benchutil

@@ -14,6 +14,20 @@
 
 namespace fastreg::store {
 
+/// Which per-object checker store_histories::verify runs.
+enum class verify_mode {
+  /// Exact four-condition SWMR atomicity check (single-writer stores).
+  swmr_atomic,
+  /// Conditions (1)-(3) only: regular semantics admit new/old inversions.
+  swmr_regular,
+  /// Polynomial MWMR linearizability (the default for W > 1): scales to
+  /// millions of ops per key.
+  mwmr,
+  /// Exponential Wing&Gong search, <= 63 ops per key. Differential
+  /// oracle only; never the default.
+  mwmr_oracle,
+};
+
 class store_histories {
  public:
   /// History for `key`, created empty on first touch.
@@ -28,13 +42,23 @@ class store_histories {
 
   [[nodiscard]] std::size_t key_count() const { return by_key_.size(); }
   [[nodiscard]] std::size_t total_ops() const;
+  /// Largest single-key history (the number that decides which MWMR
+  /// checker is feasible).
+  [[nodiscard]] std::size_t max_key_ops() const;
   [[nodiscard]] bool all_complete() const;
 
-  /// Runs the per-object checker on every key's history: the exact
-  /// single-writer check when `multi_writer` is false, the general
-  /// linearizability search (exponential; keep per-key histories small)
-  /// otherwise. Returns the first failure annotated with its key.
-  [[nodiscard]] checker::check_result verify(bool multi_writer = false) const;
+  /// Runs the per-object checker of `mode` on every key's history and
+  /// returns the first failure annotated with its key. `failing_key`
+  /// (optional) receives that key -- harnesses use it to fetch and dump
+  /// the offending history.
+  [[nodiscard]] checker::check_result verify(
+      verify_mode mode, std::string* failing_key = nullptr) const;
+  /// Convenience: the exact single-writer check, or (multi_writer) the
+  /// polynomial MWMR linearizability check.
+  [[nodiscard]] checker::check_result verify(bool multi_writer = false) const {
+    return verify(multi_writer ? verify_mode::mwmr
+                               : verify_mode::swmr_atomic);
+  }
 
  private:
   std::map<std::string, checker::history> by_key_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/log.h"
 
 namespace fastreg::store {
 
@@ -31,7 +32,8 @@ server::server(const server& o)
       fetches_(o.fetches_),
       fetch_subs_(o.fetch_subs_),
       force_moved_(o.force_moved_),
-      shard_ops_(o.shard_ops_) {
+      shard_ops_(o.shard_ops_),
+      fetch_overflow_nacks_(o.fetch_overflow_nacks_) {
   FASTREG_EXPECTS(o.outbox_.empty());
   for (const auto& [obj, a] : o.objects_) {
     objects_.emplace(obj, a->clone());
@@ -233,7 +235,16 @@ void server::enqueue_fetch(const process_id& from, const message& m) {
   } else if (it->second.waiting.size() >= k_max_fetch_waiting) {
     // Overflow guard; in practice unreachable for client data (clients
     // keep at most one op in flight per object). The nacked client
-    // parks and the object's migration resumes it.
+    // parks, and nothing resumes it until the object's NEXT migration --
+    // so count and alarm: a nonzero counter means a deployment actually
+    // reached this state and someone may be parked for a long time.
+    ++fetch_overflow_nacks_;
+    LOG_WARN("server %u: fetch buffer overflow for object %llu, nacking "
+             "%s (parked until the next reconfiguration); %llu overflow "
+             "nacks total",
+             index_, static_cast<unsigned long long>(m.obj),
+             to_string(from).c_str(),
+             static_cast<unsigned long long>(fetch_overflow_nacks_));
     send_nack(from, m);
     return;
   } else {

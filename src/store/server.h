@@ -93,6 +93,15 @@ class server final : public automaton {
   /// (diagnostic).
   [[nodiscard]] std::size_t objects_hosted() const { return objects_.size(); }
 
+  /// Client data messages nacked because a lazy seed fetch's buffer was
+  /// full (k_max_fetch_waiting). Each such nack parks a client that is
+  /// only resumed by the object's NEXT migration -- unreachable with
+  /// one-op-per-object clients, so a nonzero counter is an alarm (also
+  /// logged at warn level) that a deployment hit the gap ROADMAP flags.
+  [[nodiscard]] std::uint64_t fetch_overflow_nacks() const {
+    return fetch_overflow_nacks_;
+  }
+
   /// The server's object index: every object it hosts, current AND
   /// previous generation. The reconfiguration coordinator unions these
   /// across a quorum of servers to discover the live key set (every
@@ -182,6 +191,8 @@ class server final : public automaton {
   std::unordered_set<object_id> force_moved_;
   /// Client data messages per shard of the current map (load signal).
   std::vector<std::uint64_t> shard_ops_;
+  /// Lifetime count of buffered-fetch overflow nacks (see accessor).
+  std::uint64_t fetch_overflow_nacks_{0};
   batch_collector outbox_;
 };
 

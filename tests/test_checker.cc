@@ -224,5 +224,136 @@ TEST(Linearizable, RequiresUniqueValues) {
   EXPECT_FALSE(check_linearizable(b.h).ok);
 }
 
+// --------------------------------------- polynomial MWMR checker edges
+//
+// The cases the cluster reduction must get right; each is also covered
+// against the exponential oracle in test_checker_differential.cc.
+
+TEST(MwmrPoly, SequentialMultiWriterHistory) {
+  hb b;
+  b.write_mw(0, 1, 2, "x");
+  b.read(0, 3, 4, "x");
+  b.write_mw(1, 5, 6, "y");
+  b.read(1, 7, 8, "y");
+  EXPECT_TRUE(check_mwmr_linearizable(b.h).ok);
+}
+
+TEST(MwmrPoly, ReadConcurrentWithTheWriteItReturns) {
+  // The read's whole interval may even contain the write's: valid, the
+  // read linearizes just after the write.
+  hb b;
+  b.write_mw(0, 5, 10, "x");
+  b.read(0, 1, 20, "x");
+  EXPECT_TRUE(check_mwmr_linearizable(b.h).ok);
+  // A second read overlapping the write from the left is fine too.
+  b.read(1, 2, 7, "x");
+  EXPECT_TRUE(check_mwmr_linearizable(b.h).ok);
+}
+
+TEST(MwmrPoly, ReadEntirelyBeforeItsWriteRejected) {
+  hb b;
+  b.read(0, 1, 2, "x");
+  b.write_mw(0, 3, 4, "x");
+  const auto res = check_mwmr_linearizable(b.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("before its write"), std::string::npos);
+}
+
+TEST(MwmrPoly, DuplicateValuesFromDifferentWritersRejectedAsInput) {
+  hb b;
+  b.write_mw(0, 1, 10, "dup");
+  b.write_mw(1, 2, 11, "dup");
+  const auto res = check_mwmr_linearizable(b.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("unique"), std::string::npos);
+  // The message names the second writer: it is an input problem, not a
+  // linearizability verdict.
+  EXPECT_NE(res.error.find("w2"), std::string::npos) << res.error;
+}
+
+TEST(MwmrPoly, WritingBottomRejectedAsInput) {
+  hb b;
+  b.write_mw(0, 1, 2, k_bottom_value);
+  const auto res = check_mwmr_linearizable(b.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("bottom"), std::string::npos);
+}
+
+TEST(MwmrPoly, PendingWriteMayOrMayNotTakeEffect) {
+  // Unobserved pending write: ignorable, bottom reads stay legal.
+  hb b;
+  b.h.begin_op(writer_id(0), true, 1, "maybe");
+  b.read(0, 2, 3, k_bottom_value);
+  b.read(1, 4, 5, k_bottom_value);
+  EXPECT_TRUE(check_mwmr_linearizable(b.h).ok);
+
+  // Observed pending write: it takes effect; a later read may not
+  // travel back to bottom.
+  hb b2;
+  b2.h.begin_op(writer_id(0), true, 1, "maybe");
+  b2.read(0, 2, 3, "maybe");
+  b2.read(1, 4, 5, k_bottom_value);
+  const auto res = check_mwmr_linearizable(b2.h);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("maybe"), std::string::npos) << res.error;
+}
+
+TEST(MwmrPoly, ObservedPendingWriteOrdersAgainstCompletedWrites) {
+  // "maybe" never completes but was read before "base" was re-read:
+  // cluster(maybe) and cluster(base) must each precede the other.
+  hb b;
+  b.write_mw(0, 1, 2, "base");
+  b.h.begin_op(writer_id(1), true, 3, "maybe");
+  b.read(0, 4, 5, "maybe");
+  b.read(1, 6, 7, "base");
+  EXPECT_FALSE(check_mwmr_linearizable(b.h).ok);
+}
+
+TEST(MwmrPoly, BottomValuedInitialReads) {
+  // Bottom reads before and concurrent with the first writes are legal;
+  // a bottom read strictly after a completed write is not.
+  hb b;
+  b.read(0, 1, 2, k_bottom_value);
+  b.write_mw(0, 1, 10, "x");
+  b.read(1, 3, 4, k_bottom_value);  // concurrent with the write: legal
+  EXPECT_TRUE(check_mwmr_linearizable(b.h).ok);
+
+  hb b2;
+  b2.write_mw(0, 1, 2, "x");
+  b2.read(0, 3, 4, k_bottom_value);
+  EXPECT_FALSE(check_mwmr_linearizable(b2.h).ok);
+}
+
+TEST(MwmrPoly, UnreadCompletedWritesStillOrder) {
+  // Nobody reads "a" or "b", but their real-time order plus the reads
+  // of "c" pin the linearization; a read of bottom after all three
+  // completed must fail even with no read of a/b.
+  hb b;
+  b.write_mw(0, 1, 2, "a");
+  b.write_mw(1, 3, 4, "b");
+  b.write_mw(2, 5, 6, "c");
+  b.read(0, 7, 8, "c");
+  EXPECT_TRUE(check_mwmr_linearizable(b.h).ok);
+  b.read(1, 9, 10, k_bottom_value);
+  EXPECT_FALSE(check_mwmr_linearizable(b.h).ok);
+}
+
+TEST(MwmrPoly, ScalesFarBeyondTheOracleCap) {
+  // 40,000 ops in one history: ~3 orders of magnitude past the oracle's
+  // 63-op ceiling, and far past anything feasible exponentially.
+  hb b;
+  std::uint64_t t = 0;
+  for (int round = 0; round < 10'000; ++round) {
+    const auto w = static_cast<std::uint32_t>(round % 3);
+    b.write_mw(w, t + 1, t + 2, "v" + std::to_string(round));
+    b.read(0, t + 3, t + 4, "v" + std::to_string(round));
+    ++t;
+  }
+  EXPECT_TRUE(check_mwmr_linearizable(b.h).ok);
+  // One stale read at the end flips the verdict.
+  b.read(1, t + 10, t + 11, "v0");
+  EXPECT_FALSE(check_mwmr_linearizable(b.h).ok);
+}
+
 }  // namespace
 }  // namespace fastreg::checker

@@ -283,6 +283,78 @@ TEST(StoreWorkload, ClosedLoopCompletesAndLinearizes) {
   EXPECT_LT(rep.envelopes_per_op, rep.msgs_per_op);
 }
 
+// ----------------------------------------- lazy-fetch overflow counter
+
+namespace {
+
+/// netout capturing everything a directly-driven automaton sends.
+struct capture_netout final : netout {
+  std::vector<std::pair<process_id, message>> sent;
+  void send(const process_id& to, message m) override {
+    sent.emplace_back(to, std::move(m));
+  }
+  std::size_t count(msg_type t) const {
+    std::size_t n = 0;
+    for (const auto& [to, m] : sent) n += m.type == t ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace
+
+TEST(StoreServer, FetchBufferOverflowNackIsCountedAndObservable) {
+  // A moved, un-seeded object buffers current-epoch client data behind a
+  // lazy seed fetch; the 65th message overflows the 64-slot buffer and
+  // is nacked, parking a client that only the NEXT reconfiguration
+  // resumes. The ROADMAP-flagged gap: that state used to be invisible.
+  // It must now bump the server's counter (and log an alarm).
+  const auto cfg0 = small_cfg({"abd"}, /*num_shards=*/1, /*R=*/2, /*S=*/5);
+  auto cfg1 = cfg0;
+  cfg1.shard_protocols = {"fast_swmr"};  // name change: every object moves
+  server s(std::make_shared<const shard_map>(cfg0), /*index=*/0);
+  s.install_map(std::make_shared<const shard_map>(cfg1, /*epoch=*/1));
+
+  const object_id obj = key_object_id("parked");
+  capture_netout net;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    message m;
+    m.type = msg_type::read_req;
+    m.obj = obj;
+    m.epoch = 1;
+    m.attempt = i;
+    s.on_message(net, reader_id(0), m);
+    EXPECT_EQ(s.fetch_overflow_nacks(), 0u) << "message " << i;
+  }
+  // 64 buffered messages, no nacks yet; the first message fanned the
+  // fetch_req out to the 4 peers.
+  EXPECT_EQ(net.count(msg_type::epoch_nack), 0u);
+  EXPECT_EQ(net.count(msg_type::fetch_req), 4u);
+
+  message overflow;
+  overflow.type = msg_type::read_req;
+  overflow.obj = obj;
+  overflow.epoch = 1;
+  overflow.attempt = 64;
+  s.on_message(net, reader_id(1), overflow);
+  EXPECT_EQ(s.fetch_overflow_nacks(), 1u);
+  EXPECT_EQ(net.count(msg_type::epoch_nack), 1u);
+  // The nack went to the overflowing client, tagged with its attempt so
+  // the client recognizes (and parks on) it.
+  const auto& [to, nack] = net.sent.back();
+  EXPECT_EQ(to, reader_id(1));
+  EXPECT_EQ(nack.type, msg_type::epoch_nack);
+  EXPECT_EQ(nack.attempt, 64u);
+
+  // Messages for a DIFFERENT object still run their own fetch; the
+  // counter is cumulative across objects.
+  message other;
+  other.type = msg_type::read_req;
+  other.obj = key_object_id("other");
+  other.epoch = 1;
+  s.on_message(net, reader_id(0), other);
+  EXPECT_EQ(s.fetch_overflow_nacks(), 1u);
+}
+
 // -------------------------------------------------------------- TCP store
 
 TEST(TcpStore, PutGetAndMultiGetOverSockets) {
