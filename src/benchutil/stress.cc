@@ -141,6 +141,11 @@ std::uint32_t stress_iters(std::uint32_t base) {
 
 stress_report run_sim_stress(const stress_options& opt) {
   FASTREG_EXPECTS(opt.crash_servers <= opt.t);
+  // Crashed and partitioned servers are BOTH unreachable until the heal,
+  // so they share one t budget: a combined count above t would stall
+  // every quorum, freeze the invocation counter below the heal trigger,
+  // and spin into the step-guard abort instead of failing here.
+  FASTREG_EXPECTS(opt.crash_servers + opt.partition_servers <= opt.t);
   stress_report rep;
   rep.seed = opt.seed;
 
@@ -159,8 +164,25 @@ stress_report run_sim_stress(const stress_options& opt) {
 
   std::uint64_t invoked = 0, guard = 0;
   bool crashed = false;
+  bool partitioned = false, healed = false;
   std::optional<reconfig::sim_control> ctl;
   std::optional<reconfig::coordinator> coord;
+
+  // Every process a partitioned server would talk to: clients and the
+  // rest of the fleet (servers gossip in the maxmin family).
+  const auto isolate = [&](const process_id& srv, bool block) {
+    const auto flip = [&](const process_id& peer) {
+      if (peer == srv) return;
+      if (block) {
+        s.world().partition(srv, peer);
+      } else {
+        s.world().heal(srv, peer);
+      }
+    };
+    for (std::uint32_t j = 0; j < opt.W; ++j) flip(writer_id(j));
+    for (std::uint32_t i = 0; i < opt.R; ++i) flip(reader_id(i));
+    for (std::uint32_t k = 0; k < opt.S; ++k) flip(server_id(k));
+  };
 
   for (;;) {
     FASTREG_CHECK(++guard < 200'000'000);
@@ -168,6 +190,18 @@ stress_report run_sim_stress(const stress_options& opt) {
       crashed = true;
       for (std::uint32_t i = 0; i < opt.crash_servers; ++i) {
         s.world().crash(server_id(opt.S - 1 - i));
+      }
+    }
+    if (!partitioned && opt.partition_servers > 0 && invoked >= trigger) {
+      partitioned = true;
+      for (std::uint32_t i = 0; i < opt.partition_servers; ++i) {
+        isolate(server_id(i), /*block=*/true);
+      }
+    }
+    if (partitioned && !healed && invoked >= 2 * trigger) {
+      healed = true;
+      for (std::uint32_t i = 0; i < opt.partition_servers; ++i) {
+        isolate(server_id(i), /*block=*/false);
       }
     }
     if (opt.reshard && !coord && invoked >= trigger) {
@@ -221,6 +255,9 @@ stress_report run_sim_stress(const stress_options& opt) {
 
 stress_report run_tcp_stress(const stress_options& opt) {
   FASTREG_EXPECTS(opt.crash_servers <= opt.t);
+  // Link-level partitions are a simulator-only schedule (localhost TCP
+  // has no link to cut); crash_servers models fail-stop there.
+  FASTREG_EXPECTS(opt.partition_servers == 0);
   stress_report rep;
   rep.seed = opt.seed;
 

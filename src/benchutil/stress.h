@@ -1,8 +1,9 @@
 // Seeded, reproducible randomized stress harness: drives any register
 // protocol as a store shard across BOTH transports -- the deterministic
 // simulator (adversarial message reordering or timed uniform delays,
-// mid-run server crashes, a live reshard) and the real-socket TCP cluster
-// (concurrent client threads, a stopped server, a live reshard) -- and
+// mid-run server crashes, link-level minority partitions with a later
+// heal, a live reshard) and the real-socket TCP cluster (concurrent
+// client threads, a stopped server, a live reshard) -- and
 // verifies every per-key history with the checker the protocol's contract
 // calls for. The polynomial MWMR checker makes per-key histories of 10^4+
 // operations verifiable, which is the scale where fast-path violations
@@ -43,6 +44,15 @@ struct stress_options {
   /// Crash this many servers (<= t) a third of the way into the run
   /// (sim: world::crash; TCP: node::stop).
   std::uint32_t crash_servers{0};
+  /// Simulator only: link-partition this many servers (<= t, a minority)
+  /// from EVERY other process a third of the way in, and heal the links
+  /// two thirds of the way in. Messages to and from the partitioned
+  /// servers stall in transit and arrive in a burst after the heal --
+  /// exactly the stale-ack flood the protocols' quorum logic must absorb
+  /// without a violation. Partitioned servers are taken from the LOW end
+  /// of the index range so a combined crash+partition run (crashes take
+  /// the high end) exercises disjoint sets.
+  std::uint32_t partition_servers{0};
   /// Run one live reshard a third of the way in, concurrent with the
   /// workload. Empty reshard_protocols = keep the same protocol and
   /// change only the shard count (epoch bump + routing change); naming

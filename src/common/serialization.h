@@ -10,12 +10,29 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+
 namespace fastreg {
 
-/// Appends encoded fields to an owned byte buffer.
+/// Appends encoded fields to a byte buffer -- either one it owns (default
+/// constructor) or one the CALLER owns (external-buffer constructor).
+///
+/// The external mode is the zero-copy wire path: the transport precomputes
+/// the exact encoded size (message_wire_size and friends), reserves once
+/// into a long-lived buffer it reuses across messages, and encodes
+/// directly into it. In steady state (capacity warmed) no put_* call
+/// allocates, so encoding a message costs only the byte stores -- no
+/// intermediate std::vector per message.
 class byte_writer {
  public:
-  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  byte_writer() : buf_(&owned_) {}
+  /// Appends to `external` (which must outlive the writer). take() is
+  /// invalid in this mode; written() reports bytes appended by this
+  /// writer.
+  explicit byte_writer(std::vector<std::uint8_t>& external)
+      : buf_(&external), base_(external.size()) {}
+
+  void put_u8(std::uint8_t v) { buf_->push_back(v); }
 
   void put_u32(std::uint32_t v) { put_fixed(v); }
   void put_u64(std::uint64_t v) { put_fixed(v); }
@@ -24,26 +41,47 @@ class byte_writer {
 
   void put_bytes(std::span<const std::uint8_t> b) {
     put_u32(static_cast<std::uint32_t>(b.size()));
-    buf_.insert(buf_.end(), b.begin(), b.end());
+    buf_->insert(buf_->end(), b.begin(), b.end());
   }
   void put_string(const std::string& s) {
     put_u32(static_cast<std::uint32_t>(s.size()));
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    buf_->insert(buf_->end(), s.begin(), s.end());
   }
 
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return *buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    FASTREG_EXPECTS(buf_ == &owned_);
+    return std::move(owned_);
+  }
+  /// Bytes this writer appended (external mode: past the construction-time
+  /// end of the buffer).
+  [[nodiscard]] std::size_t written() const { return buf_->size() - base_; }
 
  private:
   template <typename T>
   void put_fixed(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      buf_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
     }
   }
 
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> owned_;
+  std::vector<std::uint8_t>* buf_;
+  std::size_t base_{0};
 };
+
+/// Exact encoded sizes of byte_writer's field encodings, for callers that
+/// reserve buffer space before encoding (the zero-copy wire path).
+[[nodiscard]] constexpr std::size_t wire_size_u8() { return 1; }
+[[nodiscard]] constexpr std::size_t wire_size_u32() { return 4; }
+[[nodiscard]] constexpr std::size_t wire_size_u64() { return 8; }
+[[nodiscard]] inline std::size_t wire_size_string(const std::string& s) {
+  return 4 + s.size();
+}
+[[nodiscard]] inline std::size_t wire_size_bytes(
+    std::span<const std::uint8_t> b) {
+  return 4 + b.size();
+}
 
 /// Reads encoded fields from a borrowed byte span. All getters return
 /// nullopt on truncation instead of throwing, so malformed network input

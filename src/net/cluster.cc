@@ -6,23 +6,24 @@
 
 namespace fastreg::net {
 
-cluster::cluster(system_config cfg, const protocol& proto)
+cluster::cluster(system_config cfg, const protocol& proto, node_options nopt)
     : cfg_(std::move(cfg)), book_(std::make_shared<address_book>()) {
   // Servers first: bind ephemeral listeners so the address book is
   // complete before any client node exists.
   for (std::uint32_t i = 0; i < cfg_.S(); ++i) {
-    auto n = std::make_unique<node>(cfg_, proto.make_server(cfg_, i), book_);
+    auto n = std::make_unique<node>(cfg_, proto.make_server(cfg_, i), book_,
+                                    nopt);
     n->bind_listener(0);
     book_->server_ports.push_back(n->listen_port());
     servers_.push_back(std::move(n));
   }
   for (std::uint32_t i = 0; i < cfg_.R(); ++i) {
-    readers_.push_back(
-        std::make_unique<node>(cfg_, proto.make_reader(cfg_, i), book_));
+    readers_.push_back(std::make_unique<node>(
+        cfg_, proto.make_reader(cfg_, i), book_, nopt));
   }
   for (std::uint32_t i = 0; i < cfg_.W(); ++i) {
-    writers_.push_back(
-        std::make_unique<node>(cfg_, proto.make_writer(cfg_, i), book_));
+    writers_.push_back(std::make_unique<node>(
+        cfg_, proto.make_writer(cfg_, i), book_, nopt));
   }
 }
 

@@ -16,8 +16,11 @@ namespace fastreg::net {
 class cluster {
  public:
   /// Builds all nodes. Servers bind ephemeral ports immediately; the
-  /// resulting address book is shared with every node.
-  cluster(system_config cfg, const protocol& proto);
+  /// resulting address book is shared with every node. `nopt` (the
+  /// outbound batch-window policy) applies to every node; the default
+  /// comes from FASTREG_BATCH_WINDOW_US (immediate flush when unset).
+  cluster(system_config cfg, const protocol& proto,
+          node_options nopt = node_options::from_env());
   ~cluster();
 
   cluster(const cluster&) = delete;

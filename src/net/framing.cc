@@ -5,43 +5,83 @@
 namespace fastreg::net {
 namespace {
 
-std::vector<std::uint8_t> finish_frame(frame_kind kind,
-                                       const byte_writer& payload) {
-  const auto& body = payload.bytes();
-  std::vector<std::uint8_t> out;
-  const std::uint32_t len = static_cast<std::uint32_t>(body.size() + 1);
-  out.reserve(4 + len);
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
-  }
-  out.push_back(static_cast<std::uint8_t>(kind));
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+/// Payload size (everything after the u32 length prefix, kind byte
+/// included) of each frame flavor.
+std::size_t hello_payload_size() { return 1 + process_id_wire_size(); }
+std::size_t msg_payload_size(const message& m) {
+  return 1 + process_id_wire_size() + message_wire_size(m);
+}
+std::size_t batch_payload_size(std::span<const message> msgs) {
+  std::size_t n = 1 + process_id_wire_size() + wire_size_u32();
+  for (const auto& m : msgs) n += message_wire_size(m);
+  return n;
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_hello(const process_id& from) {
-  byte_writer w;
+std::size_t msg_frame_wire_size(const message& m) {
+  return 4 + msg_payload_size(m);
+}
+
+std::size_t batch_frame_wire_size(std::span<const message> msgs) {
+  return 4 + batch_payload_size(msgs);
+}
+
+std::size_t append_hello_frame(std::vector<std::uint8_t>& out,
+                               const process_id& from) {
+  const std::size_t payload = hello_payload_size();
+  out.reserve(out.size() + 4 + payload);
+  byte_writer w(out);
+  w.put_u32(static_cast<std::uint32_t>(payload));
+  w.put_u8(static_cast<std::uint8_t>(frame_kind::hello));
   encode_process_id(w, from);
-  return finish_frame(frame_kind::hello, w);
+  return w.written();
+}
+
+std::size_t append_msg_frame(std::vector<std::uint8_t>& out,
+                             const process_id& from, const message& m) {
+  const std::size_t payload = msg_payload_size(m);
+  out.reserve(out.size() + 4 + payload);
+  byte_writer w(out);
+  w.put_u32(static_cast<std::uint32_t>(payload));
+  w.put_u8(static_cast<std::uint8_t>(frame_kind::msg));
+  encode_process_id(w, from);
+  encode_message(w, m);
+  return w.written();
+}
+
+std::size_t append_batch_frame(std::vector<std::uint8_t>& out,
+                               const process_id& from,
+                               std::span<const message> msgs) {
+  const std::size_t payload = batch_payload_size(msgs);
+  out.reserve(out.size() + 4 + payload);
+  byte_writer w(out);
+  w.put_u32(static_cast<std::uint32_t>(payload));
+  w.put_u8(static_cast<std::uint8_t>(frame_kind::batch));
+  encode_process_id(w, from);
+  w.put_u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const auto& m : msgs) encode_message(w, m);
+  return w.written();
+}
+
+std::vector<std::uint8_t> encode_hello(const process_id& from) {
+  std::vector<std::uint8_t> out;
+  append_hello_frame(out, from);
+  return out;
 }
 
 std::vector<std::uint8_t> encode_msg_frame(const process_id& from,
                                            const message& m) {
-  byte_writer w;
-  encode_process_id(w, from);
-  encode_message(w, m);
-  return finish_frame(frame_kind::msg, w);
+  std::vector<std::uint8_t> out;
+  append_msg_frame(out, from, m);
+  return out;
 }
 
 std::vector<std::uint8_t> encode_batch_frame(const process_id& from,
                                              std::span<const message> msgs) {
-  byte_writer w;
-  encode_process_id(w, from);
-  w.put_u32(static_cast<std::uint32_t>(msgs.size()));
-  for (const auto& m : msgs) encode_message(w, m);
-  return finish_frame(frame_kind::batch, w);
+  std::vector<std::uint8_t> out;
+  append_batch_frame(out, from, msgs);
+  return out;
 }
 
 void frame_buffer::feed(const std::uint8_t* data, std::size_t n) {
@@ -57,82 +97,92 @@ void frame_buffer::feed(const std::uint8_t* data, std::size_t n) {
   buf_.insert(buf_.end(), data, data + n);
 }
 
-std::optional<frame> frame_buffer::next() {
-  for (;;) {
-    if (corrupt_) return std::nullopt;
-    const std::size_t avail = buf_.size() - consumed_;
-    if (avail < 4) return std::nullopt;
-    std::uint32_t len = 0;
-    for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(buf_[consumed_ + static_cast<std::size_t>(i)])
-             << (8 * i);
-    }
-    if (len == 0 || len > max_frame_bytes) {
-      // Hopeless: with the length prefix untrustworthy there is no
-      // reliable frame boundary left on this stream. Latch corrupt();
-      // the owner resets the connection (see the class comment).
-      ++malformed_;
-      corrupt_ = true;
-      buf_.clear();
-      consumed_ = 0;
-      return std::nullopt;
-    }
-    if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
-    const std::uint8_t* body = buf_.data() + consumed_ + 4;
-    consumed_ += 4 + len;
+frame_buffer::parse_result frame_buffer::parse_one(const std::uint8_t* data,
+                                                   std::size_t avail,
+                                                   std::size_t& used,
+                                                   frame& out) {
+  used = 0;
+  if (avail < 4) return parse_result::need_more;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  }
+  if (len == 0 || len > max_frame_bytes) {
+    // Hopeless: with the length prefix untrustworthy there is no reliable
+    // frame boundary left on this stream. Latch corrupt(); the owner
+    // resets the connection (see the class comment).
+    ++malformed_;
+    corrupt_ = true;
+    buf_.clear();
+    consumed_ = 0;
+    return parse_result::corrupt;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return parse_result::need_more;
+  const std::uint8_t* body = data + 4;
+  used = 4 + len;
 
-    frame f;
-    const std::uint8_t kind = body[0];
-    byte_reader r(std::span<const std::uint8_t>(body + 1, len - 1));
-    const auto from = decode_process_id(r);
-    if (!from) {
+  const std::uint8_t kind = body[0];
+  byte_reader r(std::span<const std::uint8_t>(body + 1, len - 1));
+  const auto from = decode_process_id(r);
+  if (!from) {
+    ++malformed_;
+    return parse_result::skip;
+  }
+  out.from = *from;
+  if (kind == static_cast<std::uint8_t>(frame_kind::hello)) {
+    out.kind = frame_kind::hello;
+    return parse_result::ok;
+  }
+  if (kind == static_cast<std::uint8_t>(frame_kind::msg)) {
+    out.kind = frame_kind::msg;
+    auto m = decode_message(r);
+    if (!m) {
       ++malformed_;
-      continue;
+      return parse_result::skip;
     }
-    f.from = *from;
-    if (kind == static_cast<std::uint8_t>(frame_kind::hello)) {
-      f.kind = frame_kind::hello;
-      return f;
+    out.msg = std::move(*m);
+    return parse_result::ok;
+  }
+  if (kind == static_cast<std::uint8_t>(frame_kind::batch)) {
+    out.kind = frame_kind::batch;
+    const auto count = r.get_u32();
+    // An encoded message is over 40 bytes; a count the remaining payload
+    // cannot possibly hold is a malformed (or hostile) frame. The bound
+    // must hold BEFORE any allocation sized by count, or a crafted count
+    // forces a multi-GB reserve and bad_alloc kills the process.
+    if (!count || *count == 0 || *count > r.remaining() / 40) {
+      ++malformed_;
+      return parse_result::skip;
     }
-    if (kind == static_cast<std::uint8_t>(frame_kind::msg)) {
-      f.kind = frame_kind::msg;
+    out.batch.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
       auto m = decode_message(r);
       if (!m) {
         ++malformed_;
-        continue;
+        out.batch.clear();
+        return parse_result::skip;
       }
-      f.msg = std::move(*m);
-      return f;
+      out.batch.push_back(std::move(*m));
     }
-    if (kind == static_cast<std::uint8_t>(frame_kind::batch)) {
-      f.kind = frame_kind::batch;
-      const auto count = r.get_u32();
-      // An encoded message is over 40 bytes; a count the remaining payload
-      // cannot possibly hold is a malformed (or hostile) frame. The bound
-      // must hold BEFORE any allocation sized by count, or a crafted
-      // count forces a multi-GB reserve and bad_alloc kills the process.
-      if (!count || *count == 0 || *count > r.remaining() / 40) {
-        ++malformed_;
-        continue;
-      }
-      bool ok = true;
-      f.batch.reserve(*count);
-      for (std::uint32_t i = 0; i < *count; ++i) {
-        auto m = decode_message(r);
-        if (!m) {
-          ok = false;
-          break;
-        }
-        f.batch.push_back(std::move(*m));
-      }
-      if (!ok) {
-        ++malformed_;
-        f.batch.clear();
-        continue;
-      }
-      return f;
+    return parse_result::ok;
+  }
+  ++malformed_;
+  return parse_result::skip;
+}
+
+std::optional<frame> frame_buffer::next() {
+  for (;;) {
+    if (corrupt_) return std::nullopt;
+    frame f;
+    std::size_t used = 0;
+    const auto r =
+        parse_one(buf_.data() + consumed_, buf_.size() - consumed_, used, f);
+    if (r == parse_result::need_more || r == parse_result::corrupt) {
+      return std::nullopt;
     }
-    ++malformed_;
+    consumed_ += used;
+    if (r == parse_result::ok) return f;
+    // skip: keep scanning from the next frame boundary.
   }
 }
 

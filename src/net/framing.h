@@ -29,6 +29,26 @@ struct frame {
   std::vector<message> batch{};  // non-empty for kind::batch
 };
 
+// Zero-copy frame encoders: append one complete frame to `out` -- the
+// exact frame size is computed first and reserved in one step (a no-op
+// once the buffer's capacity is warmed, so the steady state performs no
+// per-frame heap allocation), then the codec writes in place. `out` is
+// typically a buffer_chain tail block reused across many frames. Each
+// returns the bytes appended.
+std::size_t append_hello_frame(std::vector<std::uint8_t>& out,
+                               const process_id& from);
+std::size_t append_msg_frame(std::vector<std::uint8_t>& out,
+                             const process_id& from, const message& m);
+std::size_t append_batch_frame(std::vector<std::uint8_t>& out,
+                               const process_id& from,
+                               std::span<const message> msgs);
+
+/// Exact on-wire size of the frame append_*_frame would emit (header
+/// included); what transports pass to buffer_chain::tail_for.
+[[nodiscard]] std::size_t msg_frame_wire_size(const message& m);
+[[nodiscard]] std::size_t batch_frame_wire_size(std::span<const message> msgs);
+
+// Owned-buffer conveniences (tests, one-shot sends).
 [[nodiscard]] std::vector<std::uint8_t> encode_hello(const process_id& from);
 [[nodiscard]] std::vector<std::uint8_t> encode_msg_frame(
     const process_id& from, const message& m);
@@ -55,6 +75,40 @@ class frame_buffer {
  public:
   void feed(const std::uint8_t* data, std::size_t n);
   [[nodiscard]] std::optional<frame> next();
+
+  /// Zero-copy inbound path: parses every complete frame DIRECTLY from
+  /// the caller's read buffer (no copy into the internal buffer) and
+  /// invokes `cb(frame&&)` for each; only a trailing partial frame is
+  /// buffered for the next read. While a previous read left a partial
+  /// frame pending, falls back to the buffered feed()+next() path (the
+  /// straddling frame is reassembled there). Identical frame sequence
+  /// and corrupt() semantics to feed()+next().
+  template <class F>
+  void drain(const std::uint8_t* data, std::size_t n, F&& cb) {
+    if (corrupt_) return;
+    if (buf_.size() != consumed_) {  // partial frame pending: buffered path
+      feed(data, n);
+      while (auto f = next()) cb(std::move(*f));
+      return;
+    }
+    if (consumed_ > 0) {  // internal buffer fully drained: discard it
+      buf_.clear();
+      consumed_ = 0;
+    }
+    std::size_t pos = 0;
+    while (pos < n) {
+      frame f;
+      std::size_t used = 0;
+      const auto r = parse_one(data + pos, n - pos, used, f);
+      if (r == parse_result::need_more) break;
+      if (r == parse_result::corrupt) return;  // latched by parse_one
+      pos += used;
+      if (r == parse_result::ok) cb(std::move(f));
+      // parse_result::skip: malformed payload counted, frame skipped.
+    }
+    if (pos < n) buf_.insert(buf_.end(), data + pos, data + n);
+  }
+
   [[nodiscard]] std::uint64_t malformed_count() const { return malformed_; }
   /// Framing lost (hopeless length prefix): reset the connection.
   [[nodiscard]] bool corrupt() const { return corrupt_; }
@@ -64,6 +118,14 @@ class frame_buffer {
   static constexpr std::uint32_t max_frame_bytes = 16 * 1024 * 1024;
 
  private:
+  enum class parse_result : std::uint8_t { ok, need_more, skip, corrupt };
+
+  /// Attempts to parse one frame from `data`; on ok/skip sets `used` to
+  /// the frame's full extent. On corrupt, latches corrupt_ and discards
+  /// the internal buffer (the stream has no trustworthy boundary left).
+  parse_result parse_one(const std::uint8_t* data, std::size_t avail,
+                         std::size_t& used, frame& out);
+
   std::vector<std::uint8_t> buf_;
   std::size_t consumed_{0};
   std::uint64_t malformed_{0};

@@ -2,9 +2,14 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -18,12 +23,47 @@ std::uint64_t node::now_ns() {
           .count());
 }
 
+node_options node_options::from_env() {
+  node_options opt;
+  const char* env = std::getenv("FASTREG_BATCH_WINDOW_US");
+  if (env == nullptr || *env == '\0') return opt;
+  // Strict parsing: a malformed value must not silently configure
+  // something other than what was asked for (a bench run under a typo'd
+  // knob would measure the wrong transport).
+  if (std::strcmp(env, "adaptive") == 0) {
+    opt.adaptive = true;
+    return opt;
+  }
+  if (std::strncmp(env, "adaptive:", 9) == 0) {
+    char* end = nullptr;
+    const unsigned long cap = std::strtoul(env + 9, &end, 10);
+    if (end != env + 9 && *end == '\0' && cap > 0) {
+      opt.adaptive = true;
+      opt.adaptive_cap_us = static_cast<std::uint32_t>(cap);
+      return opt;
+    }
+  } else {
+    char* end = nullptr;
+    const unsigned long us = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      opt.batch_window_us = static_cast<std::uint32_t>(us);
+      return opt;
+    }
+  }
+  LOG_WARN("ignoring malformed FASTREG_BATCH_WINDOW_US=\"%s\" (expected an "
+           "integer, \"adaptive\", or \"adaptive:<cap_us>\"); using "
+           "immediate flush",
+           env);
+  return node_options{};
+}
+
 node::node(system_config cfg, std::unique_ptr<automaton> a,
-           std::shared_ptr<const address_book> book)
+           std::shared_ptr<const address_book> book, node_options opt)
     : cfg_(std::move(cfg)),
       automaton_(std::move(a)),
       book_(std::move(book)),
       self_(automaton_->self()),
+      opt_(opt),
       async_iface_(dynamic_cast<async_client_iface*>(automaton_.get())) {
   epoll_fd_.reset(::epoll_create1(0));
   FASTREG_CHECK(epoll_fd_.valid());
@@ -34,6 +74,14 @@ node::node(system_config cfg, std::unique_ptr<automaton> a,
   ev.data.fd = event_fd_.get();
   FASTREG_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, event_fd_.get(),
                             &ev) == 0);
+  timer_fd_.reset(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK));
+  FASTREG_CHECK(timer_fd_.valid());
+  ev = epoll_event{};
+  ev.events = EPOLLIN;
+  ev.data.fd = timer_fd_.get();
+  FASTREG_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, timer_fd_.get(),
+                            &ev) == 0);
+  if (!opt_.adaptive) cur_window_us_ = opt_.batch_window_us;
 }
 
 node::~node() { stop(); }
@@ -140,11 +188,31 @@ bool node::blocking_op(const std::function<void(automaton&, netout&)>& start,
       // stale pre-invocation idle state as completion.
       async_busy_ = async_iface_->op_in_progress();
       async_done_ = async_iface_->ops_completed();
+      async_in_flight_ = async_iface_->ops_in_flight();
     }
     cv_.notify_all();
   });
   std::unique_lock<std::mutex> lk(mu_);
   return cv_.wait_for(lk, timeout, [&] { return *started && !async_busy_; });
+}
+
+bool node::wait_ops_in_flight_below(std::size_t limit,
+                                    std::chrono::milliseconds timeout) {
+  FASTREG_EXPECTS(async_iface_ != nullptr);
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, timeout, [&] { return async_in_flight_ < limit; });
+}
+
+bool node::wait_ops_completed(std::uint64_t target,
+                              std::chrono::milliseconds timeout) {
+  FASTREG_EXPECTS(async_iface_ != nullptr);
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, timeout, [&] { return async_done_ >= target; });
+}
+
+std::uint64_t node::async_completed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return async_done_;
 }
 
 void node::run_on_reactor(const std::function<void(automaton&)>& fn) {
@@ -201,9 +269,12 @@ void node::poll_client_completion() {
     std::lock_guard<std::mutex> lk(mu_);
     const bool busy = async_iface_->op_in_progress();
     const std::uint64_t done = async_iface_->ops_completed();
-    if (busy != async_busy_ || done != async_done_) {
+    const std::size_t in_flight = async_iface_->ops_in_flight();
+    if (busy != async_busy_ || done != async_done_ ||
+        in_flight != async_in_flight_) {
       async_busy_ = busy;
       async_done_ = done;
+      async_in_flight_ = in_flight;
       cv_.notify_all();
     }
   }
@@ -256,12 +327,21 @@ void node::reactor_main() {
       std::lock_guard<std::mutex> lk(mu_);
       if (stop_requested_) break;
     }
+    bool window_expired = false;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == event_fd_.get()) {
         std::uint64_t buf;
         while (::read(event_fd_.get(), &buf, sizeof buf) > 0) {
         }
+        continue;
+      }
+      if (fd == timer_fd_.get()) {
+        std::uint64_t expirations;
+        while (::read(timer_fd_.get(), &expirations, sizeof expirations) >
+               0) {
+        }
+        window_expired = true;
         continue;
       }
       if (listen_fd_.valid() && fd == listen_fd_.get()) {
@@ -284,6 +364,32 @@ void node::reactor_main() {
       if ((events[i].events & EPOLLIN) != 0) handle_readable(fd);
       if ((events[i].events & EPOLLOUT) != 0) handle_writable(fd);
     }
+    if (window_expired) {
+      window_armed_ = false;
+      // Adaptive policy: widen while the window keeps catching
+      // multi-frame backlog, shrink toward immediate when it stops.
+      if (opt_.adaptive) {
+        if (frames_since_flush_ >= 8) {
+          cur_window_us_ = cur_window_us_ == 0
+                               ? 50
+                               : std::min(opt_.window_cap_us(),
+                                          cur_window_us_ * 2);
+        } else if (frames_since_flush_ <= 1) {
+          cur_window_us_ = cur_window_us_ >= 100 ? cur_window_us_ / 2 : 0;
+        }
+      }
+      flush_dirty();
+    } else if (opt_.adaptive && cur_window_us_ == 0 && !dirty_fds_.empty()) {
+      // Adaptive at window 0: flush at the end of the step that queued
+      // the bytes (immediate-equivalent latency), but keep measuring the
+      // step's backlog so sustained bursts re-open the window.
+      if (frames_since_flush_ >= 8) {
+        cur_window_us_ = 50;
+        arm_window(cur_window_us_);
+      } else {
+        flush_dirty();
+      }
+    }
     poll_client_completion();
   }
   {
@@ -299,38 +405,54 @@ void node::reactor_main() {
 void node::handle_readable(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  // Reference (not iterator): stable across the insert-rehash a drain
+  // callback can cause by opening a new outbound connection. Erasure of
+  // THIS entry while the drain runs is deferred by close_conn (see the
+  // drain_guard_fd_ comment there).
   auto& c = it->second;
   std::uint8_t buf[64 * 1024];
+  bool reset = false;
   for (;;) {
     const ssize_t n = ::read(fd, buf, sizeof buf);
-    if (n > 0) {
-      c.in.feed(buf, static_cast<std::size_t>(n));
-      continue;
-    }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    close_conn(fd);
-    return;
+    if (n <= 0) {
+      close_conn(fd);
+      return;
+    }
+    // Frames parse IN PLACE from the read buffer (only a trailing
+    // partial frame is copied aside); the automaton steps run inside the
+    // drain callback, so a burst of frames in one read is one pass over
+    // the bytes.
+    drain_guard_fd_ = fd;
+    c.in.drain(buf, static_cast<std::size_t>(n), [&](frame&& f) {
+      if (f.kind == frame_kind::hello) {
+        c.peer = f.from;
+        inbound_by_peer_[f.from] = fd;
+        return;
+      }
+      if (f.kind == frame_kind::batch) {
+        automaton_->on_batch(*this, f.from, f.batch);
+        return;
+      }
+      if (f.msg.has_value()) {
+        automaton_->on_message(*this, f.from, *f.msg);
+      }
+    });
+    drain_guard_fd_ = -1;
+    if (drain_close_pending_ || c.in.corrupt()) {
+      reset = true;
+      break;
+    }
   }
-  while (auto f = c.in.next()) {
-    if (f->kind == frame_kind::hello) {
-      c.peer = f->from;
-      inbound_by_peer_[f->from] = fd;
-      continue;
-    }
-    if (f->kind == frame_kind::batch) {
-      automaton_->on_batch(*this, f->from, f->batch);
-      continue;
-    }
-    if (f->msg.has_value()) {
-      automaton_->on_message(*this, f->from, *f->msg);
-    }
-  }
-  if (c.in.corrupt()) {
-    // Framing lost on this stream (frame_buffer's contract): the only
-    // safe recovery is a reset. The peer reconnects with fresh framing
-    // state; undelivered messages are covered by the protocols' quorum
-    // waits and the store's retry paths.
-    LOG_DEBUG("%s: corrupt frame stream from fd %d; closing connection",
+  if (reset) {
+    // Framing lost on this stream (frame_buffer's contract), or a send
+    // inside the drain hit a fatal write error on this same socket: the
+    // only safe recovery is a reset. The peer reconnects with fresh
+    // framing state; undelivered messages are covered by the protocols'
+    // quorum waits and the store's retry paths.
+    drain_close_pending_ = false;
+    LOG_DEBUG("%s: resetting connection on fd %d (corrupt stream or "
+              "write failure mid-drain)",
               to_string(self_).c_str(), fd);
     close_conn(fd);
     return;
@@ -346,20 +468,23 @@ void node::handle_writable(int fd) {
 }
 
 void node::flush(int fd, connection& c) {
-  while (c.out_offset < c.out.size()) {
-    const ssize_t n = ::write(fd, c.out.data() + c.out_offset,
-                              c.out.size() - c.out_offset);
+  // c.dirty is left alone: it means "fd is listed in dirty_fds_", and a
+  // direct flush (immediate mode, or handle_writable) does not unlist.
+  // A listed-but-already-flushed connection is a cheap no-op later.
+  while (!c.out.empty()) {
+    struct iovec iov[16];
+    const std::size_t cnt = c.out.fill_iovec(iov, 16);
+    if (cnt == 0) break;  // only a not-yet-filled tail block: nothing queued
+    const ssize_t n = ::writev(fd, iov, static_cast<int>(cnt));
     if (n > 0) {
-      c.out_offset += static_cast<std::size_t>(n);
+      // Possibly a SHORT write: consume() leaves the remainder (even
+      // mid-block) at the chain's front and the next flush resumes there.
+      c.out.consume(static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     close_conn(fd);
     return;
-  }
-  if (c.out_offset == c.out.size()) {
-    c.out.clear();
-    c.out_offset = 0;
   }
   update_epoll(fd, c);
 }
@@ -367,29 +492,101 @@ void node::flush(int fd, connection& c) {
 void node::update_epoll(int fd, connection& c) {
   epoll_event ev{};
   ev.events = EPOLLIN;
-  if (c.connecting || c.out_offset < c.out.size()) ev.events |= EPOLLOUT;
+  if (c.connecting || c.out.bytes() > 0) ev.events |= EPOLLOUT;
   ev.data.fd = fd;
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev);
 }
 
 void node::close_conn(int fd) {
+  // An automaton step running inside handle_readable's drain can hit a
+  // fatal write error on the very connection being drained (the server
+  // answers over the inbound socket). Erasing it here would free the
+  // frame_buffer mid-parse; defer -- handle_readable performs the close
+  // as soon as the drain returns.
+  if (fd == drain_guard_fd_) {
+    drain_close_pending_ = true;
+    return;
+  }
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   if (it->second.peer) inbound_by_peer_.erase(*it->second.peer);
   for (auto o = out_to_server_.begin(); o != out_to_server_.end();) {
     o = o->second == fd ? out_to_server_.erase(o) : std::next(o);
   }
+  std::erase(dirty_fds_, fd);
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
   conns_.erase(it);  // unique_fd closes
 }
 
-void node::queue_bytes(int fd, std::vector<std::uint8_t> bytes) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  auto& c = it->second;
-  c.out.insert(c.out.end(), bytes.begin(), bytes.end());
-  if (!c.connecting) flush(fd, c);
-  else update_epoll(fd, c);
+void node::arm_window(std::uint32_t us) {
+  if (window_armed_) return;
+  itimerspec spec{};
+  spec.it_value.tv_sec = us / 1'000'000;
+  spec.it_value.tv_nsec = static_cast<long>(us % 1'000'000) * 1'000;
+  if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+    spec.it_value.tv_nsec = 1;  // fire immediately rather than disarm
+  }
+  ::timerfd_settime(timer_fd_.get(), 0, &spec, nullptr);
+  window_armed_ = true;
+}
+
+void node::after_queue(int fd, connection& c) {
+  ++frames_since_flush_;
+  const bool windowed = opt_.adaptive || cur_window_us_ > 0;
+  if (!windowed) {
+    // Immediate mode (window 0): the pre-window behavior, one flush per
+    // queueing step.
+    if (!c.connecting) {
+      flush(fd, c);
+    } else {
+      update_epoll(fd, c);
+    }
+    return;
+  }
+  if (!c.dirty) {
+    c.dirty = true;
+    dirty_fds_.push_back(fd);
+  }
+  if (cur_window_us_ > 0) arm_window(cur_window_us_);
+  // Adaptive at window 0: flushed at the end of this reactor step (see
+  // reactor_main), so a lone frame still leaves with step latency.
+}
+
+void node::flush_dirty() {
+  // flush() can close a connection (erasing from conns_); iterate over a
+  // drained copy and re-validate each fd.
+  std::vector<int> fds;
+  fds.swap(dirty_fds_);
+  for (const int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    auto& c = it->second;
+    c.dirty = false;
+    if (c.connecting) {
+      // Connect still in progress: the bytes leave in handle_writable.
+      update_epoll(fd, c);
+      continue;
+    }
+    flush(fd, c);
+  }
+  frames_since_flush_ = 0;
+}
+
+node::connection* node::conn_for(const process_id& to) {
+  if (to.is_server()) {
+    const int fd = outbound_to_server(to.index);
+    auto it = conns_.find(fd);
+    return it == conns_.end() ? nullptr : &it->second;
+  }
+  // Replies to clients (or servers acting as clients of this server) go
+  // over the connection they introduced themselves on.
+  if (auto it = inbound_by_peer_.find(to); it != inbound_by_peer_.end()) {
+    auto cit = conns_.find(it->second);
+    return cit == conns_.end() ? nullptr : &cit->second;
+  }
+  LOG_DEBUG("%s: no route to %s; dropping frame", to_string(self_).c_str(),
+            to_string(to).c_str());
+  return nullptr;
 }
 
 int node::outbound_to_server(std::uint32_t index) {
@@ -408,39 +605,23 @@ int node::outbound_to_server(std::uint32_t index) {
   ev.events = EPOLLIN | EPOLLOUT;
   ev.data.fd = raw;
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, raw, &ev);
-  // Introduce ourselves so the server can route replies back.
-  queue_bytes(raw, encode_hello(self_));
+  // Introduce ourselves so the server can route replies back. The hello
+  // must precede any frame on this connection, so it bypasses the batch
+  // window ordering-wise (it is appended first) but still leaves in the
+  // same writev as the frames that triggered the connect.
+  auto& cref = conns_.find(raw)->second;
+  append_hello_frame(cref.out.tail_for(64), self_);
   return raw;
 }
 
-void node::route_bytes(const process_id& to, std::vector<std::uint8_t> bytes) {
-  if (to.is_server()) {
-    queue_bytes(outbound_to_server(to.index), std::move(bytes));
-    return;
-  }
-  // Replies to clients (or servers acting as clients of this server) go
-  // over the connection they introduced themselves on.
-  if (auto it = inbound_by_peer_.find(to); it != inbound_by_peer_.end()) {
-    queue_bytes(it->second, std::move(bytes));
-    return;
-  }
-  LOG_DEBUG("%s: no route to %s; dropping frame", to_string(self_).c_str(),
-            to_string(to).c_str());
-}
-
 void node::send(const process_id& to, message m) {
-  route_bytes(to, encode_msg_frame(self_, m));
+  connection* c = conn_for(to);
+  if (c == nullptr) return;
+  // Encoded in place into the connection's chain: no intermediate
+  // per-message byte vector.
+  append_msg_frame(c->out.tail_for(msg_frame_wire_size(m)), self_, m);
+  after_queue(c->fd.get(), *c);
 }
-
-namespace {
-
-/// Conservative upper bound on one message's encoded size (fixed fields
-/// are ~44 bytes; round up).
-std::size_t encoded_size_bound(const message& m) {
-  return 64 + m.val.size() + m.prev.size() + m.sig.size();
-}
-
-}  // namespace
 
 void node::send_batch(const process_id& to, std::vector<message> msgs) {
   FASTREG_EXPECTS(!msgs.empty());
@@ -448,6 +629,8 @@ void node::send_batch(const process_id& to, std::vector<message> msgs) {
     send(to, std::move(msgs.front()));
     return;
   }
+  connection* c = conn_for(to);
+  if (c == nullptr) return;
   // Chunk so no frame approaches frame_buffer::max_frame_bytes -- the
   // receiver treats an oversized frame as stream corruption and resets
   // the connection, which batching large values could otherwise trigger.
@@ -455,24 +638,27 @@ void node::send_batch(const process_id& to, std::vector<message> msgs) {
   std::size_t begin = 0;
   std::size_t bytes = 0;
   for (std::size_t i = 0; i < msgs.size(); ++i) {
-    const std::size_t sz = encoded_size_bound(msgs[i]);
+    const std::size_t sz = message_wire_size(msgs[i]);
     if (i > begin && bytes + sz > chunk_limit) {
-      route_bytes(to, encode_batch_frame(
-                          self_, std::span<const message>(
-                                     msgs.data() + begin, i - begin)));
+      const auto chunk =
+          std::span<const message>(msgs.data() + begin, i - begin);
+      append_batch_frame(c->out.tail_for(batch_frame_wire_size(chunk)),
+                         self_, chunk);
       begin = i;
       bytes = 0;
     }
     bytes += sz;
   }
-  const std::size_t n = msgs.size() - begin;
-  if (n == 1) {
-    send(to, std::move(msgs.back()));
+  const auto chunk =
+      std::span<const message>(msgs.data() + begin, msgs.size() - begin);
+  if (chunk.size() == 1) {
+    append_msg_frame(c->out.tail_for(msg_frame_wire_size(chunk.front())),
+                     self_, chunk.front());
   } else {
-    route_bytes(to, encode_batch_frame(
-                        self_, std::span<const message>(msgs.data() + begin,
-                                                        n)));
+    append_batch_frame(c->out.tail_for(batch_frame_wire_size(chunk)), self_,
+                       chunk);
   }
+  after_queue(c->fd.get(), *c);
 }
 
 }  // namespace fastreg::net

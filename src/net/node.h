@@ -14,6 +14,16 @@
 // automaton reports completion. Operation histories are recorded with
 // steady-clock nanosecond timestamps so cross-node histories are
 // comparable (same clock domain on one machine).
+//
+// Outbound path (zero-copy): frames encode straight into the destination
+// connection's buffer_chain (exact-size reservation, no intermediate byte
+// vector), and a flush hands the whole chain to one writev. node_options
+// adds an optional Nagle-style batch window: queued frames wait up to
+// batch_window_us on a timerfd so one writev coalesces frames across
+// automaton steps. Coalescing is strictly at the BYTE level -- each
+// send/send_batch still forms its own frame, so the receiving automaton
+// observes exactly the same step structure (one on_batch per send_batch)
+// as the simulator's envelope model, whatever the window is.
 #pragma once
 
 #include <chrono>
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "checker/history.h"
+#include "net/buffer_chain.h"
 #include "net/framing.h"
 #include "net/socket.h"
 #include "registers/automaton.h"
@@ -40,10 +51,37 @@ struct address_book {
   std::vector<std::uint16_t> server_ports;
 };
 
+/// Outbound flush policy of a node's reactor (the time-window batching
+/// knob). Frames always encode straight into the destination connection's
+/// buffer chain; the policy decides when the chain is handed to writev.
+struct node_options {
+  /// Flush window in microseconds. 0 = flush within the reactor step that
+  /// queued the bytes (lowest latency; the pre-window behavior). > 0 =
+  /// queued frames wait up to this long on a timerfd, so one writev
+  /// coalesces frames across automaton steps (Nagle-style: higher
+  /// throughput for bounded added latency).
+  std::uint32_t batch_window_us{0};
+  /// Adaptive mode: the effective window starts at 0 and widens -- up to
+  /// batch_window_us (or adaptive_cap_us when batch_window_us is 0) --
+  /// while flushes keep observing multi-frame backlog; it collapses back
+  /// toward 0 when traffic goes idle, so a lone request is not taxed the
+  /// full window.
+  bool adaptive{false};
+  std::uint32_t adaptive_cap_us{500};
+
+  [[nodiscard]] std::uint32_t window_cap_us() const {
+    return batch_window_us != 0 ? batch_window_us : adaptive_cap_us;
+  }
+
+  /// Reads FASTREG_BATCH_WINDOW_US: an integer window in microseconds
+  /// ("0"/unset = immediate flush), or "adaptive" / "adaptive:<cap_us>".
+  [[nodiscard]] static node_options from_env();
+};
+
 class node final : public netout {
  public:
   node(system_config cfg, std::unique_ptr<automaton> a,
-       std::shared_ptr<const address_book> book);
+       std::shared_ptr<const address_book> book, node_options opt = {});
   ~node() override;
 
   node(const node&) = delete;
@@ -71,6 +109,23 @@ class node final : public netout {
   [[nodiscard]] bool blocking_op(
       const std::function<void(automaton&, netout&)>& start,
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  // Pipelined async client support (async_client_iface automata). The
+  // reactor mirrors the iface's in-flight and completed counters under
+  // mu_ so callers can wait without racing automaton internals.
+
+  /// Waits until fewer than `limit` ops are in flight (a pipeline slot is
+  /// free). False on timeout.
+  [[nodiscard]] bool wait_ops_in_flight_below(
+      std::size_t limit,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  /// Waits until the automaton has completed at least `target` ops since
+  /// construction. False on timeout.
+  [[nodiscard]] bool wait_ops_completed(
+      std::uint64_t target,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  /// Reactor-mirrored ops_completed() (safe from any thread).
+  [[nodiscard]] std::uint64_t async_completed() const;
 
   /// Runs `fn` on the reactor thread and waits for it to finish. The only
   /// safe way for non-reactor code to inspect automaton state that late
@@ -106,10 +161,12 @@ class node final : public netout {
   struct connection {
     unique_fd fd;
     frame_buffer in;
-    std::vector<std::uint8_t> out;
-    std::size_t out_offset{0};
+    /// Outbound frames, encoded in place; flushed with one writev.
+    buffer_chain out;
     std::optional<process_id> peer;
     bool connecting{false};
+    /// Queued bytes awaiting a deferred (windowed) flush.
+    bool dirty{false};
   };
 
   void reactor_main();
@@ -118,8 +175,13 @@ class node final : public netout {
   void handle_writable(int fd);
   void flush(int fd, connection& c);
   void close_conn(int fd);
-  void queue_bytes(int fd, std::vector<std::uint8_t> bytes);
-  void route_bytes(const process_id& to, std::vector<std::uint8_t> bytes);
+  /// Post-encode hook: immediate-mode flush, or dirty-marking + timer
+  /// arming under a batch window.
+  void after_queue(int fd, connection& c);
+  /// Flushes every dirty connection (window expiry / end of step).
+  void flush_dirty();
+  void arm_window(std::uint32_t us);
+  [[nodiscard]] connection* conn_for(const process_id& to);
   int outbound_to_server(std::uint32_t index);
   void poll_client_completion();
   void update_epoll(int fd, connection& c);
@@ -128,17 +190,29 @@ class node final : public netout {
   std::unique_ptr<automaton> automaton_;
   std::shared_ptr<const address_book> book_;
   process_id self_;
+  node_options opt_;
   /// Cached cross-cast; non-null when the automaton is a store front-end.
   async_client_iface* async_iface_{nullptr};
 
   unique_fd listen_fd_;
   unique_fd epoll_fd_;
   unique_fd event_fd_;
+  unique_fd timer_fd_;
   std::thread thread_;
 
   std::unordered_map<int, connection> conns_;
   std::unordered_map<std::uint32_t, int> out_to_server_;
   std::unordered_map<process_id, int> inbound_by_peer_;
+  std::vector<int> dirty_fds_;
+  bool window_armed_{false};
+  /// Connection currently being drained by handle_readable; close_conn on
+  /// it is deferred until the drain returns (see close_conn).
+  int drain_guard_fd_{-1};
+  bool drain_close_pending_{false};
+  /// Adaptive mode state: current effective window and the number of
+  /// frames queued since the last deferred flush (the backlog signal).
+  std::uint32_t cur_window_us_{0};
+  std::uint64_t frames_since_flush_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -151,10 +225,12 @@ class node final : public netout {
   std::uint64_t writes_done_{0};
   std::size_t open_op_index_{0};
   bool op_open_{false};
-  // Reactor-maintained mirror of async_iface_ state, so blocking_op can
-  // wait under mu_ without racing on automaton internals.
+  // Reactor-maintained mirror of async_iface_ state, so blocking_op and
+  // the pipelined waiters can wait under mu_ without racing on automaton
+  // internals.
   bool async_busy_{false};
   std::uint64_t async_done_{0};
+  std::size_t async_in_flight_{0};
 
   static std::uint64_t now_ns();
 };

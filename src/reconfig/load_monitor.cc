@@ -4,25 +4,35 @@
 
 namespace fastreg::reconfig {
 
+namespace {
+
+/// `cur`'s round-robin protocol list resolved to one name per shard.
+std::vector<std::string> resolve_assignment(const store::shard_map& cur) {
+  const auto& names = cur.config().shard_protocols;
+  std::vector<std::string> assignment(cur.num_shards());
+  for (std::uint32_t s = 0; s < cur.num_shards(); ++s) {
+    assignment[s] = names[s % names.size()];
+  }
+  return assignment;
+}
+
+}  // namespace
+
 std::optional<reconfig_plan> build_hot_shard_plan(
     const store::shard_map& cur, const std::vector<std::uint64_t>& totals,
-    const load_monitor_options& opt) {
+    const load_monitor_options& opt,
+    const std::vector<std::uint32_t>* cool_streaks) {
   const std::uint32_t n = cur.num_shards();
   FASTREG_EXPECTS(totals.size() == n);
   std::uint64_t total = 0;
   for (const auto c : totals) total += c;
   if (total < opt.min_total_ops) return std::nullopt;
 
-  // Resolve the current round-robin assignment to one name per shard, so
-  // the new plan can change exactly the hot ones.
-  const auto& names = cur.config().shard_protocols;
-  std::vector<std::string> assignment(n);
-  for (std::uint32_t s = 0; s < n; ++s) {
-    assignment[s] = names[s % names.size()];
-  }
+  // Resolve the current assignment so the new plan can change exactly
+  // the shards that qualify.
+  std::vector<std::string> assignment = resolve_assignment(cur);
 
-  const double hot_share =
-      opt.hot_factor / static_cast<double>(n);
+  const double hot_share = opt.hot_factor / static_cast<double>(n);
   bool changed = false;
   for (std::uint32_t s = 0; s < n; ++s) {
     const double share =
@@ -32,11 +42,49 @@ std::optional<reconfig_plan> build_hot_shard_plan(
       changed = true;
     }
   }
+  // Demotion, gated on the hysteresis streak: only shards on the fast
+  // protocol whose cool streak matured, and never one that is hot right
+  // now (a hot window would have reset the streak anyway; the guard
+  // keeps the pure function safe on stale streak input).
+  if (cool_streaks != nullptr && !opt.demote_protocol.empty() &&
+      opt.demote_protocol != opt.fast_protocol) {
+    FASTREG_EXPECTS(cool_streaks->size() == n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const double share =
+          static_cast<double>(totals[s]) / static_cast<double>(total);
+      if (assignment[s] == opt.fast_protocol && share < hot_share &&
+          (*cool_streaks)[s] >= opt.demote_after) {
+        assignment[s] = opt.demote_protocol;
+        changed = true;
+      }
+    }
+  }
   if (!changed) return std::nullopt;
 
   reconfig_plan plan{n, std::move(assignment)};
   if (!validate_plan(cur, plan).empty()) return std::nullopt;
   return plan;
+}
+
+void update_cool_streaks(const store::shard_map& cur,
+                         const std::vector<std::uint64_t>& totals,
+                         const load_monitor_options& opt,
+                         std::vector<std::uint32_t>& streaks) {
+  const std::uint32_t n = cur.num_shards();
+  FASTREG_EXPECTS(totals.size() == n);
+  if (streaks.size() != n) streaks.assign(n, 0);
+  std::uint64_t total = 0;
+  for (const auto c : totals) total += c;
+  if (total < opt.min_total_ops) return;  // window too small to judge
+  const std::vector<std::string> assignment = resolve_assignment(cur);
+  const double cool_share = opt.cool_factor / static_cast<double>(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const double share =
+        static_cast<double>(totals[s]) / static_cast<double>(total);
+    const bool cool =
+        assignment[s] == opt.fast_protocol && share <= cool_share;
+    streaks[s] = cool ? streaks[s] + 1 : 0;
+  }
 }
 
 std::optional<reconfig_plan> load_monitor::sample(
@@ -55,7 +103,11 @@ std::optional<reconfig_plan> load_monitor::sample(
       s.reset_shard_ops();
     });
   }
-  return build_hot_shard_plan(cur, totals_, opt_);
+  const bool demotion =
+      !opt_.demote_protocol.empty() && opt_.demote_after > 0;
+  if (demotion) update_cool_streaks(cur, totals_, opt_, streaks_);
+  return build_hot_shard_plan(cur, totals_, opt_,
+                              demotion ? &streaks_ : nullptr);
 }
 
 auto_resharder::auto_resharder(control_plane& ctl, store::map_source maps,

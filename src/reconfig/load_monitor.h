@@ -11,12 +11,16 @@
 // in the loop. This is the ROADMAP's "watch per-shard load and reshard
 // hot shards to fast protocols" item.
 //
-// Promotion only: demotion churn (hot shard cools down, gets demoted,
-// heats up again) costs a full handoff per flip; operators can still
-// reshard by hand for that. A plan is proposed only when it validates
-// under the deployment's base config (e.g. fast_swmr must be feasible:
-// S > (R+2)t), so an auto-resharder on an infeasible deployment simply
-// never fires.
+// Demotion closes the loop in the other direction, with hysteresis
+// against churn: promotion fires the moment a shard crosses the hi
+// watermark (hot_factor x fair share), but a promoted shard is demoted
+// back to its base protocol only after demote_after CONSECUTIVE sample
+// windows at or below the cool watermark (cool_factor x fair share) --
+// one warm window resets the streak, so a shard oscillating near the
+// boundary stays where it is instead of paying a full handoff per flip.
+// A plan is proposed only when it validates under the deployment's base
+// config (e.g. fast_swmr must be feasible: S > (R+2)t), so an
+// auto-resharder on an infeasible deployment simply never fires.
 #pragma once
 
 #include <cstdint>
@@ -38,16 +42,42 @@ struct load_monitor_options {
   std::uint64_t min_total_ops{200};
   /// Protocol hot shards are promoted to.
   std::string fast_protocol{"fast_swmr"};
+
+  /// Demotion target for cooled shards currently on fast_protocol; empty
+  /// disables demotion. A deployment typically names its base (epoch-0)
+  /// shard protocol here.
+  std::string demote_protocol{};
+  /// Cool watermark: a promoted shard counts a cool window when its
+  /// share is at most cool_factor times the fair share. Keep it at or
+  /// below hot_factor (the gap is the hysteresis band).
+  double cool_factor{1.0};
+  /// Consecutive cool windows required before a demotion is proposed.
+  std::uint32_t demote_after{3};
 };
 
 /// Expands `cur`'s round-robin protocol list to one name per shard,
 /// promotes every hot shard (per `totals`, the summed per-shard op
-/// counts) to opt.fast_protocol, and returns the resulting plan -- or
-/// nullopt when the window is too small, nothing qualifies, or the plan
-/// would not validate. Pure function; unit-testable without a transport.
+/// counts) to opt.fast_protocol -- and, when demotion is configured and
+/// `cool_streaks` is given, demotes every shard on opt.fast_protocol
+/// whose streak reached opt.demote_after (and is not hot right now) back
+/// to opt.demote_protocol. Returns the resulting plan, or nullopt when
+/// the window is too small, nothing qualifies, or the plan would not
+/// validate. Pure function; unit-testable without a transport.
 [[nodiscard]] std::optional<reconfig_plan> build_hot_shard_plan(
     const store::shard_map& cur, const std::vector<std::uint64_t>& totals,
-    const load_monitor_options& opt);
+    const load_monitor_options& opt,
+    const std::vector<std::uint32_t>* cool_streaks = nullptr);
+
+/// Advances the per-shard consecutive-cool-window counters from one
+/// window's totals: a shard currently on opt.fast_protocol at or below
+/// the cool watermark extends its streak, any warmer window (or a too-
+/// small one, or a shard not on the fast protocol) resets it. `streaks`
+/// is resized (and zeroed) on shard-count changes. Pure state-transition
+/// helper shared by load_monitor::sample and its unit tests.
+void update_cool_streaks(const store::shard_map& cur,
+                         const std::vector<std::uint64_t>& totals,
+                         const load_monitor_options& opt,
+                         std::vector<std::uint32_t>& streaks);
 
 class load_monitor {
  public:
@@ -55,8 +85,8 @@ class load_monitor {
       : ctl_(ctl), opt_(opt) {}
 
   /// Sums per-shard op counters across reachable servers and RESETS them
-  /// (each call samples a fresh window), then applies
-  /// build_hot_shard_plan.
+  /// (each call samples a fresh window), advances the demotion cool
+  /// streaks, then applies build_hot_shard_plan.
   [[nodiscard]] std::optional<reconfig_plan> sample(
       const store::shard_map& cur);
 
@@ -64,11 +94,16 @@ class load_monitor {
   [[nodiscard]] const std::vector<std::uint64_t>& last_totals() const {
     return totals_;
   }
+  /// Consecutive-cool-window counters (diagnostic).
+  [[nodiscard]] const std::vector<std::uint32_t>& cool_streaks() const {
+    return streaks_;
+  }
 
  private:
   control_plane& ctl_;
   load_monitor_options opt_;
   std::vector<std::uint64_t> totals_;
+  std::vector<std::uint32_t> streaks_;
 };
 
 /// The self-driving loop: sample the load every `sample_every` steps;

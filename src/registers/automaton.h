@@ -142,6 +142,13 @@ class async_client_iface {
 
   /// Total operations completed since construction (monotone).
   [[nodiscard]] virtual std::uint64_t ops_completed() const = 0;
+
+  /// Operations invoked but not yet completed. Pipelined transports use
+  /// it as the sliding-window occupancy; the default suits clients that
+  /// hold at most one op.
+  [[nodiscard]] virtual std::size_t ops_in_flight() const {
+    return op_in_progress() ? 1 : 0;
+  }
 };
 
 /// Client-side interface of a writer automaton.

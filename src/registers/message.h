@@ -130,4 +130,28 @@ void encode_message(byte_writer& w, const message& m);
 void encode_process_id(byte_writer& w, const process_id& p);
 [[nodiscard]] std::optional<process_id> decode_process_id(byte_reader& r);
 
+/// EXACT encoded sizes of the codec above, for the zero-copy wire path:
+/// the transport sums these, reserves once into a reused buffer, and
+/// encodes in place -- no intermediate byte vector per message. Kept
+/// adjacent to the encoders; a field added to one must be added to both
+/// (the encoder no-allocation unit test catches a drift).
+[[nodiscard]] constexpr std::size_t process_id_wire_size() {
+  return wire_size_u8() + wire_size_u32();
+}
+[[nodiscard]] inline std::size_t message_wire_size(const message& m) {
+  return wire_size_u8()                           // type
+         + wire_size_u64()                        // obj
+         + wire_size_u64()                        // epoch
+         + wire_size_u32()                        // attempt
+         + wire_size_u8()                         // mig
+         + wire_size_u64()                        // ts (i64)
+         + wire_size_u32()                        // wid (i32)
+         + wire_size_string(m.val)                // val
+         + wire_size_string(m.prev)               // prev
+         + wire_size_u64()                        // seen bits
+         + wire_size_u64()                        // rcounter
+         + wire_size_bytes(m.sig)                 // sig
+         + process_id_wire_size();                // origin
+}
+
 }  // namespace fastreg

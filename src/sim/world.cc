@@ -235,8 +235,23 @@ std::uint64_t world::run_random_until(rng& r,
                                       std::uint64_t max_steps) {
   std::uint64_t steps = 0;
   while (!mset_.empty() && steps < max_steps && !done()) {
-    const std::size_t pick =
-        static_cast<std::size_t>(r.below(mset_.size()));
+    std::size_t pick;
+    if (blocked_.empty()) {
+      pick = static_cast<std::size_t>(r.below(mset_.size()));
+    } else {
+      // Partitions active: choose uniformly among DELIVERABLE envelopes;
+      // blocked ones stay in transit until heal.
+      std::vector<std::size_t> deliverable;
+      deliverable.reserve(mset_.size());
+      for (std::size_t i = 0; i < mset_.size(); ++i) {
+        if (!link_blocked(mset_[i].from, mset_[i].to)) {
+          deliverable.push_back(i);
+        }
+      }
+      if (deliverable.empty()) break;  // everything in transit is blocked
+      pick = deliverable[static_cast<std::size_t>(
+          r.below(deliverable.size()))];
+    }
     envelope env = std::move(mset_[pick]);
     mset_.erase(mset_.begin() + static_cast<std::ptrdiff_t>(pick));
     ++now_;
@@ -263,10 +278,16 @@ std::uint64_t world::run_timed_until(rng& r, delay_model& delays,
         e.due_at = std::max(e.sent_at, now_) + delays.sample(r, e.from, e.to);
       }
     }
-    // Earliest due message next.
-    auto it = std::min_element(
-        mset_.begin(), mset_.end(),
-        [](const envelope& a, const envelope& b) { return a.due_at < b.due_at; });
+    // Earliest due DELIVERABLE message next (a blocked link delays its
+    // messages past the heal; their due time may then be long past, so
+    // they arrive in one post-heal burst -- the flush a real partition
+    // ends with).
+    auto it = mset_.end();
+    for (auto e = mset_.begin(); e != mset_.end(); ++e) {
+      if (!blocked_.empty() && link_blocked(e->from, e->to)) continue;
+      if (it == mset_.end() || e->due_at < it->due_at) it = e;
+    }
+    if (it == mset_.end()) break;  // everything in transit is blocked
     envelope env = std::move(*it);
     mset_.erase(it);
     now_ = std::max(now_ + 1, env.due_at);
@@ -285,6 +306,31 @@ void world::crash_after_sends(const process_id& p, std::size_t deliver_first) {
   armed_partial_crash_[p] = deliver_first;
 }
 
+// ------------------------------------------------------------ partitions --
+
+namespace {
+
+std::pair<process_id, process_id> link_key(const process_id& a,
+                                           const process_id& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+void world::partition(const process_id& a, const process_id& b) {
+  blocked_.insert(link_key(a, b));
+}
+
+void world::heal(const process_id& a, const process_id& b) {
+  blocked_.erase(link_key(a, b));
+}
+
+void world::heal_all() { blocked_.clear(); }
+
+bool world::link_blocked(const process_id& a, const process_id& b) const {
+  return !blocked_.empty() && blocked_.contains(link_key(a, b));
+}
+
 // ------------------------------------------------------------------ fork --
 
 world world::fork() const {
@@ -295,6 +341,7 @@ world world::fork() const {
   w.next_envelope_id_ = next_envelope_id_;
   w.now_ = now_;
   w.crashed_ = crashed_;
+  w.blocked_ = blocked_;
   w.armed_partial_crash_ = armed_partial_crash_;
   w.clients_ = clients_;
   w.history_ = history_;

@@ -33,8 +33,10 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "checker/history.h"
@@ -184,6 +186,23 @@ class world final : public netout {
   /// first `deliver_first` messages reach mset, then p crashes.
   void crash_after_sends(const process_id& p, std::size_t deliver_first);
 
+  // --------------------------------------------------------- partitions --
+  // Link-level partitions, the asynchronous model's "messages between a
+  // and b are delayed indefinitely": envelopes on a blocked link STAY in
+  // transit (never lost) and the bulk schedules skip them; heal makes
+  // them deliverable again, modeling the post-partition flush. Manual
+  // deliver()/deliver_matching() ignore partitions on purpose -- the
+  // adversary IS the network and may thread messages however it likes.
+
+  /// Blocks the link between a and b in both directions.
+  void partition(const process_id& a, const process_id& b);
+  /// Unblocks the link between a and b.
+  void heal(const process_id& a, const process_id& b);
+  void heal_all();
+  [[nodiscard]] bool link_blocked(const process_id& a,
+                                  const process_id& b) const;
+  [[nodiscard]] std::size_t blocked_links() const { return blocked_.size(); }
+
   // ------------------------------------------------------------ history --
   [[nodiscard]] const checker::history& hist() const { return history_; }
 
@@ -212,6 +231,9 @@ class world final : public netout {
   std::uint64_t next_envelope_id_{1};
   std::uint64_t now_{0};
   std::unordered_set<process_id> crashed_;
+  /// Blocked links as order-normalized endpoint pairs (deterministic
+  /// iteration keeps fork() and schedules reproducible).
+  std::set<std::pair<process_id, process_id>> blocked_;
   std::unordered_map<process_id, std::size_t> armed_partial_crash_;
   std::unordered_map<process_id, client_state> clients_;
   checker::history history_;

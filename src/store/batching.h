@@ -5,6 +5,16 @@
 // object id and parks the message in a batch_collector. At the end of the
 // step the collector flushes: all messages to one destination leave as a
 // single send_batch (one envelope on the simulator, one frame on TCP).
+//
+// Envelope-semantics parity (sim == TCP): one send_batch is ALWAYS one
+// delivery unit -- a sim envelope delivered as one on_batch step, and one
+// TCP batch frame delivered as one on_batch step. The TCP reactor's
+// time-window flush (net::node_options) coalesces strictly at the byte
+// level, packing several such frames into one writev; it never merges or
+// splits the frames themselves, so the receiving automaton's step
+// structure is identical on both transports whatever the window is. That
+// is what lets histories produced under any batch window be verified by
+// the same checkers as simulator runs.
 #pragma once
 
 #include <utility>

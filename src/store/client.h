@@ -139,6 +139,11 @@ class client final : public automaton, public async_client_iface {
   [[nodiscard]] std::uint64_t ops_completed() const override {
     return completed_;
   }
+  /// Window occupancy for pipelined transports (parked ops included:
+  /// they still hold their key).
+  [[nodiscard]] std::size_t ops_in_flight() const override {
+    return pending_.size();
+  }
 
   // automaton
   void on_message(netout& net, const process_id& from,

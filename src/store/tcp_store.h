@@ -8,6 +8,12 @@
 // its keys in one reactor step, so requests and replies travel as batch
 // frames.
 //
+// For sustained throughput, `pipeline` replaces the one-blocking-op-at-a-
+// time loop with a sliding window: up to `depth` operations in flight per
+// client connection, submission blocking only while the window is full.
+// Combined with the reactor's batch window (net::node_options) this keeps
+// the wire busy across round trips instead of idling between them.
+//
 // Timeouts: a timed-out op may still be in flight; until it completes,
 // further ops on the same (client, key) fail fast (nullopt/false) rather
 // than abort, and a late completion closes the abandoned op's history
@@ -31,7 +37,8 @@ namespace fastreg::store {
 
 class tcp_store {
  public:
-  explicit tcp_store(store_config cfg);
+  explicit tcp_store(store_config cfg,
+                     net::node_options nopt = net::node_options::from_env());
 
   void start() { cluster_.start(); }
   void stop() { cluster_.stop(); }
@@ -68,7 +75,53 @@ class tcp_store {
   /// cross-node ordering is meaningful). Thread-safe.
   [[nodiscard]] store_histories gather() const;
 
+  /// Pipelined async session on one client: keeps up to `depth` ops in
+  /// flight on the client's connection instead of one blocking op at a
+  /// time. get/put SUBMIT (returning once the op is on the wire),
+  /// blocking only while the window is full or the key already has an op
+  /// in flight; drain() waits for everything submitted to complete.
+  /// Completed results accumulate (completion-ordered) until
+  /// take_results. One pipeline per client index at a time, driven from
+  /// one thread (the same exclusivity rule as the blocking calls, which
+  /// must not be mixed with an active pipeline on that index).
+  class pipeline {
+   public:
+    pipeline(tcp_store& ts, bool is_writer, std::uint32_t index,
+             std::uint32_t depth);
+
+    [[nodiscard]] bool get(
+        const std::string& key,
+        std::chrono::milliseconds timeout = std::chrono::seconds(10));
+    [[nodiscard]] bool put(
+        const std::string& key, value_t v,
+        std::chrono::milliseconds timeout = std::chrono::seconds(10));
+    /// Waits until no submitted op remains in flight and harvests the
+    /// final completions. False on timeout (ops may still be in flight).
+    [[nodiscard]] bool drain(
+        std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+    [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+    /// Harvested completions since the last call (may include late
+    /// completions of ops an earlier timed-out blocking call abandoned).
+    [[nodiscard]] std::vector<store_result> take_results();
+
+   private:
+    [[nodiscard]] bool submit(const std::string& key, bool is_put,
+                              value_t v, std::chrono::milliseconds timeout);
+    /// take_completions on the reactor; closes log entries and stashes
+    /// the results.
+    void harvest();
+
+    tcp_store& ts_;
+    net::node& node_;
+    process_id client_;
+    std::uint32_t depth_;
+    std::uint64_t submitted_{0};
+    std::vector<store_result> results_;
+  };
+
  private:
+  friend class pipeline;
   struct raw_op {
     std::string key{};
     process_id client{};
@@ -85,6 +138,17 @@ class tcp_store {
       net::node& n, const process_id& client,
       const std::vector<std::pair<std::string, value_t>>& kvs, bool is_put,
       std::chrono::milliseconds timeout);
+
+  /// Appends an incomplete log entry for a just-invoked op (mu_ held
+  /// inside), registers it in open_, and returns its log index.
+  std::size_t log_open(const process_id& client, const std::string& key,
+                       bool is_put, const value_t& v, std::uint64_t t0);
+  /// Closes the earliest incomplete entry for each result's (client,
+  /// key); returns the closed log indices (parallel to `results`; npos
+  /// for results with no open entry).
+  std::vector<std::size_t> log_close(const process_id& client,
+                                     const std::vector<store_result>& results,
+                                     std::uint64_t t1);
 
   store_protocol proto_;
   net::cluster cluster_;

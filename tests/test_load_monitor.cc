@@ -4,6 +4,8 @@
 // operator, mid-traffic, with per-key atomicity intact).
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "reconfig/control.h"
 #include "reconfig/load_monitor.h"
 #include "store/sim_store.h"
@@ -65,6 +67,62 @@ TEST(HotShardPlan, InfeasibleFastProtocolProposesNothing) {
   EXPECT_FALSE(build_hot_shard_plan(cur, {900, 100},
                                     load_monitor_options{})
                    .has_value());
+}
+
+// --------------------------------------------- demotion with hysteresis --
+
+load_monitor_options demote_opts() {
+  load_monitor_options opt;
+  opt.demote_protocol = "abd";
+  opt.demote_after = 3;
+  return opt;
+}
+
+TEST(Demotion, RequiresKConsecutiveCoolWindows) {
+  // Shard 0 runs the fast protocol but has gone cold. Streak below the
+  // threshold: no plan; at the threshold: demoted back to abd.
+  store::shard_map cur(make_cfg({"fast_swmr", "abd", "abd", "abd"}, 4));
+  const auto opt = demote_opts();
+  const std::vector<std::uint64_t> totals = {10, 330, 330, 330};
+  const std::vector<std::uint32_t> immature = {2, 0, 0, 0};
+  EXPECT_FALSE(build_hot_shard_plan(cur, totals, opt, &immature)
+                   .has_value());
+  const std::vector<std::uint32_t> mature = {3, 0, 0, 0};
+  const auto plan = build_hot_shard_plan(cur, totals, opt, &mature);
+  ASSERT_TRUE(plan.has_value());
+  const std::vector<std::string> want = {"abd", "abd", "abd", "abd"};
+  EXPECT_EQ(plan->shard_protocols, want);
+}
+
+TEST(Demotion, HotShardNeverDemotedEvenWithStaleStreak) {
+  // Defensive: a hot window resets the streak, but the pure function
+  // must also refuse stale streak input that claims a currently-hot
+  // shard is cool.
+  store::shard_map cur(make_cfg({"fast_swmr", "abd", "abd", "abd"}, 4));
+  const std::vector<std::uint64_t> totals = {700, 100, 100, 100};
+  const std::vector<std::uint32_t> streaks = {5, 0, 0, 0};
+  EXPECT_FALSE(build_hot_shard_plan(cur, totals, demote_opts(), &streaks)
+                   .has_value());
+}
+
+TEST(Demotion, StreaksExtendOnCoolResetOnWarm) {
+  store::shard_map cur(make_cfg({"fast_swmr", "abd", "abd", "abd"}, 4));
+  const auto opt = demote_opts();
+  std::vector<std::uint32_t> streaks;
+  // Cool window (shard 0 at ~1% share, fair share 25%): streak grows.
+  update_cool_streaks(cur, {10, 330, 330, 330}, opt, streaks);
+  update_cool_streaks(cur, {10, 330, 330, 330}, opt, streaks);
+  EXPECT_EQ(streaks[0], 2u);
+  // One warm window (50% share > cool watermark) resets it -- the
+  // hysteresis that prevents promote/demote churn at the boundary.
+  update_cool_streaks(cur, {500, 170, 170, 160}, opt, streaks);
+  EXPECT_EQ(streaks[0], 0u);
+  // Non-fast shards never accumulate a streak.
+  update_cool_streaks(cur, {10, 990, 0, 0}, opt, streaks);
+  EXPECT_EQ(streaks[1], 0u);
+  // A window below the noise guard leaves streaks untouched.
+  update_cool_streaks(cur, {0, 50, 50, 50}, opt, streaks);
+  EXPECT_EQ(streaks[0], 1u);
 }
 
 // ------------------------------------------- auto-resharder, end to end --
@@ -135,6 +193,111 @@ TEST(SimAutoReshard, HotShardPromotedWithoutAnOperator) {
   const auto reads = s.histories().all().at("hot").completed_reads();
   ASSERT_FALSE(reads.empty());
   EXPECT_EQ(reads.back().rounds, 1);
+  EXPECT_TRUE(s.histories().all_complete());
+  const auto res = s.histories().verify();
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(SimAutoReshard, PromotedShardCoolsAndDemotesWithoutChurn) {
+  store::sim_store s(make_cfg({"abd"}, 4));
+  rng r(321);
+
+  // One representative key per shard, so cooling the promoted shard is
+  // unambiguous (no cold key accidentally keeps it warm).
+  std::vector<std::string> keys(4);
+  std::vector<bool> have(4, false);
+  std::uint32_t found = 0;
+  for (int i = 0; found < 4; ++i) {
+    const std::string k = "k" + std::to_string(i);
+    const auto shard = s.shards()->shard_of_key(k);
+    if (!have[shard]) {
+      have[shard] = true;
+      keys[shard] = k;
+      ++found;
+    }
+  }
+  const std::string hot = keys[0];
+
+  std::uint64_t seq = 0;
+  for (const auto& k : keys) s.invoke_put(0, k, k + std::to_string(++seq));
+  std::uint64_t guard = 0;
+  while (!s.idle()) {
+    ASSERT_LT(++guard, 1'000'000u);
+    s.run_random(r, 1);
+  }
+
+  sim_control ctl(s);
+  auto_resharder::options opt;
+  opt.sample_every = 400;
+  opt.monitor.min_total_ops = 64;
+  // Hi watermark at 75% share: the skewed phase (~87% on the hot key)
+  // clears it, while random fluctuation of the 3-way cold traffic
+  // (~33% per shard) cannot -- otherwise a lucky window would promote a
+  // cold shard and the churn assertion below would measure noise.
+  opt.monitor.hot_factor = 3.0;
+  opt.monitor.demote_protocol = "abd";
+  opt.monitor.demote_after = 3;
+  auto_resharder ar(ctl, s.proto().maps()->source(), opt);
+
+  // Drives closed-loop traffic with `pick` until `until` holds (checked
+  // between steps) -- the promote, cool-down and steady phases share the
+  // loop shape of the promotion test above.
+  const auto drive = [&](const std::function<const std::string&()>& pick,
+                         const std::function<bool()>& until,
+                         std::uint64_t max_iters) {
+    std::uint64_t iters = 0;
+    for (;;) {
+      if (++iters > max_iters) return false;
+      ar.step();
+      if (!ar.resharding() && until()) return true;
+      if (!s.writer_client(0).op_in_progress()) {
+        s.invoke_put(0, pick(), "v" + std::to_string(++seq));
+      }
+      for (std::uint32_t i = 0; i < 2; ++i) {
+        if (!s.reader_client(i).op_in_progress()) s.invoke_get(i, pick());
+      }
+      if (!s.world().in_transit().empty()) s.run_random(r, 1);
+    }
+  };
+
+  // Phase 1 -- skewed load: ~7 of 8 ops hit the hot key; the monitor
+  // promotes its shard.
+  const auto pick_hot = [&]() -> const std::string& {
+    return r.below(8) < 7 ? hot : keys[1 + r.below(3)];
+  };
+  ASSERT_TRUE(drive(pick_hot, [&] { return ar.reshards_started() == 1; },
+                    2'000'000));
+  EXPECT_EQ(
+      s.shards()->protocol_for_object(store::key_object_id(hot)).name(),
+      "fast_swmr");
+
+  // Phase 2 -- the hot key goes cold (traffic moves to the other
+  // shards). Only after demote_after consecutive cool windows may the
+  // second reshard fire, demoting the shard back to abd.
+  const auto pick_cold = [&]() -> const std::string& {
+    return keys[1 + r.below(3)];
+  };
+  ASSERT_TRUE(drive(pick_cold, [&] { return ar.reshards_started() == 2; },
+                    4'000'000));
+  EXPECT_EQ(
+      s.shards()->protocol_for_object(store::key_object_id(hot)).name(),
+      "abd");
+  EXPECT_GE(s.proto().maps()->epoch(), 2u);
+
+  // Phase 3 -- hysteresis against churn: several more cool windows of
+  // the same cold traffic must NOT trigger a third reshard (the shard is
+  // already on its base protocol).
+  std::uint32_t cold_ops = 600;
+  EXPECT_TRUE(drive(pick_cold, [&] { return --cold_ops == 0; },
+                    4'000'000));
+  EXPECT_EQ(ar.reshards_started(), 2u);
+
+  // Quiesce and verify every per-key history across all three epochs.
+  std::uint64_t drain_guard = 0;
+  while (!s.idle()) {
+    ASSERT_LT(++drain_guard, 2'000'000u);
+    s.run_random(r, 1);
+  }
   EXPECT_TRUE(s.histories().all_complete());
   const auto res = s.histories().verify();
   EXPECT_TRUE(res.ok) << res.error;

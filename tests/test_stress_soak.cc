@@ -112,6 +112,38 @@ TEST(StressSoak, MwmrSimFiveThousandOpsOneKeyWithCrash) {
   EXPECT_GE(rep.max_key_ops, 5000u) << rep.describe();
 }
 
+TEST(StressSoak, MwmrSimPartitionMinorityThenHeal) {
+  // A minority server is link-partitioned from the whole system a third
+  // of the way into a contended multi-writer run and healed at two
+  // thirds: its stalled messages (including acks for long-decided
+  // timestamps) land in one burst after the heal, and the full history
+  // must still verify with zero violations.
+  auto opt = mwmr_base("soak_mwmr_sim_partition");
+  opt.puts_per_writer = stress_iters(1300);
+  opt.gets_per_reader = stress_iters(1300);
+  opt.partition_servers = 1;
+  const auto rep = run_sim_stress(opt);
+  expect_ok(rep);
+  EXPECT_GE(rep.max_key_ops, 5000u) << rep.describe();
+}
+
+TEST(StressSoak, MwmrSimTimedPartitionAndCrashDisjointServers) {
+  // Timed schedule with BOTH failure flavors at once: one server crashes
+  // (taken from the high end of the index range) while another (low end,
+  // so the sets are disjoint by construction) is partitioned and later
+  // healed. S=7, t=2: the two unreachable servers together stay within
+  // the tolerated budget, so every op keeps completing throughout.
+  auto opt = mwmr_base("soak_mwmr_sim_part_crash");
+  opt.S = 7;
+  opt.t = 2;
+  opt.timed = true;
+  opt.puts_per_writer = stress_iters(400);
+  opt.gets_per_reader = stress_iters(400);
+  opt.crash_servers = 1;
+  opt.partition_servers = 1;
+  expect_ok(run_sim_stress(opt));
+}
+
 TEST(StressSoak, MwmrSimTimedDelaysFiveThousandOps) {
   auto opt = mwmr_base("soak_mwmr_sim_timed");
   opt.timed = true;
