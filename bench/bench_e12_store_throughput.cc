@@ -22,6 +22,8 @@
 #include "benchutil/table.h"
 #include "benchutil/workload.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/tcp_store.h"
 
 using namespace fastreg;
@@ -294,9 +296,124 @@ void run_wire_knob_part(bool smoke) {
               "window tracks the fixed one under sustained load.\n");
 }
 
+// ------------------------------------------ --obs-check: telemetry gate --
+
+/// One blocking-op measurement pass over a warm store; returns get p50
+/// in microseconds. Identical work whether tracing is on or off -- the
+/// caller toggles the tracer around calls to isolate its cost.
+double obs_check_pass(store::tcp_store& ts, std::uint32_t R,
+                      std::uint32_t keys, int rounds) {
+  std::vector<std::vector<double>> lat_us(R);
+  std::thread writer([&] {
+    rng r(7);
+    for (int n = 0; n < rounds; ++n) {
+      (void)ts.put(0, "key" + std::to_string(r.below(keys)),
+                   "v" + std::to_string(n + 1));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (std::uint32_t i = 0; i < R; ++i) {
+    readers.emplace_back([&, i] {
+      rng r(100 + i);
+      for (int n = 0; n < rounds; ++n) {
+        const auto s0 = std::chrono::steady_clock::now();
+        const auto res = ts.get(i, "key" + std::to_string(r.below(keys)));
+        const auto s1 = std::chrono::steady_clock::now();
+        if (!res) continue;
+        lat_us[i].push_back(
+            std::chrono::duration<double, std::micro>(s1 - s0).count());
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  stats get_us;
+  for (const auto& per_reader : lat_us) {
+    for (const double v : per_reader) get_us.add(v);
+  }
+  return get_us.p50();
+}
+
+/// CI gate: (a) the stats_req scrape over a raw socket yields a dump
+/// that parses under the exposition grammar, and (b) window-0 blocking
+/// get p50 with tracing ON stays within 5% of tracing OFF in the SAME
+/// run. Alternating passes, best-of-3 per mode: the min is what the
+/// machine can do, so a spurious scheduler spike in one pass cannot
+/// fake (or mask) a regression. Writes the dump to `dump_path` (when
+/// given) for the external obs_check validator.
+int run_obs_check(const char* dump_path) {
+  std::printf("E12 --obs-check: tracing overhead + scrape validation\n\n");
+  const std::uint32_t R = 4;
+  const std::uint32_t keys = 64;
+  const int rounds = 150;
+  store::store_config cfg;
+  cfg.base.servers = 7;
+  cfg.base.t_failures = 1;
+  cfg.base.readers = R;
+  cfg.base.writers = 1;
+  cfg.num_shards = 4;
+  cfg.shard_protocols = {"abd"};
+  store::tcp_store ts(cfg);  // window 0: the latency-first default
+  ts.start();
+  for (std::uint32_t k = 0; k < keys; ++k) {
+    (void)ts.put(0, "key" + std::to_string(k), "seed");
+  }
+  for (std::uint32_t i = 0; i < R; ++i) (void)ts.get(i, "key0");
+
+  double best_off = 0;
+  double best_on = 0;
+  for (int i = 0; i < 3; ++i) {
+    obs::set_tracing(false);
+    const double off = obs_check_pass(ts, R, keys, rounds);
+    obs::set_tracing(true);
+    const double on = obs_check_pass(ts, R, keys, rounds);
+    std::printf("  pass %d: get_p50 off=%sus on=%sus\n", i + 1,
+                fmt(off).c_str(), fmt(on).c_str());
+    if (i == 0 || off < best_off) best_off = off;
+    if (i == 0 || on < best_on) best_on = on;
+  }
+  obs::set_tracing(false);
+
+  const std::string dump = ts.scrape(0);
+  ts.stop();
+
+  bool ok = true;
+  if (dump.empty()) {
+    std::printf("FAIL: stats scrape returned nothing\n");
+    ok = false;
+  } else if (const auto err = obs::validate_dump(dump); !err.empty()) {
+    std::printf("FAIL: stats dump invalid: %s\n", err.c_str());
+    ok = false;
+  } else if (dump.find("fastreg_store_ops_total") == std::string::npos) {
+    std::printf("FAIL: dump lacks fastreg_store_ops_total\n");
+    ok = false;
+  } else {
+    std::printf("scrape: %zu bytes, dump valid\n", dump.size());
+  }
+  if (dump_path != nullptr && !dump.empty()) {
+    if (std::FILE* f = std::fopen(dump_path, "w")) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+    }
+  }
+  const double limit = best_off * 1.05;
+  std::printf("tracing overhead: best p50 off=%sus on=%sus (limit %sus)\n",
+              fmt(best_off).c_str(), fmt(best_on).c_str(),
+              fmt(limit).c_str());
+  if (best_on > limit) {
+    std::printf("FAIL: tracing-on p50 regressed more than 5%%\n");
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "OBS-CHECK PASS" : "OBS-CHECK FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--obs-check") == 0) {
+    return run_obs_check(argc > 2 ? argv[2] : nullptr);
+  }
   const bool smoke =
       argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   if (smoke) {

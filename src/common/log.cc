@@ -42,6 +42,11 @@ std::mutex& log_mutex() {
   return m;
 }
 
+std::string& node_storage() {
+  thread_local std::string node;
+  return node;
+}
+
 }  // namespace
 
 log_level& log_config::storage() {
@@ -53,13 +58,23 @@ log_level log_config::level() { return storage(); }
 
 void log_config::set_level(log_level lv) { storage() = lv; }
 
+void log_set_node(std::string node) { node_storage() = std::move(node); }
+
+const std::string& log_node() { return node_storage(); }
+
 void log_write(log_level lv, const char* file, int line,
                const std::string& msg) {
   const char* base = std::strrchr(file, '/');
   base = base != nullptr ? base + 1 : file;
+  const std::string& node = node_storage();
   std::lock_guard<std::mutex> guard(log_mutex());
-  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(lv), base, line,
-               msg.c_str());
+  if (node.empty()) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(lv), base, line,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s %s:%d] %s\n", level_name(lv), node.c_str(),
+                 base, line, msg.c_str());
+  }
 }
 
 namespace detail {

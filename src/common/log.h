@@ -28,6 +28,28 @@ class log_config {
 
 void log_write(log_level lv, const char* file, int line, const std::string& msg);
 
+/// Thread-local node-id tag prepended to every log line emitted by the
+/// calling thread (reactor threads set it to their node's process id, the
+/// simulator to the automaton being stepped). Empty = no prefix.
+void log_set_node(std::string node);
+[[nodiscard]] const std::string& log_node();
+
+/// RAII node tag for scoped contexts (the simulator sets it around each
+/// automaton step; a thread that owns one node for its lifetime can call
+/// log_set_node directly instead).
+class scoped_log_node {
+ public:
+  explicit scoped_log_node(std::string node) : prev_(log_node()) {
+    log_set_node(std::move(node));
+  }
+  ~scoped_log_node() { log_set_node(std::move(prev_)); }
+  scoped_log_node(const scoped_log_node&) = delete;
+  scoped_log_node& operator=(const scoped_log_node&) = delete;
+
+ private:
+  std::string prev_;
+};
+
 namespace detail {
 std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 }  // namespace detail

@@ -2,8 +2,26 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace fastreg::net {
 namespace {
+
+// Process-global: a frame_buffer has no node identity, so malformed-frame
+// and corrupt-stream events aggregate across every connection in the
+// process. Registry handles are stable, so caching them in a static is
+// safe for the life of the process.
+obs::counter& malformed_frames_counter() {
+  static obs::counter& c = obs::registry::instance().get_counter(
+      "fastreg_net_malformed_frames_total");
+  return c;
+}
+
+obs::counter& corrupt_streams_counter() {
+  static obs::counter& c = obs::registry::instance().get_counter(
+      "fastreg_net_corrupt_streams_total");
+  return c;
+}
 
 /// Payload size (everything after the u32 length prefix, kind byte
 /// included) of each frame flavor.
@@ -112,7 +130,9 @@ frame_buffer::parse_result frame_buffer::parse_one(const std::uint8_t* data,
     // frame boundary left on this stream. Latch corrupt(); the owner
     // resets the connection (see the class comment).
     ++malformed_;
+    malformed_frames_counter().inc();
     corrupt_ = true;
+    corrupt_streams_counter().inc();
     buf_.clear();
     consumed_ = 0;
     return parse_result::corrupt;
@@ -126,6 +146,7 @@ frame_buffer::parse_result frame_buffer::parse_one(const std::uint8_t* data,
   const auto from = decode_process_id(r);
   if (!from) {
     ++malformed_;
+    malformed_frames_counter().inc();
     return parse_result::skip;
   }
   out.from = *from;
@@ -138,6 +159,7 @@ frame_buffer::parse_result frame_buffer::parse_one(const std::uint8_t* data,
     auto m = decode_message(r);
     if (!m) {
       ++malformed_;
+      malformed_frames_counter().inc();
       return parse_result::skip;
     }
     out.msg = std::move(*m);
@@ -152,6 +174,7 @@ frame_buffer::parse_result frame_buffer::parse_one(const std::uint8_t* data,
     // forces a multi-GB reserve and bad_alloc kills the process.
     if (!count || *count == 0 || *count > r.remaining() / 40) {
       ++malformed_;
+      malformed_frames_counter().inc();
       return parse_result::skip;
     }
     out.batch.reserve(*count);
@@ -159,6 +182,7 @@ frame_buffer::parse_result frame_buffer::parse_one(const std::uint8_t* data,
       auto m = decode_message(r);
       if (!m) {
         ++malformed_;
+        malformed_frames_counter().inc();
         out.batch.clear();
         return parse_result::skip;
       }
@@ -167,6 +191,7 @@ frame_buffer::parse_result frame_buffer::parse_one(const std::uint8_t* data,
     return parse_result::ok;
   }
   ++malformed_;
+  malformed_frames_counter().inc();
   return parse_result::skip;
 }
 

@@ -82,6 +82,31 @@ node::node(system_config cfg, std::unique_ptr<automaton> a,
   FASTREG_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, timer_fd_.get(),
                             &ev) == 0);
   if (!opt_.adaptive) cur_window_us_ = opt_.batch_window_us;
+
+  // One label per node; handles stay valid for the life of the process,
+  // so the hot path never touches the registry's lock.
+  auto& reg = obs::registry::instance();
+  const std::string lbl = "node=\"" + to_string(self_) + "\"";
+  wm_.frames_out = &reg.get_counter("fastreg_net_frames_out_total", lbl);
+  wm_.bytes_out = &reg.get_counter("fastreg_net_bytes_out_total", lbl);
+  wm_.frames_in = &reg.get_counter("fastreg_net_frames_in_total", lbl);
+  wm_.bytes_in = &reg.get_counter("fastreg_net_bytes_in_total", lbl);
+  wm_.writev_calls = &reg.get_counter("fastreg_net_writev_calls_total", lbl);
+  wm_.short_writes =
+      &reg.get_counter("fastreg_net_short_write_resumptions_total", lbl);
+  wm_.flushes_immediate = &reg.get_counter(
+      "fastreg_net_flushes_total", lbl + ",reason=\"immediate\"");
+  wm_.flushes_window = &reg.get_counter("fastreg_net_flushes_total",
+                                        lbl + ",reason=\"window_expired\"");
+  wm_.flushes_step = &reg.get_counter("fastreg_net_flushes_total",
+                                      lbl + ",reason=\"step_end\"");
+  wm_.window_widen =
+      &reg.get_counter("fastreg_net_window_widen_total", lbl);
+  wm_.conn_resets = &reg.get_counter("fastreg_net_conn_resets_total", lbl);
+  wm_.connections = &reg.get_gauge("fastreg_net_connections", lbl);
+  wm_.backlog_bytes = &reg.get_gauge("fastreg_net_backlog_bytes", lbl);
+  wm_.flush_ns = &reg.get_histogram("fastreg_net_flush_ns", lbl);
+  wm_.window_wait_ns = &reg.get_histogram("fastreg_net_window_wait_ns", lbl);
 }
 
 node::~node() { stop(); }
@@ -304,6 +329,8 @@ void node::poll_client_completion() {
 // -------------------------------------------------------------- reactor --
 
 void node::reactor_main() {
+  // Every log line this thread emits is tagged with the node it serves.
+  log_set_node(to_string(self_));
   for (;;) {
     epoll_event events[64];
     // Do not block when a task is already queued: a post() landing after
@@ -350,6 +377,7 @@ void node::reactor_main() {
           connection c;
           c.fd = std::move(*accepted);
           conns_.emplace(cfd, std::move(c));
+          wm_.connections->add(1);
           epoll_event ev{};
           ev.events = EPOLLIN;
           ev.data.fd = cfd;
@@ -374,10 +402,12 @@ void node::reactor_main() {
                                ? 50
                                : std::min(opt_.window_cap_us(),
                                           cur_window_us_ * 2);
+          wm_.window_widen->inc();
         } else if (frames_since_flush_ <= 1) {
           cur_window_us_ = cur_window_us_ >= 100 ? cur_window_us_ / 2 : 0;
         }
       }
+      wm_.flushes_window->inc();
       flush_dirty();
     } else if (opt_.adaptive && cur_window_us_ == 0 && !dirty_fds_.empty()) {
       // Adaptive at window 0: flush at the end of the step that queued
@@ -385,8 +415,10 @@ void node::reactor_main() {
       // step's backlog so sustained bursts re-open the window.
       if (frames_since_flush_ >= 8) {
         cur_window_us_ = 50;
+        wm_.window_widen->inc();
         arm_window(cur_window_us_);
       } else {
+        wm_.flushes_step->inc();
         flush_dirty();
       }
     }
@@ -419,12 +451,14 @@ void node::handle_readable(int fd) {
       close_conn(fd);
       return;
     }
+    wm_.bytes_in->inc(static_cast<std::uint64_t>(n));
     // Frames parse IN PLACE from the read buffer (only a trailing
     // partial frame is copied aside); the automaton steps run inside the
     // drain callback, so a burst of frames in one read is one pass over
     // the bytes.
     drain_guard_fd_ = fd;
     c.in.drain(buf, static_cast<std::size_t>(n), [&](frame&& f) {
+      wm_.frames_in->inc();
       if (f.kind == frame_kind::hello) {
         c.peer = f.from;
         inbound_by_peer_[f.from] = fd;
@@ -451,6 +485,7 @@ void node::handle_readable(int fd) {
     // framing state; undelivered messages are covered by the protocols'
     // quorum waits and the store's retry paths.
     drain_close_pending_ = false;
+    wm_.conn_resets->inc();
     LOG_DEBUG("%s: resetting connection on fd %d (corrupt stream or "
               "write failure mid-drain)",
               to_string(self_).c_str(), fd);
@@ -471,14 +506,21 @@ void node::flush(int fd, connection& c) {
   // c.dirty is left alone: it means "fd is listed in dirty_fds_", and a
   // direct flush (immediate mode, or handle_writable) does not unlist.
   // A listed-but-already-flushed connection is a cheap no-op later.
+  const std::uint64_t flush_start = c.out.empty() ? 0 : now_ns();
   while (!c.out.empty()) {
     struct iovec iov[16];
     const std::size_t cnt = c.out.fill_iovec(iov, 16);
     if (cnt == 0) break;  // only a not-yet-filled tail block: nothing queued
+    std::size_t queued = 0;
+    for (std::size_t i = 0; i < cnt; ++i) queued += iov[i].iov_len;
     const ssize_t n = ::writev(fd, iov, static_cast<int>(cnt));
+    wm_.writev_calls->inc();
     if (n > 0) {
       // Possibly a SHORT write: consume() leaves the remainder (even
       // mid-block) at the chain's front and the next flush resumes there.
+      wm_.bytes_out->inc(static_cast<std::uint64_t>(n));
+      wm_.backlog_bytes->add(-static_cast<std::int64_t>(n));
+      if (static_cast<std::size_t>(n) < queued) wm_.short_writes->inc();
       c.out.consume(static_cast<std::size_t>(n));
       continue;
     }
@@ -486,6 +528,7 @@ void node::flush(int fd, connection& c) {
     close_conn(fd);
     return;
   }
+  if (flush_start != 0) wm_.flush_ns->observe(now_ns() - flush_start);
   update_epoll(fd, c);
 }
 
@@ -515,6 +558,8 @@ void node::close_conn(int fd) {
   }
   std::erase(dirty_fds_, fd);
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  wm_.backlog_bytes->add(-static_cast<std::int64_t>(it->second.out.bytes()));
+  wm_.connections->add(-1);
   conns_.erase(it);  // unique_fd closes
 }
 
@@ -536,6 +581,7 @@ void node::after_queue(int fd, connection& c) {
   if (!windowed) {
     // Immediate mode (window 0): the pre-window behavior, one flush per
     // queueing step.
+    wm_.flushes_immediate->inc();
     if (!c.connecting) {
       flush(fd, c);
     } else {
@@ -543,6 +589,7 @@ void node::after_queue(int fd, connection& c) {
     }
     return;
   }
+  if (frames_since_flush_ == 1) window_open_ns_ = now_ns();
   if (!c.dirty) {
     c.dirty = true;
     dirty_fds_.push_back(fd);
@@ -569,6 +616,10 @@ void node::flush_dirty() {
     }
     flush(fd, c);
   }
+  if (frames_since_flush_ > 0 && window_open_ns_ != 0) {
+    wm_.window_wait_ns->observe(now_ns() - window_open_ns_);
+  }
+  window_open_ns_ = 0;
   frames_since_flush_ = 0;
 }
 
@@ -600,6 +651,7 @@ int node::outbound_to_server(std::uint32_t index) {
   c.fd = std::move(fd);
   c.connecting = true;
   conns_.emplace(raw, std::move(c));
+  wm_.connections->add(1);
   out_to_server_[index] = raw;
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT;
@@ -611,6 +663,8 @@ int node::outbound_to_server(std::uint32_t index) {
   // same writev as the frames that triggered the connect.
   auto& cref = conns_.find(raw)->second;
   append_hello_frame(cref.out.tail_for(64), self_);
+  wm_.frames_out->inc();
+  wm_.backlog_bytes->add(static_cast<std::int64_t>(cref.out.bytes()));
   return raw;
 }
 
@@ -619,7 +673,10 @@ void node::send(const process_id& to, message m) {
   if (c == nullptr) return;
   // Encoded in place into the connection's chain: no intermediate
   // per-message byte vector.
+  const std::size_t before = c->out.bytes();
   append_msg_frame(c->out.tail_for(msg_frame_wire_size(m)), self_, m);
+  wm_.frames_out->inc();
+  wm_.backlog_bytes->add(static_cast<std::int64_t>(c->out.bytes() - before));
   after_queue(c->fd.get(), *c);
 }
 
@@ -631,6 +688,7 @@ void node::send_batch(const process_id& to, std::vector<message> msgs) {
   }
   connection* c = conn_for(to);
   if (c == nullptr) return;
+  const std::size_t before = c->out.bytes();
   // Chunk so no frame approaches frame_buffer::max_frame_bytes -- the
   // receiver treats an oversized frame as stream corruption and resets
   // the connection, which batching large values could otherwise trigger.
@@ -644,6 +702,7 @@ void node::send_batch(const process_id& to, std::vector<message> msgs) {
           std::span<const message>(msgs.data() + begin, i - begin);
       append_batch_frame(c->out.tail_for(batch_frame_wire_size(chunk)),
                          self_, chunk);
+      wm_.frames_out->inc();
       begin = i;
       bytes = 0;
     }
@@ -658,6 +717,8 @@ void node::send_batch(const process_id& to, std::vector<message> msgs) {
     append_batch_frame(c->out.tail_for(batch_frame_wire_size(chunk)), self_,
                        chunk);
   }
+  wm_.frames_out->inc();
+  wm_.backlog_bytes->add(static_cast<std::int64_t>(c->out.bytes() - before));
   after_queue(c->fd.get(), *c);
 }
 

@@ -42,6 +42,7 @@
 #include "net/buffer_chain.h"
 #include "net/framing.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "registers/automaton.h"
 
 namespace fastreg::net {
@@ -213,6 +214,30 @@ class node final : public netout {
   /// frames queued since the last deferred flush (the backlog signal).
   std::uint32_t cur_window_us_{0};
   std::uint64_t frames_since_flush_{0};
+  /// trace_now() when the current batch window opened (first frame queued
+  /// since the last deferred flush); 0 = no window open.
+  std::uint64_t window_open_ns_{0};
+
+  /// Registry handles, resolved once in the constructor with this node's
+  /// label; the reactor hot path only touches these cached pointers.
+  struct wire_metrics {
+    obs::counter* frames_out{nullptr};
+    obs::counter* bytes_out{nullptr};
+    obs::counter* frames_in{nullptr};
+    obs::counter* bytes_in{nullptr};
+    obs::counter* writev_calls{nullptr};
+    obs::counter* short_writes{nullptr};
+    obs::counter* flushes_immediate{nullptr};
+    obs::counter* flushes_window{nullptr};
+    obs::counter* flushes_step{nullptr};
+    obs::counter* window_widen{nullptr};
+    obs::counter* conn_resets{nullptr};
+    obs::gauge* connections{nullptr};
+    obs::gauge* backlog_bytes{nullptr};
+    obs::histogram* flush_ns{nullptr};
+    obs::histogram* window_wait_ns{nullptr};
+  };
+  wire_metrics wm_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

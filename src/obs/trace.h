@@ -1,0 +1,133 @@
+// Per-operation phase tracer: records, for every register operation,
+// the spans the paper's cost model cares about — when each round's
+// requests were issued, when its quorum of acks arrived, and how many
+// rounds the op took end to end.
+//
+// The hooks are called from the client-role register automata
+// (src/registers/*.cc) at the protocol-defined phase boundaries, so a
+// trace's round count is the protocol's REAL executed round count, not
+// the theoretical one a bench table assumes. E1/E5/E11 print their
+// measured rounds-per-op columns from these traces.
+//
+// Keying: an op is identified by (automaton self id, current object).
+// Inner per-object automata do not know their object id, so the store
+// front-end publishes it in a thread-local context (set_trace_object)
+// immediately before stepping an inner automaton; plain single-register
+// deployments leave it at k_default_object.
+//
+// Clock domain: trace timestamps come from trace_now(), which the
+// simulator overrides with its tick counter around every automaton step
+// (set_trace_time) and which otherwise reads the steady clock in
+// nanoseconds — the same clock net::node stamps its histories with. A
+// trace therefore always agrees with the linearizability history the
+// same run produced.
+//
+// Cost when disabled (the default): every hook is one relaxed atomic
+// load and a branch. Enable via set_tracing(true) or FASTREG_OBS=trace
+// (or =1) in the environment.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastreg::obs {
+
+// ------------------------------------------------------------ global gate --
+
+namespace detail {
+extern std::atomic<bool> tracing_on;
+}
+
+/// True when per-op tracing is recording. Initialized once from
+/// FASTREG_OBS ("trace" or "1" enables).
+[[nodiscard]] bool tracing_enabled();
+void set_tracing(bool on);
+
+// ------------------------------------------------------ per-thread context --
+
+/// Publishes the object the current thread is about to step an inner
+/// automaton for. Restores the previous object on destruction.
+class scoped_trace_object {
+ public:
+  explicit scoped_trace_object(object_id obj);
+  ~scoped_trace_object();
+  scoped_trace_object(const scoped_trace_object&) = delete;
+  scoped_trace_object& operator=(const scoped_trace_object&) = delete;
+
+ private:
+  object_id prev_;
+};
+
+[[nodiscard]] object_id trace_object();
+
+/// Overrides trace_now() for the current thread (the simulator sets its
+/// tick counter around automaton steps). Restores on destruction.
+class scoped_trace_time {
+ public:
+  explicit scoped_trace_time(std::uint64_t t);
+  ~scoped_trace_time();
+  scoped_trace_time(const scoped_trace_time&) = delete;
+  scoped_trace_time& operator=(const scoped_trace_time&) = delete;
+
+ private:
+  std::uint64_t prev_;
+  bool had_prev_;
+};
+
+/// The thread's trace clock: the active override, else steady-clock ns.
+[[nodiscard]] std::uint64_t trace_now();
+
+// ------------------------------------------------------------------ hooks --
+
+/// Called by client-role automata. All are no-ops (one relaxed load)
+/// while tracing is disabled. An op_begin for a key with an open trace
+/// replaces it and counts a restart (re-issue after an epoch nack).
+inline bool trace_active() {
+  return detail::tracing_on.load(std::memory_order_relaxed);
+}
+
+void op_begin(const process_id& self, bool is_write);
+void round_issue(const process_id& self, int round);
+void round_ack(const process_id& self, int round);
+void op_end(const process_id& self, int rounds);
+
+// ----------------------------------------------------------------- output --
+
+struct round_span {
+  int round{0};
+  std::uint64_t issue_t{0};
+  std::uint64_t ack_t{0};
+};
+
+/// One completed operation's trace.
+struct op_trace {
+  process_id self{};
+  object_id obj{k_default_object};
+  bool is_write{false};
+  std::uint64_t begin_t{0};
+  std::uint64_t end_t{0};
+  int rounds{0};
+  std::vector<round_span> spans{};
+};
+
+/// Drains completed traces (oldest first). Retention is capped; drops
+/// are visible as the fastreg_obs_trace_drops_total counter.
+[[nodiscard]] std::vector<op_trace> take_traces();
+/// Discards completed and in-flight trace state.
+void reset_traces();
+
+/// Mean executed rounds over `traces`, reads and writes separately;
+/// negative when no op of that kind completed.
+struct rounds_summary {
+  double read_rounds{-1};
+  double write_rounds{-1};
+  std::uint64_t reads{0};
+  std::uint64_t writes{0};
+};
+[[nodiscard]] rounds_summary summarize_rounds(
+    const std::vector<op_trace>& traces);
+
+}  // namespace fastreg::obs

@@ -3,11 +3,19 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fastreg::reconfig {
 
 coordinator::coordinator(control_plane& ctl, std::vector<std::string> keys)
-    : ctl_(ctl), keys_(std::move(keys)) {}
+    : ctl_(ctl), keys_(std::move(keys)) {
+  auto& reg = obs::registry::instance();
+  epoch_gauge_ = &reg.get_gauge("fastreg_reconfig_epoch");
+  read_phase_ns_ =
+      &reg.get_histogram("fastreg_reconfig_phase_ns", "phase=\"state_read\"");
+  seed_phase_ns_ =
+      &reg.get_histogram("fastreg_reconfig_phase_ns", "phase=\"seed\"");
+}
 
 bool coordinator::start(std::shared_ptr<const store::shard_map> cur,
                         const reconfig_plan& plan) {
@@ -62,6 +70,7 @@ bool coordinator::start(std::shared_ptr<const store::shard_map> cur,
     });
   }
   ctl_.publish(new_map_);
+  epoch_gauge_->set(static_cast<std::int64_t>(new_map_->epoch()));
   stats_.keys_discovered = discovered.size();
 
   // Handoff candidates: explicit keys first (their order and duplicates
@@ -121,6 +130,7 @@ void coordinator::advance_target() {
       c.flush(net);
     });
     phase_ = phase::reading;
+    phase_start_ = obs::trace_now();
     return;
   }
   phase_ = phase::done;
@@ -133,6 +143,7 @@ void coordinator::step() {
       return;
     case phase::reading: {
       if (!ctl_.migrator_done()) return;
+      read_phase_ns_->observe(obs::trace_now() - phase_start_);
       const auto snap = ctl_.migrator_snapshot();
       // Writer floors must be in place BEFORE any server stops nacking
       // the object: otherwise a retried put could race the drain with a
@@ -146,10 +157,12 @@ void coordinator::step() {
         c.flush(net);
       });
       phase_ = phase::seeding;
+      phase_start_ = obs::trace_now();
       return;
     }
     case phase::seeding: {
       if (!ctl_.migrator_done()) return;
+      seed_phase_ns_->observe(obs::trace_now() - phase_start_);
       // Quorum seeded: wake whatever the fence parked. Servers outside
       // the seeded quorum lazily fetch the snapshot on first access.
       ctl_.for_each_client([&](store::client& c, netout& net) {

@@ -59,6 +59,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "reconfig/plan.h"
 #include "store/client.h"
 #include "store/server.h"
@@ -160,6 +161,14 @@ class coordinator {
   phase phase_{phase::idle};
   std::string error_{};
   reconfig_stats stats_{};
+  /// Telemetry: the installed epoch and per-object handoff phase
+  /// durations (trace clock: sim ticks under the simulator, wall ns on
+  /// TCP). Handles resolved once; a fresh coordinator per reshard just
+  /// re-resolves the same registry rows.
+  obs::gauge* epoch_gauge_{nullptr};
+  obs::histogram* read_phase_ns_{nullptr};
+  obs::histogram* seed_phase_ns_{nullptr};
+  std::uint64_t phase_start_{0};
 };
 
 }  // namespace fastreg::reconfig

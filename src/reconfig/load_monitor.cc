@@ -1,10 +1,26 @@
 #include "reconfig/load_monitor.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace fastreg::reconfig {
 
 namespace {
+
+// Process-global event counters: plans are pure values with no node
+// identity, so the registry rows are unlabelled. Counted only for plans
+// that validate (a rejected plan proposes nothing).
+obs::counter& promotions_counter() {
+  static obs::counter& c = obs::registry::instance().get_counter(
+      "fastreg_reshard_promotions_total");
+  return c;
+}
+
+obs::counter& demotions_counter() {
+  static obs::counter& c = obs::registry::instance().get_counter(
+      "fastreg_reshard_demotions_total");
+  return c;
+}
 
 /// `cur`'s round-robin protocol list resolved to one name per shard.
 std::vector<std::string> resolve_assignment(const store::shard_map& cur) {
@@ -33,13 +49,14 @@ std::optional<reconfig_plan> build_hot_shard_plan(
   std::vector<std::string> assignment = resolve_assignment(cur);
 
   const double hot_share = opt.hot_factor / static_cast<double>(n);
-  bool changed = false;
+  std::uint64_t promoted = 0;
+  std::uint64_t demoted = 0;
   for (std::uint32_t s = 0; s < n; ++s) {
     const double share =
         static_cast<double>(totals[s]) / static_cast<double>(total);
     if (share >= hot_share && assignment[s] != opt.fast_protocol) {
       assignment[s] = opt.fast_protocol;
-      changed = true;
+      ++promoted;
     }
   }
   // Demotion, gated on the hysteresis streak: only shards on the fast
@@ -55,14 +72,16 @@ std::optional<reconfig_plan> build_hot_shard_plan(
       if (assignment[s] == opt.fast_protocol && share < hot_share &&
           (*cool_streaks)[s] >= opt.demote_after) {
         assignment[s] = opt.demote_protocol;
-        changed = true;
+        ++demoted;
       }
     }
   }
-  if (!changed) return std::nullopt;
+  if (promoted == 0 && demoted == 0) return std::nullopt;
 
   reconfig_plan plan{n, std::move(assignment)};
   if (!validate_plan(cur, plan).empty()) return std::nullopt;
+  if (promoted > 0) promotions_counter().inc(promoted);
+  if (demoted > 0) demotions_counter().inc(demoted);
   return plan;
 }
 
@@ -135,6 +154,9 @@ void auto_resharder::step() {
     return;
   }
   ++started_;
+  obs::registry::instance()
+      .get_counter("fastreg_reshards_started_total")
+      .inc();
 }
 
 }  // namespace fastreg::reconfig

@@ -47,6 +47,10 @@ const char* to_string(msg_type t) {
       return "FETCH";
     case msg_type::fetch_ack:
       return "FETCHACK";
+    case msg_type::stats_req:
+      return "STATS";
+    case msg_type::stats_ack:
+      return "STATSACK";
   }
   return "?";
 }
@@ -100,7 +104,7 @@ std::optional<message> decode_message(byte_reader& r) {
   message m;
   const auto type = r.get_u8();
   if (!type || *type < 1 ||
-      *type > static_cast<std::uint8_t>(msg_type::fetch_ack)) {
+      *type > static_cast<std::uint8_t>(msg_type::stats_ack)) {
     return std::nullopt;
   }
   m.type = static_cast<msg_type>(*type);

@@ -53,6 +53,12 @@ enum class msg_type : std::uint8_t {
   // sig) is the ORIGINAL seed snapshot of the object's generation.
   fetch_req = 15,
   fetch_ack = 16,
+  // Observability admin frames (src/obs): a stats_req asks a store server
+  // for its metrics; the stats_ack's `val` carries the text dump (one
+  // `name{labels} value` line per metric). Answered before any epoch
+  // fencing -- scraping must work mid-migration.
+  stats_req = 17,
+  stats_ack = 18,
 };
 
 /// fetch_ack flag bits (carried in message::rcounter): the answering peer

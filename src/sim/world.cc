@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/log.h"
+#include "obs/trace.h"
 
 namespace fastreg::sim {
 
@@ -112,6 +114,11 @@ void world::invoke_write(std::uint32_t writer_index, value_t v) {
   st.pending = true;
   st.completed_before = w->writes_completed();
   st.op_index = history_.begin_op(wid, /*is_write=*/true, now_, v);
+  // The tracer (obs) stamps this step with the simulated clock, so sim
+  // traces agree with the history this run records; log lines carry the
+  // stepped automaton's id.
+  obs::scoped_trace_time trace_time(now_);
+  scoped_log_node log_node(to_string(wid));
   w->invoke_write(*this, std::move(v));
   flush_sends(wid);
 }
@@ -126,6 +133,8 @@ void world::invoke_read(std::uint32_t reader_index) {
   st.pending = true;
   st.completed_before = r->reads_completed();
   st.op_index = history_.begin_op(rid, /*is_write=*/false, now_);
+  obs::scoped_trace_time trace_time(now_);
+  scoped_log_node log_node(to_string(rid));
   r->invoke_read(*this);
   flush_sends(rid);
 }
@@ -134,6 +143,8 @@ void world::invoke_step(const process_id& p,
                         const std::function<void(netout&)>& fn) {
   FASTREG_EXPECTS(!crashed_.contains(p));
   ++now_;
+  obs::scoped_trace_time trace_time(now_);
+  scoped_log_node log_node(to_string(p));
   fn(*this);
   flush_sends(p);
 }
@@ -174,6 +185,8 @@ void world::poll_completion(const process_id& p) {
 
 void world::do_step(const process_id& to, const envelope& env) {
   auto& a = *procs_[index_of(to)];
+  obs::scoped_trace_time trace_time(now_);
+  scoped_log_node log_node(to_string(to));
   if (env.tail.empty()) {
     a.on_message(*this, env.from, env.msg);
   } else {

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "crypto/sig.h"
+#include "obs/trace.h"
 
 namespace fastreg::store {
 
@@ -11,6 +12,10 @@ client::client(std::shared_ptr<const shard_map> shards, process_id self,
                map_source source)
     : map_(std::move(shards)), source_(std::move(source)), self_(self) {
   FASTREG_EXPECTS(self_.is_reader() || self_.is_writer());
+  auto& reg = obs::registry::instance();
+  const std::string lbl = "node=\"" + to_string(self_) + "\"";
+  parks_total_ = &reg.get_counter("fastreg_store_parks_total", lbl);
+  resumes_total_ = &reg.get_counter("fastreg_store_resumes_total", lbl);
 }
 
 client::client(const client& o)
@@ -23,7 +28,11 @@ client::client(const client& o)
       mig_(o.mig_),
       mig_seq_(o.mig_seq_),
       completions_(o.completions_),
-      completed_(o.completed_) {
+      completed_(o.completed_),
+      stats_(o.stats_),
+      stats_seq_(o.stats_seq_),
+      parks_total_(o.parks_total_),
+      resumes_total_(o.resumes_total_) {
   // outbox_ is intentionally not copied: it is empty between steps, and
   // clone() (world::fork) only runs between steps.
   FASTREG_EXPECTS(o.outbox_.empty());
@@ -55,6 +64,9 @@ automaton& client::inner_for(object_id obj) {
 void client::invoke_on(object_id obj, pending_op& op) {
   auto& inner = inner_for(obj);
   op.epoch = epoch();
+  // The inner automaton does not know its object id; publish it so the
+  // tracer keys this invocation's op under (self, obj).
+  obs::scoped_trace_object trace_obj(obj);
   tagging_netout tagged(outbox_, obj, epoch(), op.attempt);
   if (op.is_put) {
     auto* w = as_writer(&inner);
@@ -110,6 +122,7 @@ void client::reissue(object_id obj, pending_op& op) {
   // The abandoned attempt's automaton state (including any acks it
   // gathered) is protocol state of a superseded generation; discard it
   // and start over against the current map.
+  if (op.parked) resumes_total_->inc();
   op.attempt = ++attempts_[obj];
   op.parked = false;
   objects_.erase(obj);
@@ -117,6 +130,7 @@ void client::reissue(object_id obj, pending_op& op) {
 }
 
 void client::park(object_id obj, pending_op& op) {
+  parks_total_->inc();
   op.parked = true;
   objects_.erase(obj);
 }
@@ -225,6 +239,20 @@ void client::begin_seed(object_id obj, const register_snapshot& s,
   }
 }
 
+void client::begin_stats(std::uint32_t server_index) {
+  message m;
+  m.type = msg_type::stats_req;
+  m.rcounter = ++stats_seq_;
+  stats_.reset();
+  outbox_.add(server_id(server_index), std::move(m));
+}
+
+std::string client::take_stats() {
+  std::string out = stats_.value_or(std::string{});
+  stats_.reset();
+  return out;
+}
+
 const register_snapshot& client::mig_snapshot() const {
   FASTREG_EXPECTS(mig_done() && !mig_->is_seed);
   return mig_->best;
@@ -320,11 +348,16 @@ void client::route(const process_id& from, const message& m) {
   // EARLIER ops cannot alias either -- disambiguates (mirroring the
   // check handle_nack performs).
   if (m.attempt != attempt) return;
+  obs::scoped_trace_object trace_obj(m.obj);
   tagging_netout tagged(outbox_, m.obj, epoch(), attempt);
   it->second.a->on_message(tagged, from, m);
 }
 
 bool client::dispatch_one(const process_id& from, const message& m) {
+  if (m.type == msg_type::stats_ack) {
+    if (from.is_server() && m.rcounter == stats_seq_) stats_ = m.val;
+    return false;  // scrape I/O never completes a front-end op
+  }
   if (m.type == msg_type::epoch_nack) {
     handle_nack(m);
     return true;

@@ -34,6 +34,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/batching.h"
 #include "store/shard_map.h"
 
@@ -132,6 +133,17 @@ class client final : public automaton, public async_client_iface {
   [[nodiscard]] bool mig_done() const { return mig_.has_value() && mig_->done; }
   [[nodiscard]] const register_snapshot& mig_snapshot() const;
 
+  // ------------------------------------------------------------- scrape --
+  // Live introspection (src/obs): ask a store server for its metrics
+  // dump over the data path. One scrape in flight at a time.
+
+  /// Sends a stats_req to server `index`. Follow with flush(); the reply
+  /// is stashed for take_stats().
+  void begin_stats(std::uint32_t server_index);
+  [[nodiscard]] bool stats_ready() const { return stats_.has_value(); }
+  /// The scraped `name{labels} value` text dump; empty if none arrived.
+  [[nodiscard]] std::string take_stats();
+
   // async_client_iface
   [[nodiscard]] bool op_in_progress() const override {
     return !pending_.empty();
@@ -224,6 +236,14 @@ class client final : public automaton, public async_client_iface {
   batch_collector outbox_;
   std::vector<store_result> completions_;
   std::uint64_t completed_{0};
+  /// Scrape state: stashed stats_ack dump and the sequence its reply
+  /// must echo (stale acks of an earlier scrape are dropped).
+  std::optional<std::string> stats_;
+  std::uint64_t stats_seq_{0};
+  /// Registry handles (per-client label); clones share them, so the
+  /// registry counts the union while parked_count() stays exact.
+  obs::counter* parks_total_{nullptr};
+  obs::counter* resumes_total_{nullptr};
 };
 
 [[nodiscard]] inline client* as_store_client(automaton* a) {

@@ -50,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/batching.h"
 #include "store/shard_map.h"
 
@@ -194,6 +195,24 @@ class server final : public automaton {
   /// Lifetime count of buffered-fetch overflow nacks (see accessor).
   std::uint64_t fetch_overflow_nacks_{0};
   batch_collector outbox_;
+
+  /// Registry handles (per-server label), resolved in the constructor.
+  /// The members above stay the source of truth for the accessors --
+  /// clones share these handles, so the registry sees the union of every
+  /// clone's activity while each clone's accessors stay exact.
+  struct srv_metrics {
+    obs::counter* ops{nullptr};
+    obs::counter* nacks{nullptr};
+    obs::counter* fetch_reqs{nullptr};
+    obs::counter* fetch_overflow{nullptr};
+    obs::gauge* epoch{nullptr};
+    obs::histogram* serve_ns{nullptr};
+  };
+  srv_metrics sm_;
+  /// One op counter per shard of the current map (label shard="k");
+  /// rebuilt on install_map when the shard count changes.
+  std::vector<obs::counter*> shard_counters_;
+  void bind_metrics();
 };
 
 }  // namespace fastreg::store

@@ -117,6 +117,23 @@ std::uint64_t sim_store::run_timed(rng& r, sim::delay_model& delays,
   return steps;
 }
 
+std::string sim_store::scrape(std::uint32_t server_index, rng& r,
+                              std::uint64_t max_steps) {
+  const process_id p = reader_id(0);
+  auto& c = client_at(p);
+  world_.invoke_step(p, [&](netout& net) {
+    c.begin_stats(server_index);
+    c.flush(net);
+  });
+  std::uint64_t steps = 0;
+  while (!c.stats_ready() && steps < max_steps &&
+         world_.run_random(r, 1) == 1) {
+    ++steps;
+    drain_completions();  // a scrape may interleave with live traffic
+  }
+  return c.take_stats();
+}
+
 bool sim_store::idle() {
   if (!world_.in_transit().empty()) return false;
   const auto& cfg = proto_.config().base;

@@ -65,6 +65,13 @@ class sim_store {
   /// Completes history records for everything the clients finished.
   void drain_completions();
 
+  /// Scrapes server `server_index`'s metrics over the simulated data
+  /// path (stats_req/stats_ack through reader 0), driving the world
+  /// until the ack lands. Returns the `name{labels} value` text dump;
+  /// empty if the ack never arrived within `max_steps`.
+  [[nodiscard]] std::string scrape(std::uint32_t server_index, rng& r,
+                                   std::uint64_t max_steps = 10'000);
+
   [[nodiscard]] const store_histories& histories() const { return hist_; }
 
  private:

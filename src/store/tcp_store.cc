@@ -1,6 +1,10 @@
 #include "store/tcp_store.h"
 
+#include <poll.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <utility>
 
@@ -259,6 +263,73 @@ bool tcp_store::multi_put(
   return run_ops(cluster_.writer(writer_index), writer_id(writer_index), kvs,
                  /*is_put=*/true, timeout)
       .has_value();
+}
+
+std::string tcp_store::scrape(std::uint32_t server_index,
+                              std::chrono::milliseconds timeout) {
+  FASTREG_EXPECTS(server_index < cluster_.book().server_ports.size());
+  net::unique_fd fd =
+      net::connect_to(cluster_.book().server_ports[server_index]);
+  if (!fd.valid()) return {};
+  // Introduce the scraper under a reader id far outside any real
+  // configuration: the server routes the stats_ack back over the
+  // connection this id said hello on, and no live reader's reply route
+  // is disturbed.
+  const process_id scraper = reader_id(1'000'000u + server_index);
+  auto bytes = net::encode_hello(scraper);
+  message req;
+  req.type = msg_type::stats_req;
+  req.rcounter = 1;
+  const auto frame = net::encode_msg_frame(scraper, req);
+  bytes.insert(bytes.end(), frame.begin(), frame.end());
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto remaining_ms = [&]() -> int {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    return static_cast<int>(std::max<std::int64_t>(0, left.count()));
+  };
+
+  // Non-blocking connect: wait for writability, then push the request.
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    pollfd p{fd.get(), POLLOUT, 0};
+    const int pr = ::poll(&p, 1, remaining_ms());
+    if (pr <= 0) return {};
+    const ssize_t n =
+        ::write(fd.get(), bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    return {};
+  }
+
+  net::frame_buffer in;
+  std::string dump;
+  bool got = false;
+  while (!got) {
+    pollfd p{fd.get(), POLLIN, 0};
+    const int pr = ::poll(&p, 1, remaining_ms());
+    if (pr <= 0) return {};
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::read(fd.get(), buf, sizeof buf);
+    if (n == 0) return {};  // server closed without answering
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return {};
+    }
+    in.drain(buf, static_cast<std::size_t>(n), [&](net::frame&& f) {
+      if (f.kind == net::frame_kind::msg && f.msg.has_value() &&
+          f.msg->type == msg_type::stats_ack) {
+        dump = std::move(f.msg->val);
+        got = true;
+      }
+    });
+    if (in.corrupt()) return {};
+  }
+  return dump;
 }
 
 store_histories tcp_store::gather() const {

@@ -75,6 +75,16 @@ class tcp_store {
   /// cross-node ordering is meaningful). Thread-safe.
   [[nodiscard]] store_histories gather() const;
 
+  /// Scrapes server `server_index`'s metrics over a dedicated raw socket
+  /// (hello + stats_req, framed exactly like any client): the admin path
+  /// an external collector would use. Safe alongside live traffic -- the
+  /// scraper introduces itself under a process id no real client holds,
+  /// so no reply route is hijacked. Returns the `name{labels} value`
+  /// text dump; empty on timeout or connection failure.
+  [[nodiscard]] std::string scrape(
+      std::uint32_t server_index,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
   /// Pipelined async session on one client: keeps up to `depth` ops in
   /// flight on the client's connection instead of one blocking op at a
   /// time. get/put SUBMIT (returning once the op is on the wire),

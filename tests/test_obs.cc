@@ -1,0 +1,299 @@
+// Observability: registry concurrency, histogram accuracy, the
+// streaming bench accumulator, tracer-measured rounds-per-op, and the
+// stats_req/stats_ack scrape on both deployments. The concurrent cases
+// double as the TSan surface for the metrics hot path (run with
+// -DFASTREG_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "benchutil/stats.h"
+#include "benchutil/workload.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "registers/registry.h"
+#include "store/sim_store.h"
+#include "store/tcp_store.h"
+
+namespace fastreg {
+namespace {
+
+store::store_config small_store_cfg(std::vector<std::string> protos,
+                                    std::uint32_t num_shards = 2,
+                                    std::uint32_t R = 2) {
+  store::store_config cfg;
+  cfg.base.servers = 5;
+  cfg.base.t_failures = 1;
+  cfg.base.readers = R;
+  cfg.base.writers = 1;
+  cfg.num_shards = num_shards;
+  cfg.shard_protocols = std::move(protos);
+  return cfg;
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(ObsRegistry, ConcurrentIncrementsAreExact) {
+  auto& c = obs::registry::instance().get_counter(
+      "test_obs_concurrent_total");
+  c.reset();
+  constexpr int k_threads = 8;
+  constexpr std::uint64_t k_incs = 20'000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < k_threads; ++i) {
+    ts.emplace_back([&] {
+      for (std::uint64_t n = 0; n < k_incs; ++n) c.inc();
+    });
+  }
+  // Snapshot concurrently with the writers: reads must be race-free
+  // (relaxed) and monotone in what they CAN observe.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = obs::snapshot();
+    EXPECT_FALSE(snap.empty());
+    const auto v = c.value();
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), k_threads * k_incs);
+}
+
+TEST(ObsRegistry, SameNameSameLabelsSameHandle) {
+  auto& a = obs::registry::instance().get_counter("test_obs_handle_total",
+                                                  "node=\"x\"");
+  auto& b = obs::registry::instance().get_counter("test_obs_handle_total",
+                                                  "node=\"x\"");
+  auto& other = obs::registry::instance().get_counter(
+      "test_obs_handle_total", "node=\"y\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+}
+
+TEST(ObsRegistry, GaugeTracksLevels) {
+  auto& g = obs::registry::instance().get_gauge("test_obs_gauge");
+  g.reset();
+  g.add(5);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 3);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(ObsHistogram, PercentileWithinBucketError) {
+  obs::histogram h;
+  rng r(11);
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 20'000; ++i) {
+    // Log-uniform over ~6 decades: exercises many octaves.
+    const double e = r.uniform01() * 6.0;
+    vals.push_back(static_cast<std::uint64_t>(std::pow(10.0, e)));
+    h.observe(vals.back());
+  }
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(h.count(), vals.size());
+  EXPECT_EQ(h.min(), vals.front());
+  EXPECT_EQ(h.max(), vals.back());
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    const auto exact =
+        vals[static_cast<std::size_t>(p / 100.0 *
+                                      static_cast<double>(vals.size() - 1))];
+    const auto est = h.percentile(p);
+    // 8 sub-buckets per octave: worst-case relative quantization ~9%;
+    // allow a little headroom for the rank-vs-interpolation difference.
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(exact),
+                0.15 * static_cast<double>(exact))
+        << "p" << p;
+  }
+}
+
+TEST(ObsHistogram, BucketIndexRoundTrips) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 7ull, 64ull, 1'000ull, 123'456'789ull}) {
+    const auto idx = obs::histogram::bucket_index(v);
+    ASSERT_LT(idx, obs::histogram::k_buckets);
+    const auto rep = obs::histogram::bucket_value(idx);
+    if (v == 0) {
+      EXPECT_EQ(rep, 0u);
+    } else {
+      EXPECT_NEAR(static_cast<double>(rep), static_cast<double>(v),
+                  0.2 * static_cast<double>(v));
+    }
+  }
+}
+
+// ------------------------------------------------- streaming bench stats
+
+TEST(StreamHist, DifferentialAgainstExactStats) {
+  benchutil::stats exact;
+  benchutil::stream_hist stream;
+  rng r(23);
+  for (int i = 0; i < 50'000; ++i) {
+    // Latency-shaped: a lognormal-ish spread with sub-integer values.
+    const double v = std::pow(10.0, 1.0 + 3.0 * r.uniform01()) / 16.0;
+    exact.add(v);
+    stream.add(v);
+  }
+  EXPECT_EQ(stream.count(), exact.count());
+  EXPECT_NEAR(stream.mean(), exact.mean(), 1e-9 * exact.mean());
+  EXPECT_DOUBLE_EQ(stream.min(), exact.min());
+  EXPECT_DOUBLE_EQ(stream.max(), exact.max());
+  for (const double p : {1.0, 50.0, 90.0, 99.0}) {
+    EXPECT_NEAR(stream.percentile(p), exact.percentile(p),
+                0.10 * exact.percentile(p))
+        << "p" << p;
+  }
+}
+
+TEST(StreamHist, EmptyAndReset) {
+  benchutil::stream_hist s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.p50(), 0.0);
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+// ----------------------------------------------------- rounds from traces
+
+TEST(ObsTrace, FastReadIsOneRoundAbdIsTwo) {
+  const std::vector<std::tuple<const char*, double, double>> cases = {
+      {"fast_swmr", 1.0, 1.0}, {"abd", 2.0, 1.0}, {"mwmr", 2.0, 2.0}};
+  for (const auto& [proto, rd, wr] : cases) {
+    system_config cfg;
+    cfg.servers = 7;
+    cfg.t_failures = 1;
+    cfg.readers = 2;
+    if (std::string(proto) == "mwmr") cfg.writers = 2;
+    benchutil::workload_options opt;
+    opt.num_writes = 10;
+    opt.reads_per_reader = 10;
+    const auto rep =
+        benchutil::run_measured(*make_protocol(proto), cfg, opt);
+    // The tracer's issue/ack hooks, not the completion records: an
+    // automaton claiming the wrong round count in its result would not
+    // fool this.
+    EXPECT_GT(rep.traced.reads, 0u) << proto;
+    EXPECT_GT(rep.traced.writes, 0u) << proto;
+    EXPECT_DOUBLE_EQ(rep.traced.read_rounds, rd) << proto;
+    EXPECT_DOUBLE_EQ(rep.traced.write_rounds, wr) << proto;
+  }
+}
+
+// ------------------------------------------------------------ text dump
+
+TEST(ObsDump, RenderValidatesAndGarbageDoesNot) {
+  obs::registry::instance().get_counter("test_obs_dump_total").inc();
+  obs::registry::instance()
+      .get_histogram("test_obs_dump_ns", "node=\"s1\"")
+      .observe(42);
+  const auto text = obs::render_text();
+  EXPECT_EQ(obs::validate_dump(text), "");
+  EXPECT_NE(text.find("test_obs_dump_total"), std::string::npos);
+  EXPECT_NE(text.find("test_obs_dump_ns_p50{node=\"s1\"}"),
+            std::string::npos);
+
+  EXPECT_NE(obs::validate_dump("not a metric line\n"), "");
+  EXPECT_NE(obs::validate_dump("name{unquoted=x} 1\n"), "");
+  EXPECT_NE(obs::validate_dump("name{a=\"b\"} not_a_number\n"), "");
+  EXPECT_EQ(obs::validate_dump("plain_name 3.25\n"), "");
+}
+
+// -------------------------------------------------------- scrape: sim
+
+TEST(ObsScrape, SimStatsRoundTrip) {
+  store::sim_store s(small_store_cfg({"fast_swmr", "abd"}));
+  rng r(5);
+  for (int n = 1; n <= 6; ++n) {
+    s.invoke_put(0, "k" + std::to_string(n % 3), "v" + std::to_string(n));
+    s.run_random(r, 10'000);
+  }
+  const auto dump = s.scrape(0, r);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_EQ(obs::validate_dump(dump), "") << dump.substr(0, 200);
+  // The scraped server counted its own ops under its node label.
+  EXPECT_NE(dump.find("fastreg_store_ops_total{node=\"s1\"}"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------- scrape: TCP
+
+TEST(ObsScrape, TcpStatsRoundTripOverRawSocket) {
+  store::tcp_store ts(small_store_cfg({"fast_swmr", "abd"}));
+  ts.start();
+  ASSERT_TRUE(ts.put(0, "alpha", "a1"));
+  const auto a = ts.get(0, "alpha");
+  ASSERT_TRUE(a.has_value());
+  const auto dump = ts.scrape(0);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_EQ(obs::validate_dump(dump), "") << dump.substr(0, 200);
+  EXPECT_NE(dump.find("fastreg_store_ops_total"), std::string::npos);
+  EXPECT_NE(dump.find("fastreg_net_frames_in_total"), std::string::npos);
+  // Live traffic keeps flowing after a scrape.
+  ASSERT_TRUE(ts.put(0, "alpha", "a2"));
+  const auto b = ts.get(1, "alpha");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->val, "a2");
+  EXPECT_TRUE(ts.gather().verify().ok);
+  ts.stop();
+}
+
+// A scrape against a dead port fails cleanly instead of hanging.
+TEST(ObsScrape, TcpScrapeTimesOutCleanly) {
+  store::tcp_store ts(small_store_cfg({"abd"}));
+  ts.start();
+  ts.stop();  // ports are now closed
+  const auto dump = ts.scrape(0, std::chrono::milliseconds(200));
+  EXPECT_TRUE(dump.empty());
+}
+
+// ----------------------------------------- reactor-thread hooks (TSan)
+
+TEST(ObsTrace, ReactorHooksRaceFreeUnderConcurrentScrape) {
+  const bool was = obs::tracing_enabled();
+  obs::set_tracing(true);
+  obs::reset_traces();
+  store::tcp_store ts(small_store_cfg({"fast_swmr", "abd"}));
+  ts.start();
+  std::thread writer([&] {
+    for (int n = 1; n <= 10; ++n) {
+      ASSERT_TRUE(
+          ts.put(0, "k" + std::to_string(n % 3), "v" + std::to_string(n)));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    readers.emplace_back([&, i] {
+      for (int n = 0; n < 8; ++n) {
+        (void)ts.get(i, "k" + std::to_string(n % 3));
+      }
+    });
+  }
+  // Snapshot + render + scrape while the reactor threads trace and count.
+  for (int i = 0; i < 10; ++i) {
+    (void)obs::snapshot();
+    (void)obs::render_text();
+  }
+  const auto dump = ts.scrape(0);
+  EXPECT_FALSE(dump.empty());
+  writer.join();
+  for (auto& th : readers) th.join();
+  const auto traces = obs::take_traces();
+  EXPECT_FALSE(traces.empty());
+  obs::set_tracing(was);
+  ts.stop();
+}
+
+}  // namespace
+}  // namespace fastreg
