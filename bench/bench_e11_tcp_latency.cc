@@ -2,13 +2,24 @@
 // reactor thread per process. Wall-clock microseconds; absolute numbers
 // are machine-dependent, the ratios are the reproduction target:
 // abd read ~= 2x fast read; maxmin in between; write ~= fast read.
+//
+// `--trace-out FILE` skips the latency table and instead runs a short
+// flight-recorded pass per protocol, merges every node's recorder ring
+// into one causally-ordered timeline, and writes it as Chrome
+// trace-event JSON (load in about:tracing or Perfetto). CI smoke-runs
+// this and validates the output with `trace_merge --validate`.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "benchutil/stats.h"
 #include "benchutil/table.h"
 #include "checker/atomicity.h"
 #include "crypto/sig.h"
 #include "net/cluster.h"
+#include "obs/recorder.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "registers/registry.h"
 
@@ -69,9 +80,60 @@ tcp_result run_tcp(const std::string& proto, std::uint32_t S, std::uint32_t t,
   return out;
 }
 
+/// --trace-out: a few flight-recorded round trips per protocol at
+/// window 0, merged across every node's ring into catapult JSON.
+int run_trace_out(const char* out_path) {
+  std::printf("E11 --trace-out: recording 10 round trips per protocol\n");
+  obs::set_recording(true);
+  obs::recorder_reset_all();
+  for (const char* proto : {"fast_swmr", "abd", "maxmin"}) {
+    system_config cfg;
+    cfg.servers = 5;
+    cfg.t_failures = 1;
+    cfg.readers = 1;
+    net::cluster c(cfg, *make_protocol(proto), {});
+    c.start();
+    for (int k = 0; k < 10; ++k) {
+      (void)c.writer().blocking_write(std::string(proto) + ":" +
+                                      std::to_string(k));
+      (void)c.reader(0).blocking_read();
+    }
+    c.stop();
+  }
+  obs::set_recording(false);
+  std::vector<std::vector<obs::timeline_event>> per_node;
+  for (const auto& [node, dump] : obs::recorder_dump_all()) {
+    if (const auto err = obs::validate_recorder_dump(dump); !err.empty()) {
+      std::fprintf(stderr, "E11: dump of %s invalid: %s\n", node.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    per_node.push_back(obs::parse_recorder_dump(dump));
+  }
+  const auto merged = obs::merge_events(std::move(per_node));
+  if (const auto err = obs::validate_timeline(merged); !err.empty()) {
+    std::fprintf(stderr, "E11: causal check failed: %s\n", err.c_str());
+    return 1;
+  }
+  const auto json = obs::render_catapult(merged);
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "E11: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("E11: wrote %s (%zu events from %zu nodes)\n", out_path,
+              merged.size(), obs::recorder_dump_all().size());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 2 && std::strcmp(argv[1], "--trace-out") == 0) {
+    return run_trace_out(argv[2]);
+  }
   std::printf("E11: latency over real TCP sockets (localhost, "
               "microseconds)\n\n");
   table t({"proto", "S", "sigs", "window_us", "read_p50_us", "read_p99_us",

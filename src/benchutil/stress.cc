@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "crypto/sig.h"
+#include "obs/recorder.h"
 #include "reconfig/control.h"
 #include "reconfig/coordinator.h"
 #include "reconfig/plan.h"
@@ -74,8 +75,27 @@ std::string write_failure_dump(const stress_options& opt,
   return path;
 }
 
+/// Forensics: on a checker failure with the flight recorder on, dump
+/// every node's ring next to the history dump, pre-filtered to the
+/// violating key's object, and return the paths.
+std::vector<std::string> write_recorder_dumps(const stress_options& opt,
+                                              std::uint64_t seed,
+                                              const std::string& failing_key) {
+  std::vector<std::string> paths;
+  if (!obs::recording_active()) return paths;
+  const object_id obj = store::key_object_id(failing_key);
+  for (const auto& [node, dump] : obs::recorder_dump_all(obj)) {
+    std::string path = opt.label + "_seed_" + std::to_string(seed) + "." +
+                       node + ".recorder";
+    std::ofstream out(path);
+    out << dump;
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
 /// Per-key verification; on a violation, records the error and dumps
-/// the offending history.
+/// the offending history (plus recorder forensics when recording).
 void verify_into(stress_report& rep, const stress_options& opt,
                  const store::store_histories& hist) {
   std::string failing_key;
@@ -86,6 +106,7 @@ void verify_into(stress_report& rep, const stress_options& opt,
     rep.dump_path = write_failure_dump(opt, rep.seed, it->second,
                                        failing_key, rep.check.error);
   }
+  rep.recorder_paths = write_recorder_dumps(opt, rep.seed, failing_key);
 }
 
 void fill_counts(stress_report& rep, const store::store_histories& hist) {
@@ -102,6 +123,12 @@ std::string stress_report::describe() const {
                   std::to_string(seed) + ")";
   if (!check.ok) s += "; " + check.error;
   if (!dump_path.empty()) s += "; failing history dumped to " + dump_path;
+  if (!recorder_paths.empty()) {
+    s += "; flight-recorder dumps (" +
+         std::to_string(recorder_paths.size()) + " nodes, merge with "
+         "tools/trace_merge): " +
+         recorder_paths.front() + " ...";
+  }
   if (!all_complete) s += "; some operations never completed";
   if (op_failures > 0) {
     s += "; " + std::to_string(op_failures) + " client ops failed";
@@ -148,6 +175,9 @@ stress_report run_sim_stress(const stress_options& opt) {
   FASTREG_EXPECTS(opt.crash_servers + opt.partition_servers <= opt.t);
   stress_report rep;
   rep.seed = opt.seed;
+  // Recorders are process-global; start each run from an empty ring so a
+  // failure's forensics dump holds only this run's events.
+  if (obs::recording_active()) obs::recorder_reset_all();
 
   store::sim_store s(make_store_cfg(opt));
   rng r(opt.seed);
@@ -260,6 +290,7 @@ stress_report run_tcp_stress(const stress_options& opt) {
   FASTREG_EXPECTS(opt.partition_servers == 0);
   stress_report rep;
   rep.seed = opt.seed;
+  if (obs::recording_active()) obs::recorder_reset_all();
 
   store::tcp_store ts(make_store_cfg(opt));
   ts.start();

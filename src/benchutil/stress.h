@@ -76,6 +76,11 @@ struct stress_report {
   checker::check_result check{};
   /// Set when !check.ok: file holding the failing key's full history.
   std::string dump_path{};
+  /// Set when !check.ok and the flight recorder was on (FASTREG_OBS=
+  /// record): one per-node recorder dump next to dump_path, pre-filtered
+  /// to the failing key's object. Feed them to tools/trace_merge for the
+  /// causally-ordered timeline of the violation.
+  std::vector<std::string> recorder_paths{};
 
   [[nodiscard]] bool ok() const {
     return check.ok && all_complete && op_failures == 0;

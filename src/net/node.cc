@@ -107,6 +107,7 @@ node::node(system_config cfg, std::unique_ptr<automaton> a,
   wm_.backlog_bytes = &reg.get_gauge("fastreg_net_backlog_bytes", lbl);
   wm_.flush_ns = &reg.get_histogram("fastreg_net_flush_ns", lbl);
   wm_.window_wait_ns = &reg.get_histogram("fastreg_net_window_wait_ns", lbl);
+  rec_ = &obs::recorder_for(self_);
 }
 
 node::~node() { stop(); }
@@ -171,6 +172,9 @@ std::optional<read_result> node::blocking_read(
       open_op_index_ = hist_.begin_op(self_, false, now_ns());
       op_open_ = true;
     }
+    // Register automata never stamp their messages; the ambient trace
+    // context tags everything this invocation sends (see node::send).
+    obs::scoped_trace_ctx trace_ctx(obs::next_trace_id(), 0);
     r->invoke_read(*this);
   });
   std::unique_lock<std::mutex> lk(mu_);
@@ -194,6 +198,7 @@ bool node::blocking_write(value_t v, std::chrono::milliseconds timeout) {
       open_op_index_ = hist_.begin_op(self_, true, now_ns(), v);
       op_open_ = true;
     }
+    obs::scoped_trace_ctx trace_ctx(obs::next_trace_id(), 0);
     w->invoke_write(*this, std::move(v));
   });
   std::unique_lock<std::mutex> lk(mu_);
@@ -465,10 +470,29 @@ void node::handle_readable(int fd) {
         return;
       }
       if (f.kind == frame_kind::batch) {
+        if (obs::recording_active()) {
+          for (const auto& m : f.batch) {
+            rec_->record(obs::rec_event::recv, m.trace, m.span,
+                         static_cast<std::uint8_t>(m.type), f.from, m.obj,
+                         m.epoch, m.ts);
+          }
+        }
+        // Ambient trace ctx for replies of trace-oblivious automata; a
+        // batch carries the head's (store automata stamp replies
+        // themselves, matching the simulator's convention).
+        obs::scoped_trace_ctx trace_ctx(
+            f.batch.empty() ? 0 : f.batch.front().trace,
+            f.batch.empty() ? std::uint16_t{0} : f.batch.front().span);
         automaton_->on_batch(*this, f.from, f.batch);
         return;
       }
       if (f.msg.has_value()) {
+        if (obs::recording_active()) {
+          rec_->record(obs::rec_event::recv, f.msg->trace, f.msg->span,
+                       static_cast<std::uint8_t>(f.msg->type), f.from,
+                       f.msg->obj, f.msg->epoch, f.msg->ts);
+        }
+        obs::scoped_trace_ctx trace_ctx(f.msg->trace, f.msg->span);
         automaton_->on_message(*this, f.from, *f.msg);
       }
     });
@@ -668,9 +692,28 @@ int node::outbound_to_server(std::uint32_t index) {
   return raw;
 }
 
+namespace {
+
+// Register automata never stamp their messages; the reactor step's
+// ambient trace context (set by the invocation or the delivery being
+// handled) fills the gap. Store messages arrive here already stamped.
+void stamp_if_untraced(message& m) {
+  if (m.trace != 0) return;
+  const auto ctx = obs::current_trace_ctx();
+  m.trace = ctx.trace;
+  m.span = ctx.span;
+}
+
+}  // namespace
+
 void node::send(const process_id& to, message m) {
+  stamp_if_untraced(m);
   connection* c = conn_for(to);
   if (c == nullptr) return;
+  if (obs::recording_active()) {
+    rec_->record(obs::rec_event::send, m.trace, m.span,
+                 static_cast<std::uint8_t>(m.type), to, m.obj, m.epoch, m.ts);
+  }
   // Encoded in place into the connection's chain: no intermediate
   // per-message byte vector.
   const std::size_t before = c->out.bytes();
@@ -686,8 +729,16 @@ void node::send_batch(const process_id& to, std::vector<message> msgs) {
     send(to, std::move(msgs.front()));
     return;
   }
+  for (auto& m : msgs) stamp_if_untraced(m);
   connection* c = conn_for(to);
   if (c == nullptr) return;
+  if (obs::recording_active()) {
+    for (const auto& m : msgs) {
+      rec_->record(obs::rec_event::send, m.trace, m.span,
+                   static_cast<std::uint8_t>(m.type), to, m.obj, m.epoch,
+                   m.ts);
+    }
+  }
   const std::size_t before = c->out.bytes();
   // Chunk so no frame approaches frame_buffer::max_frame_bytes -- the
   // receiver treats an oversized frame as stream corruption and resets

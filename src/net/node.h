@@ -43,6 +43,7 @@
 #include "net/framing.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "registers/automaton.h"
 
 namespace fastreg::net {
@@ -238,6 +239,10 @@ class node final : public netout {
     obs::histogram* window_wait_ns{nullptr};
   };
   wire_metrics wm_;
+  /// Flight recorder for this node (stable global, cached like wm_; all
+  /// hooks run on the reactor thread but the ring is safe to dump from
+  /// any thread).
+  obs::recorder* rec_{nullptr};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -198,21 +198,27 @@ std::vector<sample> registry::snapshot() const {
   out.reserve(s.counter_idx.size() + s.gauge_idx.size() +
               s.hist_idx.size() * 5);
   for (const auto& [key, idx] : s.counter_idx) {
-    out.push_back({key, static_cast<double>(s.counters[idx].value())});
+    out.push_back({key, static_cast<double>(s.counters[idx].value()),
+                   metric_kind::counter, true});
   }
   for (const auto& [key, idx] : s.gauge_idx) {
-    out.push_back({key, static_cast<double>(s.gauges[idx].value())});
+    out.push_back({key, static_cast<double>(s.gauges[idx].value()),
+                   metric_kind::gauge, false});
   }
   for (const auto& [key, idx] : s.hist_idx) {
     const auto& h = s.hists[idx];
-    out.push_back({suffixed(key, "_count"),
-                   static_cast<double>(h.count())});
-    out.push_back({suffixed(key, "_sum"), static_cast<double>(h.sum())});
+    out.push_back({suffixed(key, "_count"), static_cast<double>(h.count()),
+                   metric_kind::histogram, true});
+    out.push_back({suffixed(key, "_sum"), static_cast<double>(h.sum()),
+                   metric_kind::histogram, true});
     out.push_back({suffixed(key, "_p50"),
-                   static_cast<double>(h.percentile(50))});
+                   static_cast<double>(h.percentile(50)),
+                   metric_kind::histogram, false});
     out.push_back({suffixed(key, "_p99"),
-                   static_cast<double>(h.percentile(99))});
-    out.push_back({suffixed(key, "_max"), static_cast<double>(h.max())});
+                   static_cast<double>(h.percentile(99)),
+                   metric_kind::histogram, false});
+    out.push_back({suffixed(key, "_max"), static_cast<double>(h.max()),
+                   metric_kind::histogram, false});
   }
   std::sort(out.begin(), out.end(),
             [](const sample& a, const sample& b) { return a.name < b.name; });
@@ -241,6 +247,55 @@ void registry::reset() {
 std::vector<sample> snapshot() { return registry::instance().snapshot(); }
 std::string render_text() { return registry::instance().render_text(); }
 void reset_metrics() { registry::instance().reset(); }
+
+std::vector<sample> diff_snapshot(const std::vector<sample>& cur,
+                                  const std::vector<sample>& prev) {
+  // Merge-walk two name-sorted snapshots. Series present only in prev
+  // were reset away (the registry never unregisters) -- skip them.
+  std::vector<sample> out;
+  out.reserve(cur.size());
+  std::size_t j = 0;
+  for (const auto& c : cur) {
+    while (j < prev.size() && prev[j].name < c.name) ++j;
+    sample row = c;
+    if (c.cumulative && j < prev.size() && prev[j].name == c.name) {
+      row.value = c.value - prev[j].value;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string render_samples(const std::vector<sample>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    out += row.name;
+    out += ' ';
+    out += format_value(row.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_text_annotated(std::string_view node) {
+  const std::string inject = "node=\"" + std::string(node) + "\"";
+  std::string out;
+  for (const auto& row : snapshot()) {
+    const auto brace = row.name.find('{');
+    if (brace == std::string::npos) {
+      out += row.name + "{" + inject + "}";
+    } else if (row.name.find("node=\"", brace) == std::string::npos) {
+      out += row.name.substr(0, brace + 1) + inject + "," +
+             row.name.substr(brace + 1);
+    } else {
+      out += row.name;
+    }
+    out += ' ';
+    out += format_value(row.value);
+    out += '\n';
+  }
+  return out;
+}
 
 // ---------------------------------------------------------- dump grammar --
 

@@ -115,10 +115,15 @@ enum class metric_kind : std::uint8_t { counter, gauge, histogram };
 
 /// One rendered sample: `name{labels}` (labels may be empty) and the
 /// numeric value. Histograms expand to several rows (_count, _sum,
-/// _p50, _p99, _max).
+/// _p50, _p99, _max). `cumulative` marks rows that accumulate over the
+/// process lifetime (counters, histogram _count/_sum) and therefore
+/// subtract meaningfully in diff_snapshot; level rows (gauges,
+/// percentile estimates) pass through as-is.
 struct sample {
   std::string name{};  // full series name, labels included
   double value{0};
+  metric_kind kind{metric_kind::gauge};
+  bool cumulative{false};
 };
 
 class registry {
@@ -153,6 +158,42 @@ class registry {
 [[nodiscard]] std::vector<sample> snapshot();
 [[nodiscard]] std::string render_text();
 void reset_metrics();
+
+/// Per-interval view without resetting anybody's counters: cumulative
+/// rows become cur - prev (0 when absent from prev, i.e. newly
+/// registered); level rows (gauges, percentiles) keep their current
+/// value. Inputs are name-sorted snapshots; so is the result.
+[[nodiscard]] std::vector<sample> diff_snapshot(
+    const std::vector<sample>& cur, const std::vector<sample>& prev);
+
+/// The text rendering of an arbitrary sample list (same line format as
+/// render_text), for interval dumps.
+[[nodiscard]] std::string render_samples(const std::vector<sample>& rows);
+
+/// Phase-loop scrape helper: take() returns the delta since the last
+/// take (or construction) and rolls the baseline forward. Lets bench
+/// matrices report per-row counters without a registry reset between
+/// rows (which would corrupt concurrent readers' cumulative series).
+class interval_scrape {
+ public:
+  interval_scrape() : prev_(snapshot()) {}
+  [[nodiscard]] std::vector<sample> take() {
+    auto cur = snapshot();
+    auto delta = diff_snapshot(cur, prev_);
+    prev_ = std::move(cur);
+    return delta;
+  }
+
+ private:
+  std::vector<sample> prev_;
+};
+
+/// render_text with a node identity stamped onto every row that does
+/// not already carry one: rows whose label set lacks `node=` gain
+/// `node="<node>"`. The stats_ack scrape path uses it so rows from a
+/// merged in-process registry are attributable in multi-node-per-
+/// process runs (the same context LOG_* lines prefix from).
+[[nodiscard]] std::string render_text_annotated(std::string_view node);
 
 /// Validates a text dump against the exposition grammar (one
 /// `name{key="value",...} number` per non-empty line). Returns an empty

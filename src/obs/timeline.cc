@@ -1,0 +1,670 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+namespace fastreg::obs {
+
+// ------------------------------------------------------------- dump parse --
+
+namespace {
+
+bool parse_u64(const std::string& v, std::uint64_t* out) {
+  if (v.empty()) return false;
+  std::uint64_t n = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = n;
+  return true;
+}
+
+bool parse_i64(const std::string& v, std::int64_t* out) {
+  std::string body = v;
+  bool neg = false;
+  if (!body.empty() && body[0] == '-') {
+    neg = true;
+    body.erase(0, 1);
+  }
+  std::uint64_t n = 0;
+  if (!parse_u64(body, &n)) return false;
+  *out = neg ? -static_cast<std::int64_t>(n) : static_cast<std::int64_t>(n);
+  return true;
+}
+
+bool parse_hex(const std::string& v, std::uint64_t* out) {
+  if (v.size() < 3 || v[0] != '0' || v[1] != 'x') return false;
+  std::uint64_t n = 0;
+  for (std::size_t i = 2; i < v.size(); ++i) {
+    const char c = v[i];
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = 10 + (c - 'a');
+    } else {
+      return false;
+    }
+    n = (n << 4) | static_cast<std::uint64_t>(d);
+  }
+  *out = n;
+  return true;
+}
+
+bool parse_quoted(const std::string& v, std::string* out) {
+  if (v.size() < 3 || v.front() != '"' || v.back() != '"') return false;
+  *out = v.substr(1, v.size() - 2);
+  return true;
+}
+
+bool valid_ev(const std::string& e) {
+  return e == "send" || e == "recv" || e == "serve" || e == "nack" ||
+         e == "park" || e == "resume" || e == "fence";
+}
+
+bool valid_type(const std::string& t) {
+  if (t == "-") return true;
+  if (t.empty()) return false;
+  for (const char c : t) {
+    if (c < 'A' || c > 'Z') return false;
+  }
+  return true;
+}
+
+/// One `rec ...` line into an event. The grammar is positional: the
+/// eleven key=value fields appear in the fixed order the recorder
+/// renders them, which keeps both sides trivial and drift detectable.
+bool parse_rec_line(const std::string& line, timeline_event* out,
+                    std::string* err) {
+  std::vector<std::string> tok;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) tok.push_back(t);
+  static const char* const keys[] = {"node", "dom",  "t",    "trace",
+                                     "span", "ev",   "type", "peer",
+                                     "obj",  "epoch", "ts"};
+  constexpr std::size_t k_fields = sizeof(keys) / sizeof(keys[0]);
+  if (tok.size() != k_fields + 1 || tok[0] != "rec") {
+    *err = "expected `rec` and 11 key=value fields";
+    return false;
+  }
+  std::string vals[k_fields];
+  for (std::size_t i = 0; i < k_fields; ++i) {
+    const std::string& kv = tok[i + 1];
+    const std::string prefix = std::string(keys[i]) + "=";
+    if (kv.rfind(prefix, 0) != 0) {
+      *err = "expected field `" + std::string(keys[i]) + "=`";
+      return false;
+    }
+    vals[i] = kv.substr(prefix.size());
+  }
+  timeline_event e;
+  std::uint64_t span = 0;
+  if (!parse_quoted(vals[0], &e.node) || e.node.empty()) {
+    *err = "bad node";
+    return false;
+  }
+  if (vals[1] == "sim") {
+    e.sim_domain = true;
+  } else if (vals[1] == "ns") {
+    e.sim_domain = false;
+  } else {
+    *err = "dom must be sim or ns";
+    return false;
+  }
+  if (!parse_u64(vals[2], &e.t)) {
+    *err = "bad t";
+    return false;
+  }
+  if (!parse_hex(vals[3], &e.trace)) {
+    *err = "trace must be 0x hex";
+    return false;
+  }
+  if (!parse_u64(vals[4], &span) || span > 0xffff) {
+    *err = "bad span";
+    return false;
+  }
+  e.span = static_cast<std::uint32_t>(span);
+  e.ev = vals[5];
+  if (!valid_ev(e.ev)) {
+    *err = "unknown ev `" + e.ev + "`";
+    return false;
+  }
+  e.type = vals[6];
+  if (!valid_type(e.type)) {
+    *err = "bad type `" + e.type + "`";
+    return false;
+  }
+  if (!parse_quoted(vals[7], &e.peer) || e.peer.empty()) {
+    *err = "bad peer";
+    return false;
+  }
+  if (!parse_u64(vals[8], &e.obj)) {
+    *err = "bad obj";
+    return false;
+  }
+  if (!parse_u64(vals[9], &e.epoch)) {
+    *err = "bad epoch";
+    return false;
+  }
+  if (!parse_i64(vals[10], &e.ts)) {
+    *err = "bad ts";
+    return false;
+  }
+  *out = e;
+  return true;
+}
+
+bool skippable_line(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+std::string validate_recorder_dump(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t events = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (skippable_line(line)) continue;
+    timeline_event e;
+    std::string err;
+    if (!parse_rec_line(line, &e, &err)) {
+      return "line " + std::to_string(lineno) + ": " + err;
+    }
+    ++events;
+  }
+  if (events == 0) return "no recorder events";
+  return "";
+}
+
+std::vector<timeline_event> parse_recorder_dump(const std::string& text) {
+  std::vector<timeline_event> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (skippable_line(line)) continue;
+    timeline_event e;
+    std::string err;
+    if (!parse_rec_line(line, &e, &err)) continue;
+    e.seq = out.size();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ merge --
+
+std::vector<timeline_event> merge_events(
+    std::vector<std::vector<timeline_event>> per_node) {
+  std::vector<timeline_event> all;
+  for (auto& v : per_node) {
+    for (auto& e : v) all.push_back(std::move(e));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const timeline_event& a, const timeline_event& b) {
+                     // sim ticks first, then ns; within a domain by
+                     // time, then node and capture order for stability.
+                     return std::tie(b.sim_domain, a.t, a.node, a.seq) <
+                            std::tie(a.sim_domain, b.t, b.node, b.seq);
+                   });
+  return all;
+}
+
+// ----------------------------------------------------------- causal check --
+
+std::string validate_timeline(const std::vector<timeline_event>& merged) {
+  // Earliest send per (domain, trace, span, type, sender, receiver, obj).
+  std::unordered_map<std::string, std::uint64_t> first_send;
+  const auto key = [](const timeline_event& e, const std::string& sender,
+                      const std::string& receiver) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "|%d|%llx|%u|%llu|", e.sim_domain ? 1 : 0,
+                  static_cast<unsigned long long>(e.trace), e.span,
+                  static_cast<unsigned long long>(e.obj));
+    return sender + buf + e.type + "|" + receiver;
+  };
+  for (const auto& e : merged) {
+    if (e.ev != "send" || e.type == "-") continue;
+    const auto k = key(e, e.node, e.peer);
+    const auto it = first_send.find(k);
+    if (it == first_send.end() || e.t < it->second) first_send[k] = e.t;
+  }
+  for (const auto& e : merged) {
+    if (e.ev != "recv" || e.type == "-") continue;
+    const auto it = first_send.find(key(e, e.peer, e.node));
+    // No matching send: its slot may have been overwritten in the ring.
+    if (it == first_send.end()) continue;
+    if (e.t < it->second) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "recv before send: trace=0x%llx span=%u type=%s %s->%s "
+                    "recv t=%llu < send t=%llu",
+                    static_cast<unsigned long long>(e.trace), e.span,
+                    e.type.c_str(), e.peer.c_str(), e.node.c_str(),
+                    static_cast<unsigned long long>(e.t),
+                    static_cast<unsigned long long>(it->second));
+      return buf;
+    }
+  }
+  return "";
+}
+
+// -------------------------------------------------------------- narrative --
+
+std::string render_narrative(const std::vector<timeline_event>& merged) {
+  // Traces in order of first appearance.
+  std::vector<std::uint64_t> order;
+  std::unordered_map<std::uint64_t, std::vector<const timeline_event*>> by;
+  for (const auto& e : merged) {
+    if (e.trace == 0) continue;
+    auto& v = by[e.trace];
+    if (v.empty()) order.push_back(e.trace);
+    v.push_back(&e);
+  }
+  std::string out;
+  char buf[192];
+  for (const auto tr : order) {
+    const auto& evs = by[tr];
+    std::uint64_t obj = 0;
+    for (const auto* e : evs) {
+      if (e->obj != 0) {
+        obj = e->obj;
+        break;
+      }
+    }
+    std::snprintf(buf, sizeof buf, "trace 0x%llx obj=%llu (%zu events)\n",
+                  static_cast<unsigned long long>(tr),
+                  static_cast<unsigned long long>(obj), evs.size());
+    out += buf;
+    // Coalesce runs with the same (span, node, ev, type) into one line
+    // carrying the peer set: "issued READ to {s0..s4}" reads as one step.
+    std::size_t i = 0;
+    while (i < evs.size()) {
+      std::size_t j = i;
+      std::set<std::string> peers;
+      while (j < evs.size() && evs[j]->span == evs[i]->span &&
+             evs[j]->node == evs[i]->node && evs[j]->ev == evs[i]->ev &&
+             evs[j]->type == evs[i]->type) {
+        peers.insert(evs[j]->peer);
+        ++j;
+      }
+      const auto& e = *evs[i];
+      std::string peerset;
+      for (const auto& p : peers) {
+        peerset += (peerset.empty() ? "" : ",") + p;
+      }
+      const char* arrow = e.ev == "send"   ? "->"
+                          : e.ev == "recv" ? "<-"
+                                           : "@";
+      std::snprintf(buf, sizeof buf,
+                    "  span %u t=%llu..%llu %s %s %s %s {%s} epoch=%llu\n",
+                    e.span, static_cast<unsigned long long>(e.t),
+                    static_cast<unsigned long long>(evs[j - 1]->t),
+                    e.node.c_str(), e.ev.c_str(), e.type.c_str(), arrow,
+                    peerset.c_str(),
+                    static_cast<unsigned long long>(e.epoch));
+      out += buf;
+      i = j;
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- catapult --
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+double catapult_ts(const timeline_event& e) {
+  // Microseconds: sim ticks map 1:1 (they are already "logical µs");
+  // the shared steady clock divides down from ns.
+  return e.sim_domain ? static_cast<double>(e.t)
+                      : static_cast<double>(e.t) / 1000.0;
+}
+
+}  // namespace
+
+std::string render_catapult(const std::vector<timeline_event>& merged) {
+  // pid per node (sorted, 1-based); tid per trace lane in first-seen
+  // order (0 = untraced events).
+  std::map<std::string, int> pid;
+  for (const auto& e : merged) pid.emplace(e.node, 0);
+  int next_pid = 1;
+  for (auto& [node, p] : pid) p = next_pid++;
+  std::unordered_map<std::uint64_t, int> tid;
+  int next_tid = 1;
+  for (const auto& e : merged) {
+    if (e.trace != 0 && tid.emplace(e.trace, next_tid).second) ++next_tid;
+  }
+  std::string out = "[";
+  char buf[256];
+  bool first = true;
+  const auto emit = [&](const std::string& obj) {
+    out += first ? "\n" : ",\n";
+    out += obj;
+    first = false;
+  };
+  for (const auto& [node, p] : pid) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                  "\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}",
+                  p, json_escape(node).c_str());
+    emit(buf);
+  }
+  // Thread-lane names: one per (node, trace) pair that has events.
+  std::set<std::pair<int, int>> named;
+  for (const auto& e : merged) {
+    if (e.trace == 0) continue;
+    const auto lane = std::make_pair(pid[e.node], tid[e.trace]);
+    if (!named.insert(lane).second) continue;
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                  "\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"trace 0x%llx\"}}",
+                  lane.first, lane.second,
+                  static_cast<unsigned long long>(e.trace));
+    emit(buf);
+  }
+  // One instant event per entry.
+  for (const auto& e : merged) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,"
+                  "\"name\":\"%s %s\",\"s\":\"t\",\"args\":{\"peer\":\"%s\","
+                  "\"span\":%u,\"obj\":\"%llu\",\"epoch\":%llu,"
+                  "\"vts\":%lld}}",
+                  catapult_ts(e), pid[e.node],
+                  e.trace != 0 ? tid[e.trace] : 0,
+                  json_escape(e.ev + " " + e.type).c_str(),
+                  json_escape(e.node).c_str(), json_escape(e.peer).c_str(),
+                  e.span, static_cast<unsigned long long>(e.obj),
+                  static_cast<unsigned long long>(e.epoch),
+                  static_cast<long long>(e.ts));
+    emit(buf);
+  }
+  // A complete ("X") span per (node, trace): first..last event time.
+  struct range {
+    double lo{0}, hi{0};
+    bool set{false};
+  };
+  std::map<std::pair<int, int>, std::pair<range, std::uint64_t>> spans;
+  for (const auto& e : merged) {
+    if (e.trace == 0) continue;
+    auto& [r, tr] = spans[{pid[e.node], tid[e.trace]}];
+    const double ts = catapult_ts(e);
+    if (!r.set) {
+      r = {ts, ts, true};
+      tr = e.trace;
+    } else {
+      r.lo = std::min(r.lo, ts);
+      r.hi = std::max(r.hi, ts);
+    }
+  }
+  for (const auto& [lane, rt] : spans) {
+    const double dur = std::max(1.0, rt.first.hi - rt.first.lo);
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
+                  "\"tid\":%d,\"name\":\"trace 0x%llx\"}",
+                  rt.first.lo, dur, lane.first, lane.second,
+                  static_cast<unsigned long long>(rt.second));
+    emit(buf);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+// ------------------------------------------------------ catapult validate --
+
+namespace {
+
+/// Minimal JSON walker for the structural check: full syntax validation
+/// of the subset the renderer emits (and anything reasonable a hand
+/// edit produces), plus per-event key/kind capture at nesting depth 1.
+struct jwalk {
+  const std::string& s;
+  std::size_t i{0};
+  std::string err;
+
+  bool fail(const std::string& e) {
+    if (err.empty()) err = e + " at offset " + std::to_string(i);
+    return false;
+  }
+  void ws() {
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool expect(char c) {
+    ws();
+    if (i >= s.size() || s[i] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++i;
+    return true;
+  }
+  bool string(std::string* out) {
+    ws();
+    if (i >= s.size() || s[i] != '"') return fail("expected string");
+    ++i;
+    std::string v;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) return fail("bad escape");
+        const char c = s[i];
+        if (c == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i;
+            if (i >= s.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s[i]))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (c != '"' && c != '\\' && c != '/' && c != 'b' &&
+                   c != 'f' && c != 'n' && c != 'r' && c != 't') {
+          return fail("bad escape");
+        }
+        v += c;
+      } else {
+        v += s[i];
+      }
+      ++i;
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;
+    if (out) *out = std::move(v);
+    return true;
+  }
+  bool number() {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    std::size_t digits = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) return fail("expected number");
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      while (i < s.size() &&
+             std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      while (i < s.size() &&
+             std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+    }
+    return i > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s.compare(i, n, lit) != 0) return fail("bad literal");
+    i += n;
+    return true;
+  }
+  // kinds: 's' string, 'n' number, 'o' object, 'a' array, 'l' literal.
+  bool value(char* kind) {
+    ws();
+    if (i >= s.size()) return fail("unexpected end");
+    const char c = s[i];
+    if (c == '"') {
+      if (kind) *kind = 's';
+      return string(nullptr);
+    }
+    if (c == '{') {
+      if (kind) *kind = 'o';
+      return object(nullptr, nullptr);
+    }
+    if (c == '[') {
+      if (kind) *kind = 'a';
+      return array();
+    }
+    if (c == 't') {
+      if (kind) *kind = 'l';
+      return literal("true");
+    }
+    if (c == 'f') {
+      if (kind) *kind = 'l';
+      return literal("false");
+    }
+    if (c == 'n') {
+      if (kind) *kind = 'l';
+      return literal("null");
+    }
+    if (kind) *kind = 'n';
+    return number();
+  }
+  bool array() {
+    if (!expect('[')) return false;
+    ws();
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (!value(nullptr)) return false;
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+  bool object(std::map<std::string, char>* kinds,
+              std::map<std::string, std::string>* strs) {
+    if (!expect('{')) return false;
+    ws();
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!string(&key)) return false;
+      if (!expect(':')) return false;
+      ws();
+      char kind = 0;
+      if (kinds && i < s.size() && s[i] == '"') {
+        std::string sval;
+        if (!string(&sval)) return false;
+        kind = 's';
+        if (strs) (*strs)[key] = std::move(sval);
+      } else {
+        if (!value(&kind)) return false;
+      }
+      if (kinds) (*kinds)[key] = kind;
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+};
+
+}  // namespace
+
+std::string validate_catapult(const std::string& text) {
+  jwalk w{text, 0, {}};
+  if (!w.expect('[')) return w.err;
+  w.ws();
+  if (w.i < text.size() && text[w.i] == ']') {
+    return "empty trace array";
+  }
+  std::size_t events = 0;
+  while (true) {
+    std::map<std::string, char> kinds;
+    std::map<std::string, std::string> strs;
+    if (!w.object(&kinds, &strs)) return w.err;
+    ++events;
+    const auto ph = kinds.find("ph");
+    if (ph == kinds.end() || ph->second != 's') {
+      return "event " + std::to_string(events) + ": missing string \"ph\"";
+    }
+    if (strs["ph"] != "M") {
+      for (const char* req : {"ts", "pid", "tid"}) {
+        const auto it = kinds.find(req);
+        if (it == kinds.end() || it->second != 'n') {
+          return "event " + std::to_string(events) + ": missing numeric \"" +
+                 req + "\"";
+        }
+      }
+      const auto name = kinds.find("name");
+      if (name == kinds.end() || name->second != 's') {
+        return "event " + std::to_string(events) +
+               ": missing string \"name\"";
+      }
+    }
+    w.ws();
+    if (w.i < text.size() && text[w.i] == ',') {
+      ++w.i;
+      continue;
+    }
+    break;
+  }
+  if (!w.expect(']')) return w.err;
+  w.ws();
+  if (w.i != text.size()) return "trailing content after array";
+  return "";
+}
+
+}  // namespace fastreg::obs

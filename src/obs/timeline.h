@@ -1,0 +1,86 @@
+// Post-mortem half of the flight recorder (src/obs/recorder.h): parses
+// per-node recorder dumps, merges them into one causally-ordered
+// timeline, checks the ordering invariants the recorder's clock domains
+// guarantee, and renders the result as a per-trace narrative or Chrome
+// trace-event (catapult) JSON for about:tracing / Perfetto.
+//
+// Dump grammar (one event per line, '#' lines are comments):
+//   rec node="r0" dom=sim t=12 trace=0x2a span=0 ev=send type=READ
+//       peer="s0" obj=42 epoch=0 ts=7
+// dom is `sim` (simulator ticks, globally ordered by the scheduler) or
+// `ns` (steady-clock nanoseconds of the one process every TCP reactor
+// shares). Timestamps are comparable only within a domain; the merge
+// sorts (domain, t) and the causal check never crosses domains.
+//
+// tools/trace_merge is the CLI over this; test_recorder.cc exercises it
+// on real failure dumps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastreg::obs {
+
+/// One parsed dump line. `seq` is the event's position in its source
+/// dump (the per-node rings are oldest-first), used as the sort tiebreak
+/// so equal-timestamp events keep their capture order.
+struct timeline_event {
+  std::string node{};
+  bool sim_domain{false};
+  std::uint64_t t{0};
+  std::uint64_t trace{0};
+  std::uint32_t span{0};
+  std::string ev{};
+  std::string type{};
+  std::string peer{};
+  std::uint64_t obj{0};
+  std::uint64_t epoch{0};
+  std::int64_t ts{0};
+  std::size_t seq{0};
+};
+
+/// "" when `text` is a well-formed recorder dump; else a diagnostic
+/// naming the first offending line.
+[[nodiscard]] std::string validate_recorder_dump(const std::string& text);
+
+/// Parses a dump (validate first; malformed lines are skipped here).
+[[nodiscard]] std::vector<timeline_event> parse_recorder_dump(
+    const std::string& text);
+
+/// Joins per-node event lists into one timeline ordered by
+/// (domain, t, seq): sim-tick events first (globally ordered), then
+/// ns events (one shared steady clock), never interleaving domains.
+[[nodiscard]] std::vector<timeline_event> merge_events(
+    std::vector<std::vector<timeline_event>> per_node);
+
+/// Causal-order check on a merged timeline: within one clock domain, a
+/// message's recv must not precede the earliest matching send (same
+/// trace, span, type, sender, receiver, object). A recv with no
+/// matching send is tolerated — the send may have been overwritten in
+/// its ring. Returns "" or a diagnostic for the first violation.
+[[nodiscard]] std::string validate_timeline(
+    const std::vector<timeline_event>& merged);
+
+/// Human-readable per-trace narrative: for every trace id, its events
+/// in merged order, runs with the same (node, event, type) coalesced
+/// into one line with the peer set. Untraced events are omitted.
+[[nodiscard]] std::string render_narrative(
+    const std::vector<timeline_event>& merged);
+
+/// Chrome trace-event JSON (catapult "JSON array format"): one process
+/// per node, one thread lane per trace, an instant event per recorder
+/// entry and a complete ("X") span covering each (node, trace) pair.
+/// ts is microseconds: ns/1000 in the ns domain, the raw tick in sim.
+[[nodiscard]] std::string render_catapult(
+    const std::vector<timeline_event>& merged);
+
+/// Structural validation of catapult JSON (no browser in CI): the text
+/// must be one JSON array of objects, every object carries a string
+/// "ph", and every non-metadata event has numeric "ts"/"pid"/"tid" and
+/// a "name". Returns "" or a diagnostic.
+[[nodiscard]] std::string validate_catapult(const std::string& text);
+
+}  // namespace fastreg::obs

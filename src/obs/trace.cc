@@ -60,6 +60,8 @@ scoped_trace_time::~scoped_trace_time() {
 
 std::uint64_t trace_now() { return t_time_set ? t_time : steady_ns(); }
 
+bool trace_time_overridden() { return t_time_set; }
+
 // ------------------------------------------------------------------ store --
 
 namespace {

@@ -22,6 +22,16 @@
 // trace therefore always agrees with the linearizability history the
 // same run produced.
 //
+// Cross-node merge guarantee (src/obs/timeline.h): two timestamps are
+// comparable iff they come from the SAME domain. The sim domain is the
+// scheduler's global tick counter — totally ordered across every
+// simulated node by construction. The ns domain is one process's
+// steady_clock — and because every net::node reactor in a deployment
+// runs in the same process, all TCP nodes share that single clock.
+// Timestamps are never compared across the sim/ns boundary; the
+// recorder tags each event with its domain (trace_time_overridden()) so
+// the merge pass can keep them apart.
+//
 // Cost when disabled (the default): every hook is one relaxed atomic
 // load and a branch. Enable via set_tracing(true) or FASTREG_OBS=trace
 // (or =1) in the environment.
@@ -79,6 +89,12 @@ class scoped_trace_time {
 
 /// The thread's trace clock: the active override, else steady-clock ns.
 [[nodiscard]] std::uint64_t trace_now();
+
+/// True while a scoped_trace_time override is active on this thread —
+/// i.e. trace_now() is returning simulator ticks, not steady-clock ns.
+/// The flight recorder stores this bit with every event so the merge
+/// pass never orders a sim tick against a wall-clock nanosecond.
+[[nodiscard]] bool trace_time_overridden();
 
 // ------------------------------------------------------------------ hooks --
 

@@ -90,6 +90,8 @@ void encode_message(byte_writer& w, const message& m) {
   w.put_u64(m.epoch);
   w.put_u32(m.attempt);
   w.put_u8(m.mig ? 1 : 0);
+  w.put_u64(m.trace);
+  w.put_u32(m.span);
   w.put_i64(m.ts);
   w.put_i32(m.wid);
   w.put_string(m.val);
@@ -112,6 +114,8 @@ std::optional<message> decode_message(byte_reader& r) {
   const auto epoch = r.get_u64();
   const auto attempt = r.get_u32();
   const auto mig = r.get_u8();
+  const auto trace = r.get_u64();
+  const auto span = r.get_u32();
   const auto ts = r.get_i64();
   const auto wid = r.get_i32();
   auto val = r.get_string();
@@ -120,14 +124,16 @@ std::optional<message> decode_message(byte_reader& r) {
   const auto rcounter = r.get_u64();
   auto sig = r.get_bytes();
   const auto origin = decode_process_id(r);
-  if (!obj || !epoch || !attempt || !mig || !ts || !wid || !val || !prev ||
-      !seen_bits || !rcounter || !sig || !origin) {
+  if (!obj || !epoch || !attempt || !mig || !trace || !span || !ts || !wid ||
+      !val || !prev || !seen_bits || !rcounter || !sig || !origin) {
     return std::nullopt;
   }
   m.obj = *obj;
   m.epoch = *epoch;
   m.attempt = *attempt;
   m.mig = *mig != 0;
+  m.trace = *trace;
+  m.span = static_cast<std::uint16_t>(*span);
   m.ts = *ts;
   m.wid = *wid;
   m.val = std::move(*val);

@@ -91,6 +91,16 @@ struct message {
   /// epoch fence that holds ordinary client ops back during a drain.
   bool mig{false};
 
+  /// Flight-recorder identity (src/obs/recorder.h): the 64-bit id of the
+  /// originating operation, carried unchanged through every request, ack,
+  /// nack, and server-to-server hop that the op causes. 0 means untraced.
+  std::uint64_t trace{0};
+
+  /// Span within the trace: 0 on the first issue, bumped each time the op
+  /// is re-issued (epoch nack, park/resume), so the recorder can separate
+  /// the rounds of each attempt.
+  std::uint16_t span{0};
+
   /// Timestamp number. 0 is the initial timestamp whose value is bottom.
   ts_t ts{k_initial_ts};
   /// Writer id for MWMR lexicographic timestamps; 0 in single-writer runs.
@@ -150,6 +160,8 @@ void encode_process_id(byte_writer& w, const process_id& p);
          + wire_size_u64()                        // epoch
          + wire_size_u32()                        // attempt
          + wire_size_u8()                         // mig
+         + wire_size_u64()                        // trace
+         + wire_size_u32()                        // span (u16, sent as u32)
          + wire_size_u64()                        // ts (i64)
          + wire_size_u32()                        // wid (i32)
          + wire_size_string(m.val)                // val

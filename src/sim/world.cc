@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace fastreg::sim {
@@ -64,12 +65,37 @@ writer_iface* world::writer(std::uint32_t i) {
 
 // --------------------------------------------------------------- sending --
 
+obs::recorder& world::rec_for(const process_id& p) {
+  auto it = rec_cache_.find(p);
+  if (it == rec_cache_.end()) {
+    it = rec_cache_.emplace(p, &obs::recorder_for(p)).first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+// Register automata predate trace ids and never stamp their messages;
+// the step's ambient trace context (set by the invocation / delivery
+// that triggered this send) fills the gap. Store messages arrive here
+// already stamped and keep their id.
+void stamp_if_untraced(message& m) {
+  if (m.trace != 0) return;
+  const auto ctx = obs::current_trace_ctx();
+  m.trace = ctx.trace;
+  m.span = ctx.span;
+}
+
+}  // namespace
+
 void world::send(const process_id& to, message m) {
+  stamp_if_untraced(m);
   outbox_.push_back({to, std::move(m), {}});
 }
 
 void world::send_batch(const process_id& to, std::vector<message> msgs) {
   FASTREG_EXPECTS(!msgs.empty());
+  for (auto& m : msgs) stamp_if_untraced(m);
   outbox_entry e;
   e.to = to;
   e.first = std::move(msgs.front());
@@ -86,6 +112,7 @@ void world::flush_sends(const process_id& from) {
     armed_partial_crash_.erase(it);
     crashed_.insert(from);
   }
+  const bool rec = obs::recording_active();
   for (std::size_t i = 0; i < keep; ++i) {
     envelope env;
     env.id = next_envelope_id_++;
@@ -97,6 +124,17 @@ void world::flush_sends(const process_id& from) {
     env.due_at = 0;
     sent_count_ += env.message_count();
     ++envelopes_sent_;
+    if (rec) {
+      auto& r = rec_for(from);
+      r.record(obs::rec_event::send, env.msg.trace, env.msg.span,
+               static_cast<std::uint8_t>(env.msg.type), env.to, env.msg.obj,
+               env.msg.epoch, env.msg.ts);
+      for (const auto& m : env.tail) {
+        r.record(obs::rec_event::send, m.trace, m.span,
+                 static_cast<std::uint8_t>(m.type), env.to, m.obj, m.epoch,
+                 m.ts);
+      }
+    }
     mset_.push_back(std::move(env));
   }
   outbox_.clear();
@@ -116,8 +154,10 @@ void world::invoke_write(std::uint32_t writer_index, value_t v) {
   st.op_index = history_.begin_op(wid, /*is_write=*/true, now_, v);
   // The tracer (obs) stamps this step with the simulated clock, so sim
   // traces agree with the history this run records; log lines carry the
-  // stepped automaton's id.
+  // stepped automaton's id. A fresh trace id covers every message this
+  // register op causes (the automata themselves are trace-oblivious).
   obs::scoped_trace_time trace_time(now_);
+  obs::scoped_trace_ctx trace_ctx(obs::next_trace_id(), 0);
   scoped_log_node log_node(to_string(wid));
   w->invoke_write(*this, std::move(v));
   flush_sends(wid);
@@ -134,6 +174,7 @@ void world::invoke_read(std::uint32_t reader_index) {
   st.completed_before = r->reads_completed();
   st.op_index = history_.begin_op(rid, /*is_write=*/false, now_);
   obs::scoped_trace_time trace_time(now_);
+  obs::scoped_trace_ctx trace_ctx(obs::next_trace_id(), 0);
   scoped_log_node log_node(to_string(rid));
   r->invoke_read(*this);
   flush_sends(rid);
@@ -186,7 +227,22 @@ void world::poll_completion(const process_id& p) {
 void world::do_step(const process_id& to, const envelope& env) {
   auto& a = *procs_[index_of(to)];
   obs::scoped_trace_time trace_time(now_);
+  // Replies a trace-oblivious automaton sends during this step inherit
+  // the delivered message's identity (batches only carry one ambient
+  // ctx -- the head's -- but store automata stamp replies themselves).
+  obs::scoped_trace_ctx trace_ctx(env.msg.trace, env.msg.span);
   scoped_log_node log_node(to_string(to));
+  if (obs::recording_active()) {
+    auto& r = rec_for(to);
+    r.record(obs::rec_event::recv, env.msg.trace, env.msg.span,
+             static_cast<std::uint8_t>(env.msg.type), env.from, env.msg.obj,
+             env.msg.epoch, env.msg.ts);
+    for (const auto& m : env.tail) {
+      r.record(obs::rec_event::recv, m.trace, m.span,
+               static_cast<std::uint8_t>(m.type), env.from, m.obj, m.epoch,
+               m.ts);
+    }
+  }
   if (env.tail.empty()) {
     a.on_message(*this, env.from, env.msg);
   } else {

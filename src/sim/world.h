@@ -42,6 +42,7 @@
 #include "checker/history.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/recorder.h"
 #include "registers/automaton.h"
 
 namespace fastreg::sim {
@@ -224,6 +225,10 @@ class world final : public netout {
   void poll_completion(const process_id& p);
   void flush_sends(const process_id& from);
   [[nodiscard]] std::size_t index_of(const process_id& p) const;
+  /// Cached obs::recorder_for lookup (the recorders are process-global
+  /// and outlive every world; the cache only avoids the registry lock).
+  /// Deliberately not copied by fork(): it rebuilds lazily.
+  [[nodiscard]] obs::recorder& rec_for(const process_id& p);
 
   system_config cfg_;
   std::vector<std::unique_ptr<automaton>> procs_;  // writers, readers, servers
@@ -251,6 +256,7 @@ class world final : public netout {
     std::vector<message> tail{};
   };
   std::vector<outbox_entry> outbox_;
+  std::unordered_map<process_id, obs::recorder*> rec_cache_;
 };
 
 }  // namespace fastreg::sim

@@ -66,14 +66,23 @@ class tagging_netout final : public netout {
  public:
   tagging_netout(batch_collector& out, object_id obj,
                  epoch_t epoch = k_initial_epoch, std::uint32_t attempt = 0,
-                 bool mig = false)
-      : out_(out), obj_(obj), epoch_(epoch), attempt_(attempt), mig_(mig) {}
+                 bool mig = false, std::uint64_t trace = 0,
+                 std::uint16_t span = 0)
+      : out_(out),
+        obj_(obj),
+        epoch_(epoch),
+        attempt_(attempt),
+        mig_(mig),
+        trace_(trace),
+        span_(span) {}
 
   void send(const process_id& to, message m) override {
     m.obj = obj_;
     m.epoch = epoch_;
     m.attempt = attempt_;
     m.mig = mig_;
+    m.trace = trace_;
+    m.span = span_;
     out_.add(to, std::move(m));
   }
 
@@ -83,6 +92,8 @@ class tagging_netout final : public netout {
   epoch_t epoch_;
   std::uint32_t attempt_;
   bool mig_;
+  std::uint64_t trace_;
+  std::uint16_t span_;
 };
 
 }  // namespace fastreg::store

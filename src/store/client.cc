@@ -16,6 +16,7 @@ client::client(std::shared_ptr<const shard_map> shards, process_id self,
   const std::string lbl = "node=\"" + to_string(self_) + "\"";
   parks_total_ = &reg.get_counter("fastreg_store_parks_total", lbl);
   resumes_total_ = &reg.get_counter("fastreg_store_resumes_total", lbl);
+  rec_ = &obs::recorder_for(self_);
 }
 
 client::client(const client& o)
@@ -32,7 +33,8 @@ client::client(const client& o)
       stats_(o.stats_),
       stats_seq_(o.stats_seq_),
       parks_total_(o.parks_total_),
-      resumes_total_(o.resumes_total_) {
+      resumes_total_(o.resumes_total_),
+      rec_(o.rec_) {
   // outbox_ is intentionally not copied: it is empty between steps, and
   // clone() (world::fork) only runs between steps.
   FASTREG_EXPECTS(o.outbox_.empty());
@@ -67,7 +69,8 @@ void client::invoke_on(object_id obj, pending_op& op) {
   // The inner automaton does not know its object id; publish it so the
   // tracer keys this invocation's op under (self, obj).
   obs::scoped_trace_object trace_obj(obj);
-  tagging_netout tagged(outbox_, obj, epoch(), op.attempt);
+  tagging_netout tagged(outbox_, obj, epoch(), op.attempt, false, op.trace,
+                        op.span);
   if (op.is_put) {
     auto* w = as_writer(&inner);
     FASTREG_ENSURES(w != nullptr);
@@ -89,6 +92,7 @@ void client::begin_get(const std::string& key) {
   op.key = key;
   op.is_put = false;
   op.attempt = ++attempts_[obj];
+  op.trace = obs::next_trace_id();
   invoke_on(obj, op);
 }
 
@@ -101,6 +105,7 @@ void client::begin_put(const std::string& key, value_t v) {
   op.is_put = true;
   op.val = std::move(v);
   op.attempt = ++attempts_[obj];
+  op.trace = obs::next_trace_id();
   invoke_on(obj, op);
 }
 
@@ -122,15 +127,25 @@ void client::reissue(object_id obj, pending_op& op) {
   // The abandoned attempt's automaton state (including any acks it
   // gathered) is protocol state of a superseded generation; discard it
   // and start over against the current map.
-  if (op.parked) resumes_total_->inc();
+  const bool resuming = op.parked;
+  if (resuming) resumes_total_->inc();
   op.attempt = ++attempts_[obj];
   op.parked = false;
+  ++op.span;  // a new attempt is a new span of the same trace
+  if (resuming && obs::recording_active()) {
+    rec_->record(obs::rec_event::resume, op.trace, op.span, 0, self_, obj,
+                 epoch(), k_initial_ts);
+  }
   objects_.erase(obj);
   invoke_on(obj, op);
 }
 
 void client::park(object_id obj, pending_op& op) {
   parks_total_->inc();
+  if (obs::recording_active()) {
+    rec_->record(obs::rec_event::park, op.trace, op.span, 0, self_, obj,
+                 epoch(), k_initial_ts);
+  }
   op.parked = true;
   objects_.erase(obj);
 }
@@ -207,6 +222,7 @@ void client::begin_state_read(object_id obj, epoch_t old_epoch) {
   m.obj = mig_->obj;
   m.epoch = old_epoch;
   m.mig = true;
+  m.trace = obs::next_trace_id();
   m.rcounter = mig_->seq;
   for (std::uint32_t i = 0; i < map_->config().base.S(); ++i) {
     outbox_.add(server_id(i), m);
@@ -228,6 +244,7 @@ void client::begin_seed(object_id obj, const register_snapshot& s,
   // servers reject seeds not stamped with their current generation.
   m.epoch = new_epoch;
   m.mig = true;
+  m.trace = obs::next_trace_id();
   m.rcounter = mig_->seq;
   m.ts = s.ts;
   m.wid = s.wid;
@@ -242,6 +259,7 @@ void client::begin_seed(object_id obj, const register_snapshot& s,
 void client::begin_stats(std::uint32_t server_index) {
   message m;
   m.type = msg_type::stats_req;
+  m.trace = obs::next_trace_id();
   m.rcounter = ++stats_seq_;
   stats_.reset();
   outbox_.add(server_id(server_index), std::move(m));
@@ -349,7 +367,15 @@ void client::route(const process_id& from, const message& m) {
   // check handle_nack performs).
   if (m.attempt != attempt) return;
   obs::scoped_trace_object trace_obj(m.obj);
-  tagging_netout tagged(outbox_, m.obj, epoch(), attempt);
+  // Follow-up rounds the reply triggers stay on the op's trace; the
+  // pending record is authoritative, the reply's stamp the fallback.
+  std::uint64_t trace = m.trace;
+  std::uint16_t span = m.span;
+  if (p != pending_.end()) {
+    trace = p->second.trace;
+    span = p->second.span;
+  }
+  tagging_netout tagged(outbox_, m.obj, epoch(), attempt, false, trace, span);
   it->second.a->on_message(tagged, from, m);
 }
 

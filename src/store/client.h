@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "store/batching.h"
 #include "store/shard_map.h"
 
@@ -187,6 +188,10 @@ class client final : public automaton, public async_client_iface {
     epoch_t epoch{k_initial_epoch};
     /// Parked: automaton discarded, waiting for resume_parked.
     bool parked{false};
+    /// Flight-recorder identity: assigned at begin_get/begin_put and
+    /// kept across re-issues; span counts the re-issues.
+    std::uint64_t trace{0};
+    std::uint16_t span{0};
   };
 
   /// One in-flight migration handoff op (coordinator-driven).
@@ -244,6 +249,9 @@ class client final : public automaton, public async_client_iface {
   /// registry counts the union while parked_count() stays exact.
   obs::counter* parks_total_{nullptr};
   obs::counter* resumes_total_{nullptr};
+  /// Flight recorder for this node (stable global; cached like the
+  /// counters so the hot path never takes the registry lock).
+  obs::recorder* rec_{nullptr};
 };
 
 [[nodiscard]] inline client* as_store_client(automaton* a) {

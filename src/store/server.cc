@@ -38,6 +38,7 @@ void server::bind_metrics() {
       &reg.get_counter("fastreg_store_fetch_overflow_nacks_total", lbl);
   sm_.epoch = &reg.get_gauge("fastreg_store_epoch", lbl);
   sm_.serve_ns = &reg.get_histogram("fastreg_store_serve_ns", lbl);
+  rec_ = &obs::recorder_for(server_id(index_));
   shard_counters_.clear();
   shard_counters_.reserve(map_->num_shards());
   for (std::uint32_t s = 0; s < map_->num_shards(); ++s) {
@@ -58,7 +59,8 @@ server::server(const server& o)
       shard_ops_(o.shard_ops_),
       fetch_overflow_nacks_(o.fetch_overflow_nacks_),
       sm_(o.sm_),
-      shard_counters_(o.shard_counters_) {
+      shard_counters_(o.shard_counters_),
+      rec_(o.rec_) {
   FASTREG_EXPECTS(o.outbox_.empty());
   for (const auto& [obj, a] : o.objects_) {
     objects_.emplace(obj, a->clone());
@@ -148,11 +150,18 @@ void server::install_map(std::shared_ptr<const shard_map> next,
 
 void server::send_nack(const process_id& to, const message& m) {
   sm_.nacks->inc();
+  if (obs::recording_active()) {
+    rec_->record(obs::rec_event::nack, m.trace, m.span,
+                 static_cast<std::uint8_t>(m.type), to, m.obj,
+                 map_->epoch(), m.ts);
+  }
   message nack;
   nack.type = msg_type::epoch_nack;
   nack.obj = m.obj;
   nack.epoch = map_->epoch();
   nack.attempt = m.attempt;
+  nack.trace = m.trace;
+  nack.span = m.span;
   outbox_.add(to, std::move(nack));
 }
 
@@ -180,6 +189,8 @@ void server::handle_state_req(const process_id& from, const message& m) {
   ack.obj = m.obj;
   ack.epoch = map_->epoch();
   ack.mig = true;
+  ack.trace = m.trace;
+  ack.span = m.span;
   ack.rcounter = m.rcounter;
   ack.ts = snap.ts;
   ack.wid = snap.wid;
@@ -240,6 +251,13 @@ void server::handle_seed_req(const process_id& from, const message& m) {
   // ack it into the new seed quorum). Drop it -- nobody waits for its
   // ack anymore.
   if (m.epoch != map_->epoch()) return;
+  // The seed install is the causal pivot of a park -> resume sequence;
+  // record it as a serve so the merged timeline shows the order.
+  if (obs::recording_active()) {
+    rec_->record(obs::rec_event::serve, m.trace, m.span,
+                 static_cast<std::uint8_t>(m.type), from, m.obj,
+                 map_->epoch(), m.ts);
+  }
   adopt_seed(m.obj, {m.ts, m.wid, m.val, m.prev, m.sig});
   // A lazy fetch racing the coordinator's own seed resolves here.
   finish_fetch(m.obj);
@@ -248,11 +266,20 @@ void server::handle_seed_req(const process_id& from, const message& m) {
   ack.obj = m.obj;
   ack.epoch = map_->epoch();
   ack.mig = true;
+  ack.trace = m.trace;
+  ack.span = m.span;
   ack.rcounter = m.rcounter;
   outbox_.add(from, std::move(ack));
 }
 
 void server::enqueue_fetch(const process_id& from, const message& m) {
+  // The message is about to wait behind the epoch fence: the forensic
+  // marker for "this op stalled here until the seed landed".
+  if (obs::recording_active()) {
+    rec_->record(obs::rec_event::fence, m.trace, m.span,
+                 static_cast<std::uint8_t>(m.type), from, m.obj,
+                 map_->epoch(), m.ts);
+  }
   auto [it, inserted] = fetches_.try_emplace(m.obj);
   if (from.is_server()) {
     // Gossip rides its own (smaller) buffer so a chatty protocol cannot
@@ -299,6 +326,8 @@ void server::handle_fetch_req(const process_id& from, const message& m) {
   ack.obj = m.obj;
   ack.epoch = map_->epoch();
   ack.mig = true;
+  ack.trace = m.trace;
+  ack.span = m.span;
   if (m.epoch == map_->epoch()) {
     if (const auto snap_it = seed_snaps_.find(m.obj);
         snap_it != seed_snaps_.end()) {
@@ -368,8 +397,14 @@ void server::handle_one(const process_id& from, const message& m) {
     message ack;
     ack.type = msg_type::stats_ack;
     ack.epoch = map_->epoch();
+    ack.trace = m.trace;
+    ack.span = m.span;
     ack.rcounter = m.rcounter;
-    ack.val = obs::render_text();
+    // Stamp this server's identity on every row that lacks one: a
+    // scrape of a merged in-process registry is otherwise ambiguous
+    // about which node answered. Same context the LOG_* prefix uses.
+    ack.val = obs::render_text_annotated(
+        log_node().empty() ? to_string(server_id(index_)) : log_node());
     outbox_.add(from, std::move(ack));
     return;
   }
@@ -403,7 +438,8 @@ void server::handle_one(const process_id& from, const message& m) {
       if (m.epoch < map_->epoch()) {
         const auto prev = prev_objects_.find(m.obj);
         if (prev == prev_objects_.end()) return;
-        tagging_netout tagged(outbox_, m.obj, m.epoch, m.attempt);
+        tagging_netout tagged(outbox_, m.obj, m.epoch, m.attempt, false,
+                              m.trace, m.span);
         prev->second->on_message(tagged, from, m);
         return;
       }
@@ -417,7 +453,8 @@ void server::handle_one(const process_id& from, const message& m) {
         return;
       }
     }
-    tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt);
+    tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt, false,
+                          m.trace, m.span);
     inner_for(m.obj).on_message(tagged, from, m);
     return;
   }
@@ -445,7 +482,13 @@ void server::handle_one(const process_id& from, const message& m) {
   ++shard_ops_[shard];
   sm_.ops->inc();
   shard_counters_[shard]->inc();
-  tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt);
+  if (obs::recording_active()) {
+    rec_->record(obs::rec_event::serve, m.trace, m.span,
+                 static_cast<std::uint8_t>(m.type), from, m.obj,
+                 map_->epoch(), m.ts);
+  }
+  tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt, false,
+                        m.trace, m.span);
   inner_for(m.obj).on_message(tagged, from, m);
 }
 

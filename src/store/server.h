@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "store/batching.h"
 #include "store/shard_map.h"
 
@@ -212,6 +213,8 @@ class server final : public automaton {
   /// One op counter per shard of the current map (label shard="k");
   /// rebuilt on install_map when the shard count changes.
   std::vector<obs::counter*> shard_counters_;
+  /// Flight recorder for this node (stable global, cached like sm_).
+  obs::recorder* rec_{nullptr};
   void bind_metrics();
 };
 

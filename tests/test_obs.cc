@@ -295,5 +295,100 @@ TEST(ObsTrace, ReactorHooksRaceFreeUnderConcurrentScrape) {
   ts.stop();
 }
 
+// ------------------------------------------- interval (delta) scraping
+
+/// The sample named exactly `name` (labels included), or nullptr.
+const obs::sample* find_row(const std::vector<obs::sample>& rows,
+                            const std::string& name) {
+  const auto it =
+      std::find_if(rows.begin(), rows.end(),
+                   [&](const obs::sample& s) { return s.name == name; });
+  return it == rows.end() ? nullptr : &*it;
+}
+
+TEST(ObsSnapshot, DiffSubtractsCumulativeAndKeepsLevels) {
+  auto& c = obs::registry::instance().get_counter("test_diff_total");
+  auto& g = obs::registry::instance().get_gauge("test_diff_level");
+  auto& h = obs::registry::instance().get_histogram("test_diff_us");
+  c.reset();
+  g.set(3);
+  h.reset();
+  h.observe(10);
+  const auto prev = obs::snapshot();
+  c.inc(7);
+  g.set(5);
+  h.observe(20);
+  h.observe(30);
+  const auto delta = obs::diff_snapshot(obs::snapshot(), prev);
+  // Cumulative rows subtract; level rows pass through at current value.
+  const auto* dc = find_row(delta, "test_diff_total");
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->value, 7);
+  const auto* dg = find_row(delta, "test_diff_level");
+  ASSERT_NE(dg, nullptr);
+  EXPECT_EQ(dg->value, 5);
+  const auto* dn = find_row(delta, "test_diff_us_count");
+  ASSERT_NE(dn, nullptr);
+  EXPECT_EQ(dn->value, 2);
+  const auto* ds = find_row(delta, "test_diff_us_sum");
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(ds->value, 50);
+  // A series absent from prev deltas from zero.
+  auto& fresh =
+      obs::registry::instance().get_counter("test_diff_fresh_total");
+  fresh.reset();
+  fresh.inc(4);
+  const auto delta2 = obs::diff_snapshot(obs::snapshot(), prev);
+  const auto* df = find_row(delta2, "test_diff_fresh_total");
+  ASSERT_NE(df, nullptr);
+  EXPECT_EQ(df->value, 4);
+}
+
+TEST(ObsSnapshot, IntervalScrapeRollsItsBaselineForward) {
+  auto& c =
+      obs::registry::instance().get_counter("test_interval_total");
+  c.reset();
+  obs::interval_scrape scrape;
+  c.inc(5);
+  const auto* first = find_row(scrape.take(), "test_interval_total");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->value, 5);
+  c.inc(3);
+  const auto* second = find_row(scrape.take(), "test_interval_total");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->value, 3);
+  // Nothing moved: the delta is zero, and the dump still validates.
+  const auto third = scrape.take();
+  const auto* idle = find_row(third, "test_interval_total");
+  ASSERT_NE(idle, nullptr);
+  EXPECT_EQ(idle->value, 0);
+  EXPECT_EQ(obs::validate_dump(obs::render_samples(third)), "");
+}
+
+TEST(ObsDump, AnnotatedRowsAllCarryANodeLabel) {
+  (void)obs::registry::instance().get_counter("test_annot_plain_total");
+  (void)obs::registry::instance().get_counter("test_annot_owned_total",
+                                              "node=\"server:3\"");
+  const auto text = obs::render_text_annotated("reader:1");
+  EXPECT_EQ(obs::validate_dump(text), "");
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const auto line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    ++lines;
+    // Every row names its node; rows that already had one keep it.
+    EXPECT_NE(line.find("node=\""), std::string::npos) << line;
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_NE(text.find("test_annot_plain_total{node=\"reader:1\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_annot_owned_total{node=\"server:3\"}"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace fastreg

@@ -1,0 +1,141 @@
+// trace_merge -- merges per-node flight-recorder dumps (the *.recorder
+// files a checker failure emits, or obs::recorder_dump_all output) into
+// one causally-ordered timeline.
+//
+//   trace_merge [--json OUT] DUMP...
+//     Validates and parses every dump, merges them by (clock domain,
+//     timestamp), checks the causal invariant (no recv before its
+//     matching send within a domain), prints the per-trace narrative,
+//     and with --json also writes Chrome trace-event (catapult) JSON for
+//     about:tracing / Perfetto.
+//
+//   trace_merge --validate FILE...
+//     Validation only, no output on success. Each FILE is auto-detected:
+//     content starting with '[' or '{' is checked as catapult JSON,
+//     anything else as a recorder dump (grammar, then parse + merge +
+//     causal check across ALL the dump files together).
+//
+// Exit 0 when everything validated, 1 with a diagnostic otherwise.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  char buf[64 * 1024];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+// First non-whitespace byte decides the flavor: catapult JSON starts
+// with '[' (or '{' for the object form), a recorder dump never does.
+bool looks_like_json(const std::string& text) {
+  for (const char ch : text) {
+    if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') continue;
+    return ch == '[' || ch == '{';
+  }
+  return false;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_merge [--json OUT] DUMP...\n"
+               "       trace_merge --validate FILE...\n");
+  return 1;
+}
+
+int run_validate(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::vector<std::vector<fastreg::obs::timeline_event>> per_node;
+  for (int i = 0; i < argc; ++i) {
+    std::string text;
+    if (!read_file(argv[i], text)) {
+      std::fprintf(stderr, "trace_merge: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    if (looks_like_json(text)) {
+      const auto err = fastreg::obs::validate_catapult(text);
+      if (!err.empty()) {
+        std::fprintf(stderr, "trace_merge: %s: %s\n", argv[i], err.c_str());
+        return 1;
+      }
+      continue;
+    }
+    const auto err = fastreg::obs::validate_recorder_dump(text);
+    if (!err.empty()) {
+      std::fprintf(stderr, "trace_merge: %s: %s\n", argv[i], err.c_str());
+      return 1;
+    }
+    per_node.push_back(fastreg::obs::parse_recorder_dump(text));
+  }
+  if (!per_node.empty()) {
+    const auto merged = fastreg::obs::merge_events(std::move(per_node));
+    const auto err = fastreg::obs::validate_timeline(merged);
+    if (!err.empty()) {
+      std::fprintf(stderr, "trace_merge: causal check failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+  }
+  std::printf("trace_merge: %d file(s) ok\n", argc);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "--validate") == 0) {
+    return run_validate(argc - 2, argv + 2);
+  }
+  const char* json_out = nullptr;
+  int first = 1;
+  if (std::strcmp(argv[1], "--json") == 0) {
+    if (argc < 4) return usage();
+    json_out = argv[2];
+    first = 3;
+  }
+  std::vector<std::vector<fastreg::obs::timeline_event>> per_node;
+  for (int i = first; i < argc; ++i) {
+    std::string text;
+    if (!read_file(argv[i], text)) {
+      std::fprintf(stderr, "trace_merge: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const auto err = fastreg::obs::validate_recorder_dump(text);
+    if (!err.empty()) {
+      std::fprintf(stderr, "trace_merge: %s: %s\n", argv[i], err.c_str());
+      return 1;
+    }
+    per_node.push_back(fastreg::obs::parse_recorder_dump(text));
+  }
+  const auto merged = fastreg::obs::merge_events(std::move(per_node));
+  const auto causal = fastreg::obs::validate_timeline(merged);
+  if (!causal.empty()) {
+    std::fprintf(stderr, "trace_merge: causal check failed: %s\n",
+                 causal.c_str());
+    return 1;
+  }
+  std::fputs(fastreg::obs::render_narrative(merged).c_str(), stdout);
+  if (json_out != nullptr) {
+    const auto json = fastreg::obs::render_catapult(merged);
+    std::FILE* f = std::fopen(json_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace_merge: cannot write %s\n", json_out);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("trace_merge: wrote %s (%zu events)\n", json_out,
+                merged.size());
+  }
+  return 0;
+}
