@@ -49,9 +49,11 @@ int main() {
   // --- 3. A pipelined batch: 8 gets leave in ONE envelope per server.
   const auto env_before = s.world().envelopes_sent();
   const auto msg_before = s.world().messages_sent();
-  std::vector<std::string> keys;
-  for (int i = 0; i < 8; ++i) keys.push_back("item" + std::to_string(i));
-  s.invoke_get_batch(1, keys);
+  std::vector<store::store_op> gets;
+  for (int i = 0; i < 8; ++i) {
+    gets.push_back({"item" + std::to_string(i), /*is_put=*/false, {}});
+  }
+  s.invoke_ops(reader_id(1), gets);
   s.run_timed(schedule, delays);
   std::printf("\nbatched 8 gets: %llu envelopes carried %llu messages\n",
               static_cast<unsigned long long>(s.world().envelopes_sent() -

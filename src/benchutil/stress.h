@@ -2,8 +2,9 @@
 // protocol as a store shard across BOTH transports -- the deterministic
 // simulator (adversarial message reordering or timed uniform delays,
 // mid-run server crashes, link-level minority partitions with a later
-// heal, a live reshard) and the real-socket TCP cluster (concurrent
-// client threads, a stopped server, a live reshard) -- and
+// heal, a live reshard) and the real-socket TCP cluster (pipelined
+// client sessions on a hub node, a stopped server, a pause-fault
+// partition soak with a later heal, a live reshard) -- and
 // verifies every per-key history with the checker the protocol's contract
 // calls for. The polynomial MWMR checker makes per-key histories of 10^4+
 // operations verifiable, which is the scale where fast-path violations
@@ -44,15 +45,21 @@ struct stress_options {
   /// Crash this many servers (<= t) a third of the way into the run
   /// (sim: world::crash; TCP: node::stop).
   std::uint32_t crash_servers{0};
-  /// Simulator only: link-partition this many servers (<= t, a minority)
-  /// from EVERY other process a third of the way in, and heal the links
-  /// two thirds of the way in. Messages to and from the partitioned
-  /// servers stall in transit and arrive in a burst after the heal --
-  /// exactly the stale-ack flood the protocols' quorum logic must absorb
-  /// without a violation. Partitioned servers are taken from the LOW end
-  /// of the index range so a combined crash+partition run (crashes take
-  /// the high end) exercises disjoint sets.
+  /// Partition this many servers (<= t, a minority) from EVERY other
+  /// process a third of the way in, and heal two thirds of the way in.
+  /// Sim: link-level cuts (world::partition) -- messages stall in
+  /// transit and arrive in a burst after the heal. TCP: the partitioned
+  /// server's connections are pause-faulted (net::conn_fault::pause) --
+  /// bytes queue on both sides and flush at the heal. Either way the
+  /// protocols' quorum logic must absorb the stale flood without a
+  /// violation. Partitioned servers are taken from the LOW end of the
+  /// index range so a combined crash+partition run (crashes take the
+  /// high end) exercises disjoint sets.
   std::uint32_t partition_servers{0};
+  /// TCP: sliding-window depth of each client's pipelined session, and
+  /// the number of driver threads multiplexing all the sessions.
+  std::uint32_t pipeline_depth{4};
+  std::uint32_t driver_threads{8};
   /// Run one live reshard a third of the way in, concurrent with the
   /// workload. Empty reshard_protocols = keep the same protocol and
   /// change only the shard count (epoch bump + routing change); naming
@@ -98,8 +105,10 @@ struct stress_report {
 /// Runs the workload on the deterministic simulator.
 [[nodiscard]] stress_report run_sim_stress(const stress_options& opt);
 
-/// Runs the workload on the localhost TCP cluster with one thread per
-/// client (W writer threads, R reader threads).
+/// Runs the workload on the localhost TCP cluster: every client is an
+/// actor on one hub node, each drives a pipelined session
+/// (pipeline_depth ops in flight) through the unified async front-end,
+/// and min(W+R, driver_threads) driver threads multiplex the sessions.
 [[nodiscard]] stress_report run_tcp_stress(const stress_options& opt);
 
 /// FASTREG_STRESS_SEED when set, otherwise fresh entropy. Print the seed

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "sim/world.h"
+#include "store/async_client.h"
+#include "store/sim_store.h"
 
 namespace fastreg::benchutil {
 
@@ -180,6 +182,18 @@ store_report run_store_measured(const store::store_config& cfg,
   const std::uint32_t batch = std::min(std::max(opt.batch, 1u), opt.num_keys);
 
   const auto& base = cfg.base;
+  // One pipelined session per client through the unified front-end,
+  // window = batch: a full batch is admitted back-to-back and pump()
+  // issues it in ONE invocation step (batched envelopes), the same wire
+  // shape the old invoke_*_batch drivers produced.
+  store::sim_frontend fe(s, r);
+  std::vector<std::unique_ptr<store::async_session>> wses, rses;
+  for (std::uint32_t j = 0; j < base.W(); ++j) {
+    wses.push_back(fe.open_session(writer_id(j), batch));
+  }
+  for (std::uint32_t i = 0; i < base.R(); ++i) {
+    rses.push_back(fe.open_session(reader_id(i), batch));
+  }
   std::vector<std::uint32_t> gets_left(base.R(), opt.gets_per_reader);
   std::vector<std::uint32_t> puts_left(base.W(), opt.puts_per_writer);
   std::vector<std::uint64_t> put_seq(base.W(), 0);
@@ -198,23 +212,31 @@ store_report run_store_measured(const store::store_config& cfg,
     FASTREG_CHECK(++guard < 100'000'000);
     bool invoked = false;
     for (std::uint32_t j = 0; j < base.W(); ++j) {
-      if (puts_left[j] == 0 || s.writer_client(j).op_in_progress()) continue;
+      auto& ses = *wses[j];
+      ses.pump();  // harvest, so in_flight() reflects completions
+      (void)ses.take_results();
+      if (puts_left[j] == 0 || ses.in_flight() != 0) continue;
       const auto k = std::min(batch, puts_left[j]);
-      std::vector<std::pair<std::string, value_t>> kvs;
-      kvs.reserve(k);
       for (auto& key : pick_keys(k)) {
-        kvs.emplace_back(std::move(key),
-                         "w" + std::to_string(j) + ":" +
-                             std::to_string(++put_seq[j]));
+        const auto st = ses.try_put(
+            key, "w" + std::to_string(j) + ":" + std::to_string(++put_seq[j]));
+        FASTREG_CHECK(st == store::submit_status::submitted);
       }
-      s.invoke_put_batch(j, kvs);
+      ses.pump();  // one invoke step for the whole batch
       puts_left[j] -= k;
       invoked = true;
     }
     for (std::uint32_t i = 0; i < base.R(); ++i) {
-      if (gets_left[i] == 0 || s.reader_client(i).op_in_progress()) continue;
+      auto& ses = *rses[i];
+      ses.pump();
+      (void)ses.take_results();
+      if (gets_left[i] == 0 || ses.in_flight() != 0) continue;
       const auto k = std::min(batch, gets_left[i]);
-      s.invoke_get_batch(i, pick_keys(k));
+      for (auto& key : pick_keys(k)) {
+        const auto st = ses.try_get(key);
+        FASTREG_CHECK(st == store::submit_status::submitted);
+      }
+      ses.pump();
       gets_left[i] -= k;
       invoked = true;
     }

@@ -6,16 +6,33 @@
 
 namespace fastreg::net {
 
-cluster::cluster(system_config cfg, const protocol& proto, node_options nopt)
-    : cfg_(std::move(cfg)), book_(std::make_shared<address_book>()) {
+cluster::cluster(system_config cfg, const protocol& proto, node_options nopt,
+                 cluster_options copt)
+    : cfg_(std::move(cfg)), copt_(copt), book_(std::make_shared<address_book>()) {
   // Servers first: bind ephemeral listeners so the address book is
   // complete before any client node exists.
+  node_options sopt = nopt;
+  sopt.reactors = std::max<std::uint32_t>(1, copt_.server_reactors);
   for (std::uint32_t i = 0; i < cfg_.S(); ++i) {
     auto n = std::make_unique<node>(cfg_, proto.make_server(cfg_, i), book_,
-                                    nopt);
+                                    sopt);
     n->bind_listener(0);
     book_->server_ports.push_back(n->listen_port());
     servers_.push_back(std::move(n));
+  }
+  if (copt_.client_hub) {
+    // One hub node hosts every client automaton: writer j is actor j,
+    // reader i is actor W+i (client_actor encodes the same mapping).
+    node_options hopt = nopt;
+    hopt.reactors = std::max<std::uint32_t>(1, copt_.hub_reactors);
+    hub_ = std::make_unique<node>(cfg_, book_, hopt);
+    for (std::uint32_t j = 0; j < cfg_.W(); ++j) {
+      hub_->add_actor(proto.make_writer(cfg_, j));
+    }
+    for (std::uint32_t i = 0; i < cfg_.R(); ++i) {
+      hub_->add_actor(proto.make_reader(cfg_, i));
+    }
+    return;
   }
   for (std::uint32_t i = 0; i < cfg_.R(); ++i) {
     readers_.push_back(std::make_unique<node>(
@@ -33,6 +50,10 @@ void cluster::start() {
   FASTREG_EXPECTS(!started_);
   started_ = true;
   for (auto& n : servers_) n->start();
+  if (hub_) {
+    hub_->start();
+    return;
+  }
   for (auto& n : readers_) n->start();
   for (auto& n : writers_) n->start();
 }
@@ -41,16 +62,32 @@ void cluster::stop() {
   if (!started_) return;
   started_ = false;
   // Clients first so no new requests hit stopping servers.
-  for (auto& n : writers_) n->stop();
-  for (auto& n : readers_) n->stop();
+  if (hub_) {
+    hub_->stop();
+  } else {
+    for (auto& n : writers_) n->stop();
+    for (auto& n : readers_) n->stop();
+  }
   for (auto& n : servers_) n->stop();
 }
 
+node& cluster::client_node(const process_id& pid) {
+  if (copt_.client_hub) return *hub_;
+  if (pid.is_writer()) return *writers_[pid.index];
+  FASTREG_EXPECTS(pid.is_reader());
+  return *readers_[pid.index];
+}
+
+std::size_t cluster::client_actor(const process_id& pid) const {
+  if (!copt_.client_hub) return 0;
+  if (pid.is_writer()) return pid.index;
+  FASTREG_EXPECTS(pid.is_reader());
+  return cfg_.W() + pid.index;
+}
+
 checker::history cluster::gather_history() const {
+  if (hub_) return hub_->hist();  // already merged across its actors
   // Merge per-node histories by invocation time.
-  struct tagged {
-    checker::op_record op;
-  };
   std::vector<checker::op_record> all;
   // Note: hist() returns by value; keep the copy alive while iterating
   // (binding the range-for directly to hist().ops() would dangle in C++20).

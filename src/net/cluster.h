@@ -1,26 +1,51 @@
 // An in-process TCP deployment of a full protocol instance: S server
-// nodes, R reader nodes, W writer nodes, each with its own reactor thread
-// and real localhost sockets. Used by the examples, the TCP latency bench
-// (E11), and the end-to-end socket tests.
+// nodes plus the client side, over real localhost sockets. Used by the
+// examples, the TCP latency bench (E11), the store front-end, and the
+// end-to-end socket tests.
+//
+// Client topology is selectable (cluster_options):
+//  * per-node (default): every reader and writer is its own node with its
+//    own reactor thread -- one OS thread per client, the historical
+//    layout, right for latency measurements of a handful of clients.
+//  * hub: ALL readers and writers are actors multiplexed on ONE hub node
+//    whose reactor pool (hub_reactors) carries every client connection --
+//    the fan-in layout the pipelined store front-end uses to drive
+//    thousands of clients from a few threads.
+// Code that addresses clients by process_id through client_node() /
+// client_actor() works unchanged under either topology.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "checker/history.h"
+#include "common/check.h"
 #include "net/node.h"
 #include "registers/automaton.h"
 
 namespace fastreg::net {
 
+struct cluster_options {
+  /// Reactor threads per server node.
+  std::uint32_t server_reactors{1};
+  /// Host every reader/writer as an actor on one hub node instead of a
+  /// node (and thread) per client.
+  bool client_hub{false};
+  /// Reactor threads on the hub node (client_hub only).
+  std::uint32_t hub_reactors{1};
+};
+
 class cluster {
  public:
   /// Builds all nodes. Servers bind ephemeral ports immediately; the
   /// resulting address book is shared with every node. `nopt` (the
-  /// outbound batch-window policy) applies to every node; the default
-  /// comes from FASTREG_BATCH_WINDOW_US (immediate flush when unset).
+  /// outbound flush policy) applies to every node; the default comes
+  /// from FASTREG_BATCH_WINDOW_US / FASTREG_FLUSH_BYTES (immediate flush
+  /// when unset). `copt` picks the client topology and reactor counts.
   cluster(system_config cfg, const protocol& proto,
-          node_options nopt = node_options::from_env());
+          node_options nopt = node_options::from_env(),
+          cluster_options copt = {});
   ~cluster();
 
   cluster(const cluster&) = delete;
@@ -29,9 +54,30 @@ class cluster {
   void start();
   void stop();
 
-  [[nodiscard]] node& writer(std::uint32_t i = 0) { return *writers_[i]; }
-  [[nodiscard]] node& reader(std::uint32_t i) { return *readers_[i]; }
+  /// Per-client-node accessors (per-node topology only; a hub cluster
+  /// has no per-client nodes -- use client_node()/client_actor()).
+  [[nodiscard]] node& writer(std::uint32_t i = 0) {
+    FASTREG_EXPECTS(!copt_.client_hub);
+    return *writers_[i];
+  }
+  [[nodiscard]] node& reader(std::uint32_t i) {
+    FASTREG_EXPECTS(!copt_.client_hub);
+    return *readers_[i];
+  }
   [[nodiscard]] node& server(std::uint32_t i) { return *servers_[i]; }
+
+  /// The node hosting client `pid` and the actor index of `pid` on it:
+  /// {that client's own node, 0} per-node, {the hub, its slot} under a
+  /// hub. Together they address any client under either topology via
+  /// node's actor-indexed API.
+  [[nodiscard]] node& client_node(const process_id& pid);
+  [[nodiscard]] std::size_t client_actor(const process_id& pid) const;
+  [[nodiscard]] bool client_hub() const { return copt_.client_hub; }
+  /// The hub node (hub topology only).
+  [[nodiscard]] node& hub() {
+    FASTREG_EXPECTS(copt_.client_hub);
+    return *hub_;
+  }
 
   [[nodiscard]] const address_book& book() const { return *book_; }
   [[nodiscard]] const system_config& config() const { return cfg_; }
@@ -42,10 +88,12 @@ class cluster {
 
  private:
   system_config cfg_;
+  cluster_options copt_;
   std::shared_ptr<address_book> book_;
   std::vector<std::unique_ptr<node>> servers_;
   std::vector<std::unique_ptr<node>> readers_;
   std::vector<std::unique_ptr<node>> writers_;
+  std::unique_ptr<node> hub_;
   bool started_{false};
 };
 

@@ -37,6 +37,11 @@ std::size_t batch_payload_size(std::span<const message> msgs) {
 
 }  // namespace
 
+void preheat_framing_metrics() {
+  (void)malformed_frames_counter();
+  (void)corrupt_streams_counter();
+}
+
 std::size_t msg_frame_wire_size(const message& m) {
   return 4 + msg_payload_size(m);
 }

@@ -22,6 +22,13 @@ namespace fastreg::net {
 
 enum class frame_kind : std::uint8_t { hello = 0, msg = 1, batch = 2 };
 
+/// Forces creation of framing's lazily-registered process-global
+/// counters (malformed frames, corrupt streams). Reactor threads run
+/// under the registry's hot-loop creation check, so any thread that
+/// will parse frames must have these preheated first -- net::node calls
+/// this from its constructor (a cold, off-reactor context).
+void preheat_framing_metrics();
+
 struct frame {
   frame_kind kind{frame_kind::msg};
   process_id from{};

@@ -10,11 +10,20 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace fastreg::net {
+
+namespace {
+/// The reactor struct the current thread is running, if any. Paired with
+/// the struct's owner back-pointer so nested nodes in one process never
+/// mistake each other's reactors for their own.
+thread_local void* tls_reactor = nullptr;
+}  // namespace
 
 std::uint64_t node::now_ns() {
   return static_cast<std::uint64_t>(
@@ -25,66 +34,116 @@ std::uint64_t node::now_ns() {
 
 node_options node_options::from_env() {
   node_options opt;
-  const char* env = std::getenv("FASTREG_BATCH_WINDOW_US");
-  if (env == nullptr || *env == '\0') return opt;
-  // Strict parsing: a malformed value must not silently configure
-  // something other than what was asked for (a bench run under a typo'd
-  // knob would measure the wrong transport).
-  if (std::strcmp(env, "adaptive") == 0) {
-    opt.adaptive = true;
-    return opt;
-  }
-  if (std::strncmp(env, "adaptive:", 9) == 0) {
-    char* end = nullptr;
-    const unsigned long cap = std::strtoul(env + 9, &end, 10);
-    if (end != env + 9 && *end == '\0' && cap > 0) {
+  // Strict parsing throughout: a malformed value must not silently
+  // configure something other than what was asked for (a bench run under
+  // a typo'd knob would measure the wrong transport).
+  if (const char* env = std::getenv("FASTREG_BATCH_WINDOW_US");
+      env != nullptr && *env != '\0') {
+    bool ok = false;
+    if (std::strcmp(env, "adaptive") == 0) {
       opt.adaptive = true;
-      opt.adaptive_cap_us = static_cast<std::uint32_t>(cap);
-      return opt;
+      ok = true;
+    } else if (std::strncmp(env, "adaptive:", 9) == 0) {
+      char* end = nullptr;
+      const unsigned long cap = std::strtoul(env + 9, &end, 10);
+      if (end != env + 9 && *end == '\0' && cap > 0) {
+        opt.adaptive = true;
+        opt.adaptive_cap_us = static_cast<std::uint32_t>(cap);
+        ok = true;
+      }
+    } else {
+      char* end = nullptr;
+      const unsigned long us = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0') {
+        opt.batch_window_us = static_cast<std::uint32_t>(us);
+        ok = true;
+      }
     }
-  } else {
-    char* end = nullptr;
-    const unsigned long us = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0') {
-      opt.batch_window_us = static_cast<std::uint32_t>(us);
-      return opt;
+    if (!ok) {
+      LOG_WARN("ignoring malformed FASTREG_BATCH_WINDOW_US=\"%s\" (expected "
+               "an integer, \"adaptive\", or \"adaptive:<cap_us>\"); using "
+               "immediate flush",
+               env);
+      opt = node_options{};
     }
   }
-  LOG_WARN("ignoring malformed FASTREG_BATCH_WINDOW_US=\"%s\" (expected an "
-           "integer, \"adaptive\", or \"adaptive:<cap_us>\"); using "
-           "immediate flush",
-           env);
-  return node_options{};
+  if (const char* env = std::getenv("FASTREG_REACTORS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0) {
+      opt.reactors = static_cast<std::uint32_t>(n);
+    } else {
+      LOG_WARN("ignoring malformed FASTREG_REACTORS=\"%s\" (expected a "
+               "positive integer); using 1 reactor",
+               env);
+    }
+  }
+  if (const char* env = std::getenv("FASTREG_FLUSH_BYTES");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long b = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      opt.flush_bytes = static_cast<std::uint32_t>(b);
+    } else {
+      LOG_WARN("ignoring malformed FASTREG_FLUSH_BYTES=\"%s\" (expected a "
+               "byte count, 0 = no budget); keeping the default",
+               env);
+    }
+  }
+  return opt;
+}
+
+// ------------------------------------------------------------ construction --
+
+node::node(system_config cfg, std::shared_ptr<const address_book> book,
+           node_options opt)
+    : cfg_(std::move(cfg)), book_(std::move(book)), opt_(opt) {
+  FASTREG_EXPECTS(opt_.reactors >= 1);
+  init_reactors();
 }
 
 node::node(system_config cfg, std::unique_ptr<automaton> a,
            std::shared_ptr<const address_book> book, node_options opt)
-    : cfg_(std::move(cfg)),
-      automaton_(std::move(a)),
-      book_(std::move(book)),
-      self_(automaton_->self()),
-      opt_(opt),
-      async_iface_(dynamic_cast<async_client_iface*>(automaton_.get())) {
-  epoll_fd_.reset(::epoll_create1(0));
-  FASTREG_CHECK(epoll_fd_.valid());
-  event_fd_.reset(::eventfd(0, EFD_NONBLOCK));
-  FASTREG_CHECK(event_fd_.valid());
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = event_fd_.get();
-  FASTREG_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, event_fd_.get(),
-                            &ev) == 0);
-  timer_fd_.reset(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK));
-  FASTREG_CHECK(timer_fd_.valid());
-  ev = epoll_event{};
-  ev.events = EPOLLIN;
-  ev.data.fd = timer_fd_.get();
-  FASTREG_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, timer_fd_.get(),
-                            &ev) == 0);
-  if (!opt_.adaptive) cur_window_us_ = opt_.batch_window_us;
+    : node(std::move(cfg), std::move(book), opt) {
+  add_actor(std::move(a));
+}
 
-  // One label per node; handles stay valid for the life of the process,
-  // so the hot path never touches the registry's lock.
+node::~node() { stop(); }
+
+void node::init_reactors() {
+  for (std::uint32_t i = 0; i < opt_.reactors; ++i) {
+    auto r = std::make_unique<reactor>();
+    r->index = i;
+    r->owner = this;
+    r->epoll_fd.reset(::epoll_create1(0));
+    FASTREG_CHECK(r->epoll_fd.valid());
+    r->event_fd.reset(::eventfd(0, EFD_NONBLOCK));
+    FASTREG_CHECK(r->event_fd.valid());
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->event_fd.get();
+    FASTREG_CHECK(::epoll_ctl(r->epoll_fd.get(), EPOLL_CTL_ADD,
+                              r->event_fd.get(), &ev) == 0);
+    r->timer_fd.reset(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK));
+    FASTREG_CHECK(r->timer_fd.valid());
+    ev = epoll_event{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->timer_fd.get();
+    FASTREG_CHECK(::epoll_ctl(r->epoll_fd.get(), EPOLL_CTL_ADD,
+                              r->timer_fd.get(), &ev) == 0);
+    reactors_.push_back(std::move(r));
+  }
+}
+
+void node::bind_node_metrics() {
+  if (metrics_bound_) return;
+  metrics_bound_ = true;
+  // One label per node; handles stay valid for the life of the process
+  // and all underlying metrics are thread-safe, so every reactor shares
+  // them and the hot path never touches the registry's lock. Everything
+  // a reactor thread could need lazily is created here, off-reactor: the
+  // registry asserts its fetch-or-create path stays cold on reactors.
   auto& reg = obs::registry::instance();
   const std::string lbl = "node=\"" + to_string(self_) + "\"";
   wm_.frames_out = &reg.get_counter("fastreg_net_frames_out_total", lbl);
@@ -100,6 +159,8 @@ node::node(system_config cfg, std::unique_ptr<automaton> a,
                                         lbl + ",reason=\"window_expired\"");
   wm_.flushes_step = &reg.get_counter("fastreg_net_flushes_total",
                                       lbl + ",reason=\"step_end\"");
+  wm_.flushes_bytes = &reg.get_counter("fastreg_net_flushes_total",
+                                       lbl + ",reason=\"bytes\"");
   wm_.window_widen =
       &reg.get_counter("fastreg_net_window_widen_total", lbl);
   wm_.conn_resets = &reg.get_counter("fastreg_net_conn_resets_total", lbl);
@@ -107,18 +168,67 @@ node::node(system_config cfg, std::unique_ptr<automaton> a,
   wm_.backlog_bytes = &reg.get_gauge("fastreg_net_backlog_bytes", lbl);
   wm_.flush_ns = &reg.get_histogram("fastreg_net_flush_ns", lbl);
   wm_.window_wait_ns = &reg.get_histogram("fastreg_net_window_wait_ns", lbl);
-  rec_ = &obs::recorder_for(self_);
+  rm_.resize(opt_.reactors);
+  for (std::uint32_t i = 0; i < opt_.reactors; ++i) {
+    const std::string rl = lbl + ",reactor=\"" + std::to_string(i) + "\"";
+    rm_[i].tasks_run = &reg.get_counter("fastreg_net_reactor_tasks_total", rl);
+    rm_[i].accepts =
+        &reg.get_counter("fastreg_net_reactor_accepts_total", rl);
+    rm_[i].ships_in =
+        &reg.get_counter("fastreg_net_reactor_ships_total", rl);
+    rm_[i].connections = &reg.get_gauge("fastreg_net_reactor_connections", rl);
+  }
+  preheat_framing_metrics();
+  obs::preheat_trace_metrics();
 }
 
-node::~node() { stop(); }
+std::size_t node::add_actor(std::unique_ptr<automaton> a) {
+  FASTREG_EXPECTS(a != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    FASTREG_EXPECTS(!started_);
+  }
+  auto st = std::make_unique<actor_state>();
+  st->automaton_ = std::move(a);
+  st->self = st->automaton_->self();
+  st->home_reactor =
+      static_cast<std::uint32_t>(actors_.size()) % opt_.reactors;
+  st->async_iface = dynamic_cast<async_client_iface*>(st->automaton_.get());
+  st->reader = as_reader(st->automaton_.get());
+  st->writer = as_writer(st->automaton_.get());
+  st->rec = &obs::recorder_for(st->self);
+  st->port.n = this;
+  st->port.a = st.get();
+  if (actors_.empty()) {
+    // The first actor names the node (log tag, metric labels).
+    self_ = st->self;
+    bind_node_metrics();
+  }
+  actors_.push_back(std::move(st));
+  return actors_.size() - 1;
+}
+
+node::actor_state& node::actor_at(std::size_t i) const {
+  FASTREG_EXPECTS(i < actors_.size());
+  return *actors_[i];
+}
+
+const process_id& node::actor_self(std::size_t actor) const {
+  return actor_at(actor).self;
+}
+
+node::reactor* node::current_reactor() const {
+  auto* r = static_cast<reactor*>(tls_reactor);
+  return r != nullptr && r->owner == this ? r : nullptr;
+}
 
 void node::bind_listener(std::uint16_t port) {
   listen_fd_ = listen_on(port);
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_.get();
-  FASTREG_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(),
-                            &ev) == 0);
+  FASTREG_CHECK(::epoll_ctl(reactors_[0]->epoll_fd.get(), EPOLL_CTL_ADD,
+                            listen_fd_.get(), &ev) == 0);
 }
 
 std::uint16_t node::listen_port() const {
@@ -127,132 +237,203 @@ std::uint16_t node::listen_port() const {
 }
 
 void node::start() {
-  FASTREG_EXPECTS(!thread_.joinable());
+  FASTREG_EXPECTS(!actors_.empty());
+  FASTREG_EXPECTS(!reactors_[0]->thread.joinable());
   {
     std::lock_guard<std::mutex> lk(mu_);
     started_ = true;
+    stop_requested_ = false;
+    for (auto& r : reactors_) r->exited = false;
   }
-  thread_ = std::thread([this] { reactor_main(); });
+  for (auto& r : reactors_) {
+    r->thread = std::thread([this, rp = r.get()] { reactor_main(*rp); });
+  }
 }
 
 void node::stop() {
-  if (!thread_.joinable()) return;
-  post([this] {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_requested_ = true;
-  });
-  thread_.join();
-}
-
-
-void node::post(std::function<void()> fn) {
+  if (reactors_.empty() || !reactors_[0]->thread.joinable()) return;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    tasks_.push_back(std::move(fn));
+    stop_requested_ = true;
   }
+  for (auto& r : reactors_) wake(*r);
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+}
+
+void node::wake(reactor& r) {
   const std::uint64_t one = 1;
   [[maybe_unused]] const auto n =
-      ::write(event_fd_.get(), &one, sizeof one);
+      ::write(r.event_fd.get(), &one, sizeof one);
+}
+
+void node::post_to(reactor& r, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(r.q_mu);
+    r.tasks.push_back(std::move(fn));
+  }
+  wake(r);
 }
 
 // ----------------------------------------------------------- client calls --
 
 std::optional<read_result> node::blocking_read(
     std::chrono::milliseconds timeout) {
-  auto* r = as_reader(automaton_.get());
-  FASTREG_EXPECTS(r != nullptr);
+  return blocking_read(0, timeout);
+}
+
+std::optional<read_result> node::blocking_read(
+    std::size_t actor, std::chrono::milliseconds timeout) {
+  actor_state& a = actor_at(actor);
+  FASTREG_EXPECTS(a.reader != nullptr);
   std::uint64_t before;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    before = reads_done_;
+    before = a.reads_done;
   }
-  post([this, r] {
+  post_to(home_of(a), [this, &a] {
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      open_op_index_ = hist_.begin_op(self_, false, now_ns());
-      op_open_ = true;
+      std::lock_guard<std::mutex> step(a.step_mu);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        a.open_op_index = a.hist.begin_op(a.self, false, now_ns());
+        a.op_open = true;
+      }
+      // Register automata never stamp their messages; the ambient trace
+      // context tags everything this invocation sends (see send_from).
+      obs::scoped_trace_ctx trace_ctx(obs::next_trace_id(), 0);
+      a.reader->invoke_read(a.port);
     }
-    // Register automata never stamp their messages; the ambient trace
-    // context tags everything this invocation sends (see node::send).
-    obs::scoped_trace_ctx trace_ctx(obs::next_trace_id(), 0);
-    r->invoke_read(*this);
+    poll_client_completion(a);
   });
   std::unique_lock<std::mutex> lk(mu_);
-  if (!cv_.wait_for(lk, timeout, [&] { return reads_done_ > before; })) {
+  if (!cv_.wait_for(lk, timeout, [&] { return a.reads_done > before; })) {
     return std::nullopt;
   }
-  return r->last_read();
+  return a.reader->last_read();
 }
 
 bool node::blocking_write(value_t v, std::chrono::milliseconds timeout) {
-  auto* w = as_writer(automaton_.get());
-  FASTREG_EXPECTS(w != nullptr);
+  return blocking_write(0, std::move(v), timeout);
+}
+
+bool node::blocking_write(std::size_t actor, value_t v,
+                          std::chrono::milliseconds timeout) {
+  actor_state& a = actor_at(actor);
+  FASTREG_EXPECTS(a.writer != nullptr);
   std::uint64_t before;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    before = writes_done_;
+    before = a.writes_done;
   }
-  post([this, w, v = std::move(v)]() mutable {
+  post_to(home_of(a), [this, &a, v = std::move(v)]() mutable {
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      open_op_index_ = hist_.begin_op(self_, true, now_ns(), v);
-      op_open_ = true;
+      std::lock_guard<std::mutex> step(a.step_mu);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        a.open_op_index = a.hist.begin_op(a.self, true, now_ns(), v);
+        a.op_open = true;
+      }
+      obs::scoped_trace_ctx trace_ctx(obs::next_trace_id(), 0);
+      a.writer->invoke_write(a.port, std::move(v));
     }
-    obs::scoped_trace_ctx trace_ctx(obs::next_trace_id(), 0);
-    w->invoke_write(*this, std::move(v));
+    poll_client_completion(a);
   });
   std::unique_lock<std::mutex> lk(mu_);
-  return cv_.wait_for(lk, timeout, [&] { return writes_done_ > before; });
+  return cv_.wait_for(lk, timeout, [&] { return a.writes_done > before; });
 }
 
 bool node::blocking_op(const std::function<void(automaton&, netout&)>& start,
                        std::chrono::milliseconds timeout) {
-  FASTREG_EXPECTS(async_iface_ != nullptr);
+  return blocking_op(0, start, timeout);
+}
+
+bool node::blocking_op(std::size_t actor,
+                       const std::function<void(automaton&, netout&)>& start,
+                       std::chrono::milliseconds timeout) {
+  actor_state& a = actor_at(actor);
+  FASTREG_EXPECTS(a.async_iface != nullptr);
   auto started = std::make_shared<bool>(false);
-  post([this, start, started] {
-    start(*automaton_, *this);
+  post_to(home_of(a), [this, &a, start, started] {
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      *started = true;
-      // Mirror immediately: the wait predicate must not observe the
-      // stale pre-invocation idle state as completion.
-      async_busy_ = async_iface_->op_in_progress();
-      async_done_ = async_iface_->ops_completed();
-      async_in_flight_ = async_iface_->ops_in_flight();
+      std::lock_guard<std::mutex> step(a.step_mu);
+      start(*a.automaton_, a.port);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        *started = true;
+        // Mirror immediately: the wait predicate must not observe the
+        // stale pre-invocation idle state as completion.
+        a.async_busy = a.async_iface->op_in_progress();
+        a.async_done = a.async_iface->ops_completed();
+        a.async_in_flight = a.async_iface->ops_in_flight();
+      }
     }
     cv_.notify_all();
   });
   std::unique_lock<std::mutex> lk(mu_);
-  return cv_.wait_for(lk, timeout, [&] { return *started && !async_busy_; });
+  return cv_.wait_for(lk, timeout,
+                      [&] { return *started && !a.async_busy; });
 }
 
 bool node::wait_ops_in_flight_below(std::size_t limit,
                                     std::chrono::milliseconds timeout) {
-  FASTREG_EXPECTS(async_iface_ != nullptr);
+  return wait_ops_in_flight_below(0, limit, timeout);
+}
+
+bool node::wait_ops_in_flight_below(std::size_t actor, std::size_t limit,
+                                    std::chrono::milliseconds timeout) {
+  actor_state& a = actor_at(actor);
+  FASTREG_EXPECTS(a.async_iface != nullptr);
   std::unique_lock<std::mutex> lk(mu_);
-  return cv_.wait_for(lk, timeout, [&] { return async_in_flight_ < limit; });
+  return cv_.wait_for(lk, timeout,
+                      [&] { return a.async_in_flight < limit; });
 }
 
 bool node::wait_ops_completed(std::uint64_t target,
                               std::chrono::milliseconds timeout) {
-  FASTREG_EXPECTS(async_iface_ != nullptr);
-  std::unique_lock<std::mutex> lk(mu_);
-  return cv_.wait_for(lk, timeout, [&] { return async_done_ >= target; });
+  return wait_ops_completed(0, target, timeout);
 }
 
-std::uint64_t node::async_completed() const {
+bool node::wait_ops_completed(std::size_t actor, std::uint64_t target,
+                              std::chrono::milliseconds timeout) {
+  actor_state& a = actor_at(actor);
+  FASTREG_EXPECTS(a.async_iface != nullptr);
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, timeout, [&] { return a.async_done >= target; });
+}
+
+std::uint64_t node::async_completed() const { return async_completed(0); }
+
+std::uint64_t node::async_completed(std::size_t actor) const {
+  actor_state& a = actor_at(actor);
   std::lock_guard<std::mutex> lk(mu_);
-  return async_done_;
+  return a.async_done;
 }
 
 void node::run_on_reactor(const std::function<void(automaton&)>& fn) {
+  run_on_reactor(0, fn);
+}
+
+void node::run_on_reactor(std::size_t actor,
+                          const std::function<void(automaton&)>& fn) {
   // Reactor not running (never started, already stopped, or it exited
   // before draining the task): the caller has exclusive access, run
   // inline instead of waiting forever on a task nothing will drain.
-  if (!try_run_on_reactor(fn)) fn(*automaton_);
+  if (try_run_on_reactor(actor, fn)) return;
+  actor_state& a = actor_at(actor);
+  std::lock_guard<std::mutex> step(a.step_mu);
+  fn(*a.automaton_);
 }
 
 bool node::try_run_on_reactor(const std::function<void(automaton&)>& fn) {
+  return try_run_on_reactor(0, fn);
+}
+
+bool node::try_run_on_reactor(std::size_t actor,
+                              const std::function<void(automaton&)>& fn) {
+  actor_state& a = actor_at(actor);
+  reactor& home = home_of(a);
   {
     // Only a definitely-not-running reactor short-circuits. A merely
     // stop-REQUESTED reactor may still be draining: returning false here
@@ -260,14 +441,18 @@ bool node::try_run_on_reactor(const std::function<void(automaton&)>& fn) {
     // thread; posting is safe either way (the task runs on the reactor,
     // or the exit path discards it and the wait below observes that).
     std::lock_guard<std::mutex> lk(mu_);
-    if (!started_ || reactor_exited_) return false;
+    if (!started_ || home.exited) return false;
   }
   auto done = std::make_shared<bool>(false);
   // fn is copied into the task: if the reactor exits without draining
   // it, the closure outlives this call (reactor_main clears the queue on
-  // exit, but the post() below can land just after that).
-  post([this, fn, done] {
-    fn(*automaton_);
+  // exit, but the post below can land just after that).
+  post_to(home, [this, &a, fn, done] {
+    {
+      std::lock_guard<std::mutex> step(a.step_mu);
+      fn(*a.automaton_);
+    }
+    poll_client_completion(a);
     {
       std::lock_guard<std::mutex> lk(mu_);
       *done = true;
@@ -275,7 +460,7 @@ bool node::try_run_on_reactor(const std::function<void(automaton&)>& fn) {
     cv_.notify_all();
   });
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return *done || reactor_exited_; });
+  cv_.wait(lk, [&] { return *done || home.exited; });
   // A task the reactor exited without draining never ran and never will;
   // report the node unreachable rather than running fn here.
   return *done;
@@ -283,76 +468,120 @@ bool node::try_run_on_reactor(const std::function<void(automaton&)>& fn) {
 
 void node::run_on_reactor_net(
     const std::function<void(automaton&, netout&)>& fn) {
-  run_on_reactor([this, &fn](automaton& a) {
-    fn(a, *this);
-    poll_client_completion();
-  });
+  run_on_reactor_net(0, fn);
+}
+
+void node::run_on_reactor_net(
+    std::size_t actor, const std::function<void(automaton&, netout&)>& fn) {
+  actor_state& a = actor_at(actor);
+  const bool ran = try_run_on_reactor(
+      actor, [&a, &fn](automaton& au) { fn(au, a.port); });
+  if (!ran) {
+    {
+      std::lock_guard<std::mutex> step(a.step_mu);
+      fn(*a.automaton_, a.port);
+    }
+    poll_client_completion(a);
+  }
 }
 
 checker::history node::hist() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return hist_;
+  if (actors_.size() == 1) return actors_[0]->hist;
+  // Hub node: merge the actors' histories by invocation time (same merge
+  // the cluster applies across nodes).
+  std::vector<checker::op_record> all;
+  for (const auto& a : actors_) {
+    for (const auto& op : a->hist.ops()) all.push_back(op);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const checker::op_record& x, const checker::op_record& y) {
+              return x.invoke_time < y.invoke_time;
+            });
+  checker::history merged;
+  for (const auto& op : all) {
+    const auto idx =
+        merged.begin_op(op.client, op.is_write, op.invoke_time, op.val);
+    if (op.response_time) {
+      if (op.is_write) {
+        merged.complete_write(idx, *op.response_time, op.rounds);
+      } else {
+        merged.complete_read(idx, *op.response_time, op.ts, op.wid, op.val,
+                             op.rounds);
+      }
+    }
+  }
+  return merged;
 }
 
-void node::poll_client_completion() {
-  if (async_iface_ != nullptr) {
+void node::poll_client_completion(actor_state& a) {
+  std::lock_guard<std::mutex> step(a.step_mu);
+  if (a.async_iface != nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
-    const bool busy = async_iface_->op_in_progress();
-    const std::uint64_t done = async_iface_->ops_completed();
-    const std::size_t in_flight = async_iface_->ops_in_flight();
-    if (busy != async_busy_ || done != async_done_ ||
-        in_flight != async_in_flight_) {
-      async_busy_ = busy;
-      async_done_ = done;
-      async_in_flight_ = in_flight;
+    const bool busy = a.async_iface->op_in_progress();
+    const std::uint64_t done = a.async_iface->ops_completed();
+    const std::size_t in_flight = a.async_iface->ops_in_flight();
+    if (busy != a.async_busy || done != a.async_done ||
+        in_flight != a.async_in_flight) {
+      a.async_busy = busy;
+      a.async_done = done;
+      a.async_in_flight = in_flight;
       cv_.notify_all();
     }
   }
-  if (auto* r = as_reader(automaton_.get())) {
+  if (a.reader != nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
-    if (op_open_ && r->reads_completed() > reads_done_) {
-      const auto& res = r->last_read();
+    if (a.op_open && a.reader->reads_completed() > a.reads_done) {
+      const auto& res = a.reader->last_read();
       FASTREG_CHECK(res.has_value());
-      hist_.complete_read(open_op_index_, now_ns(), res->ts, res->wid,
-                          res->val, res->rounds);
-      op_open_ = false;
-      reads_done_ = r->reads_completed();
+      a.hist.complete_read(a.open_op_index, now_ns(), res->ts, res->wid,
+                           res->val, res->rounds);
+      a.op_open = false;
+      a.reads_done = a.reader->reads_completed();
       cv_.notify_all();
     }
   }
-  if (auto* w = as_writer(automaton_.get())) {
+  if (a.writer != nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
-    if (op_open_ && w->writes_completed() > writes_done_) {
-      hist_.complete_write(open_op_index_, now_ns(), w->last_write_rounds());
-      op_open_ = false;
-      writes_done_ = w->writes_completed();
+    if (a.op_open && a.writer->writes_completed() > a.writes_done) {
+      a.hist.complete_write(a.open_op_index, now_ns(),
+                            a.writer->last_write_rounds());
+      a.op_open = false;
+      a.writes_done = a.writer->writes_completed();
       cv_.notify_all();
     }
   }
 }
 
-// -------------------------------------------------------------- reactor --
+// ------------------------------------------------------------------ reactor --
 
-void node::reactor_main() {
-  // Every log line this thread emits is tagged with the node it serves.
+void node::reactor_main(reactor& r) {
+  // Every log line this thread emits is tagged with the node it serves;
+  // the registry asserts no metric is created from this thread (handles
+  // were all resolved in bind_node_metrics).
   log_set_node(to_string(self_));
+  obs::registry::mark_hot_loop_thread(true);
+  tls_reactor = &r;
   for (;;) {
     epoll_event events[64];
-    // Do not block when a task is already queued: a post() landing after
+    // Do not block when a task is already queued: a post landing after
     // this iteration's task swap but before the eventfd drain below would
     // otherwise lose its wakeup (the drain eats the counter while the
     // task waits a full epoll timeout).
     int wait_ms = 50;
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!tasks_.empty()) wait_ms = 0;
+      std::lock_guard<std::mutex> lk(r.q_mu);
+      if (!r.tasks.empty()) wait_ms = 0;
     }
-    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, wait_ms);
-    // Drain posted tasks first (includes invocations and stop requests).
+    const int n = ::epoll_wait(r.epoll_fd.get(), events, 64, wait_ms);
+    // Drain posted tasks first (includes invocations and shipped sends).
     std::deque<std::function<void()>> tasks;
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      tasks.swap(tasks_);
+      std::lock_guard<std::mutex> lk(r.q_mu);
+      tasks.swap(r.tasks);
+    }
+    if (!tasks.empty()) {
+      rm_[r.index].tasks_run->inc(static_cast<std::uint64_t>(tasks.size()));
     }
     for (auto& t : tasks) t();
     {
@@ -362,142 +591,164 @@ void node::reactor_main() {
     bool window_expired = false;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == event_fd_.get()) {
+      if (fd == r.event_fd.get()) {
         std::uint64_t buf;
-        while (::read(event_fd_.get(), &buf, sizeof buf) > 0) {
+        while (::read(r.event_fd.get(), &buf, sizeof buf) > 0) {
         }
         continue;
       }
-      if (fd == timer_fd_.get()) {
+      if (fd == r.timer_fd.get()) {
         std::uint64_t expirations;
-        while (::read(timer_fd_.get(), &expirations, sizeof expirations) >
+        while (::read(r.timer_fd.get(), &expirations, sizeof expirations) >
                0) {
         }
         window_expired = true;
         continue;
       }
-      if (listen_fd_.valid() && fd == listen_fd_.get()) {
+      if (r.index == 0 && listen_fd_.valid() && fd == listen_fd_.get()) {
         while (auto accepted = accept_one(listen_fd_.get())) {
-          const int cfd = accepted->get();
-          connection c;
-          c.fd = std::move(*accepted);
-          conns_.emplace(cfd, std::move(c));
-          wm_.connections->add(1);
-          epoll_event ev{};
-          ev.events = EPOLLIN;
-          ev.data.fd = cfd;
-          ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, cfd, &ev);
+          rm_[0].accepts->inc();
+          // Deal accepted connections round-robin across the pool; the
+          // target reactor owns the connection for its whole life.
+          const auto target = static_cast<std::uint32_t>(
+              next_conn_rr_++ % reactors_.size());
+          if (target == 0) {
+            adopt_inbound(r, std::move(*accepted));
+          } else {
+            auto moved = std::make_shared<unique_fd>(std::move(*accepted));
+            post_to(*reactors_[target], [this, target, moved] {
+              adopt_inbound(*reactors_[target], std::move(*moved));
+            });
+          }
         }
         continue;
       }
       if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
-        close_conn(fd);
+        close_conn(r, fd);
         continue;
       }
-      if ((events[i].events & EPOLLIN) != 0) handle_readable(fd);
-      if ((events[i].events & EPOLLOUT) != 0) handle_writable(fd);
+      if ((events[i].events & EPOLLIN) != 0) handle_readable(r, fd);
+      if ((events[i].events & EPOLLOUT) != 0) handle_writable(r, fd);
     }
-    if (window_expired) {
-      window_armed_ = false;
-      // Adaptive policy: widen while the window keeps catching
-      // multi-frame backlog, shrink toward immediate when it stops.
-      if (opt_.adaptive) {
-        if (frames_since_flush_ >= 8) {
-          cur_window_us_ = cur_window_us_ == 0
-                               ? 50
-                               : std::min(opt_.window_cap_us(),
-                                          cur_window_us_ * 2);
-          wm_.window_widen->inc();
-        } else if (frames_since_flush_ <= 1) {
-          cur_window_us_ = cur_window_us_ >= 100 ? cur_window_us_ / 2 : 0;
-        }
-      }
-      wm_.flushes_window->inc();
-      flush_dirty();
-    } else if (opt_.adaptive && cur_window_us_ == 0 && !dirty_fds_.empty()) {
-      // Adaptive at window 0: flush at the end of the step that queued
-      // the bytes (immediate-equivalent latency), but keep measuring the
-      // step's backlog so sustained bursts re-open the window.
-      if (frames_since_flush_ >= 8) {
-        cur_window_us_ = 50;
-        wm_.window_widen->inc();
-        arm_window(cur_window_us_);
-      } else {
-        wm_.flushes_step->inc();
-        flush_dirty();
-      }
-    }
-    poll_client_completion();
+    if (window_expired) flush_expired(r);
+    flush_step_end(r);
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
-    reactor_exited_ = true;
+    r.exited = true;
+  }
+  {
     // Undrained tasks never run: they must not fire on a later start()
     // (their captures may be long dead by then).
-    tasks_.clear();
+    std::lock_guard<std::mutex> lk(r.q_mu);
+    r.tasks.clear();
   }
   cv_.notify_all();
+  tls_reactor = nullptr;
 }
 
-void node::handle_readable(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
+void node::adopt_inbound(reactor& r, unique_fd fd) {
+  const int cfd = fd.get();
+  if (cfd < 0) return;  // raced with a shutdown path that closed it
+  connection c;
+  c.fd = std::move(fd);
+  // Inbound traffic steps the node's primary automaton (servers host
+  // exactly one); per-actor hubs never listen.
+  c.owner = actors_.empty() ? nullptr : actors_[0].get();
+  c.serial = next_conn_serial_.fetch_add(1, std::memory_order_relaxed);
+  c.fault = default_fault_.load(std::memory_order_relaxed);
+  c.cur_window_us = opt_.adaptive ? 0 : opt_.batch_window_us;
+  const bool paused = c.fault == conn_fault::pause;
+  r.conns.emplace(cfd, std::move(c));
+  wm_.connections->add(1);
+  rm_[r.index].connections->add(1);
+  epoll_event ev{};
+  ev.events = paused ? 0u : EPOLLIN;
+  ev.data.fd = cfd;
+  ::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_ADD, cfd, &ev);
+}
+
+void node::handle_readable(reactor& r, int fd) {
+  auto it = r.conns.find(fd);
+  if (it == r.conns.end()) return;
   // Reference (not iterator): stable across the insert-rehash a drain
   // callback can cause by opening a new outbound connection. Erasure of
   // THIS entry while the drain runs is deferred by close_conn (see the
-  // drain_guard_fd_ comment there).
+  // drain_guard_fd comment there).
   auto& c = it->second;
+  if (c.fault == conn_fault::pause) return;  // interest mask raced the fault
   std::uint8_t buf[64 * 1024];
+  if (c.fault == conn_fault::blackhole) {
+    // Partitioned: drain the socket so the kernel buffer never fills,
+    // discard everything (still detect EOF).
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n <= 0) {
+        close_conn(r, fd);
+        return;
+      }
+    }
+  }
+  actor_state* owner = c.owner;
+  FASTREG_CHECK(owner != nullptr);
   bool reset = false;
   for (;;) {
     const ssize_t n = ::read(fd, buf, sizeof buf);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n <= 0) {
-      close_conn(fd);
+      close_conn(r, fd);
       return;
     }
     wm_.bytes_in->inc(static_cast<std::uint64_t>(n));
     // Frames parse IN PLACE from the read buffer (only a trailing
     // partial frame is copied aside); the automaton steps run inside the
     // drain callback, so a burst of frames in one read is one pass over
-    // the bytes.
-    drain_guard_fd_ = fd;
-    c.in.drain(buf, static_cast<std::size_t>(n), [&](frame&& f) {
-      wm_.frames_in->inc();
-      if (f.kind == frame_kind::hello) {
-        c.peer = f.from;
-        inbound_by_peer_[f.from] = fd;
-        return;
-      }
-      if (f.kind == frame_kind::batch) {
-        if (obs::recording_active()) {
-          for (const auto& m : f.batch) {
-            rec_->record(obs::rec_event::recv, m.trace, m.span,
-                         static_cast<std::uint8_t>(m.type), f.from, m.obj,
-                         m.epoch, m.ts);
+    // the bytes. The step mutex is uncontended for client actors (their
+    // whole data path lives on this reactor); it serializes a server
+    // automaton stepped from several reactors.
+    r.drain_guard_fd = fd;
+    {
+      std::lock_guard<std::mutex> step(owner->step_mu);
+      c.in.drain(buf, static_cast<std::size_t>(n), [&](frame&& f) {
+        wm_.frames_in->inc();
+        if (f.kind == frame_kind::hello) {
+          c.peer = f.from;
+          std::lock_guard<std::mutex> route(route_mu_);
+          inbound_by_peer_[f.from] = conn_ref{r.index, fd, c.serial};
+          return;
+        }
+        if (f.kind == frame_kind::batch) {
+          if (obs::recording_active()) {
+            for (const auto& m : f.batch) {
+              owner->rec->record(obs::rec_event::recv, m.trace, m.span,
+                                 static_cast<std::uint8_t>(m.type), f.from,
+                                 m.obj, m.epoch, m.ts);
+            }
           }
+          // Ambient trace ctx for replies of trace-oblivious automata; a
+          // batch carries the head's (store automata stamp replies
+          // themselves, matching the simulator's convention).
+          obs::scoped_trace_ctx trace_ctx(
+              f.batch.empty() ? 0 : f.batch.front().trace,
+              f.batch.empty() ? std::uint16_t{0} : f.batch.front().span);
+          owner->automaton_->on_batch(owner->port, f.from, f.batch);
+          return;
         }
-        // Ambient trace ctx for replies of trace-oblivious automata; a
-        // batch carries the head's (store automata stamp replies
-        // themselves, matching the simulator's convention).
-        obs::scoped_trace_ctx trace_ctx(
-            f.batch.empty() ? 0 : f.batch.front().trace,
-            f.batch.empty() ? std::uint16_t{0} : f.batch.front().span);
-        automaton_->on_batch(*this, f.from, f.batch);
-        return;
-      }
-      if (f.msg.has_value()) {
-        if (obs::recording_active()) {
-          rec_->record(obs::rec_event::recv, f.msg->trace, f.msg->span,
-                       static_cast<std::uint8_t>(f.msg->type), f.from,
-                       f.msg->obj, f.msg->epoch, f.msg->ts);
+        if (f.msg.has_value()) {
+          if (obs::recording_active()) {
+            owner->rec->record(obs::rec_event::recv, f.msg->trace,
+                               f.msg->span,
+                               static_cast<std::uint8_t>(f.msg->type), f.from,
+                               f.msg->obj, f.msg->epoch, f.msg->ts);
+          }
+          obs::scoped_trace_ctx trace_ctx(f.msg->trace, f.msg->span);
+          owner->automaton_->on_message(owner->port, f.from, *f.msg);
         }
-        obs::scoped_trace_ctx trace_ctx(f.msg->trace, f.msg->span);
-        automaton_->on_message(*this, f.from, *f.msg);
-      }
-    });
-    drain_guard_fd_ = -1;
-    if (drain_close_pending_ || c.in.corrupt()) {
+      });
+    }
+    r.drain_guard_fd = -1;
+    if (r.drain_close_pending || c.in.corrupt()) {
       reset = true;
       break;
     }
@@ -508,26 +759,36 @@ void node::handle_readable(int fd) {
     // only safe recovery is a reset. The peer reconnects with fresh
     // framing state; undelivered messages are covered by the protocols'
     // quorum waits and the store's retry paths.
-    drain_close_pending_ = false;
+    r.drain_close_pending = false;
     wm_.conn_resets->inc();
     LOG_DEBUG("%s: resetting connection on fd %d (corrupt stream or "
               "write failure mid-drain)",
               to_string(self_).c_str(), fd);
-    close_conn(fd);
+    close_conn(r, fd);
     return;
   }
-  poll_client_completion();
+  poll_client_completion(*owner);
 }
 
-void node::handle_writable(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
+void node::handle_writable(reactor& r, int fd) {
+  auto it = r.conns.find(fd);
+  if (it == r.conns.end()) return;
   it->second.connecting = false;
-  flush(fd, it->second);
+  flush(r, fd, it->second);
 }
 
-void node::flush(int fd, connection& c) {
-  // c.dirty is left alone: it means "fd is listed in dirty_fds_", and a
+void node::flush(reactor& r, int fd, connection& c) {
+  if (c.fault == conn_fault::pause) return;  // bytes hold until healed
+  if (c.fault == conn_fault::blackhole) {
+    const std::size_t b = c.out.bytes();
+    if (b > 0) {
+      wm_.backlog_bytes->add(-static_cast<std::int64_t>(b));
+      c.out.consume(b);
+    }
+    update_epoll(r, fd, c);
+    return;
+  }
+  // c.dirty is left alone: it means "fd is listed in dirty_fds", and a
   // direct flush (immediate mode, or handle_writable) does not unlist.
   // A listed-but-already-flushed connection is a cheap no-op later.
   const std::uint64_t flush_start = c.out.empty() ? 0 : now_ns();
@@ -549,148 +810,317 @@ void node::flush(int fd, connection& c) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    close_conn(fd);
+    close_conn(r, fd);
     return;
   }
   if (flush_start != 0) wm_.flush_ns->observe(now_ns() - flush_start);
-  update_epoll(fd, c);
+  update_epoll(r, fd, c);
 }
 
-void node::update_epoll(int fd, connection& c) {
+void node::update_epoll(reactor& r, int fd, connection& c) {
   epoll_event ev{};
-  ev.events = EPOLLIN;
-  if (c.connecting || c.out.bytes() > 0) ev.events |= EPOLLOUT;
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev);
+  if (c.fault == conn_fault::pause) {
+    ev.events = 0;  // paused: no reads, no writes; bytes queue
+  } else {
+    ev.events = EPOLLIN;
+    if (c.connecting || c.out.bytes() > 0) ev.events |= EPOLLOUT;
+  }
+  ::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_MOD, fd, &ev);
 }
 
-void node::close_conn(int fd) {
+void node::close_conn(reactor& r, int fd) {
   // An automaton step running inside handle_readable's drain can hit a
   // fatal write error on the very connection being drained (the server
   // answers over the inbound socket). Erasing it here would free the
   // frame_buffer mid-parse; defer -- handle_readable performs the close
   // as soon as the drain returns.
-  if (fd == drain_guard_fd_) {
-    drain_close_pending_ = true;
+  if (fd == r.drain_guard_fd) {
+    r.drain_close_pending = true;
     return;
   }
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  if (it->second.peer) inbound_by_peer_.erase(*it->second.peer);
-  for (auto o = out_to_server_.begin(); o != out_to_server_.end();) {
-    o = o->second == fd ? out_to_server_.erase(o) : std::next(o);
+  auto it = r.conns.find(fd);
+  if (it == r.conns.end()) return;
+  if (it->second.peer) {
+    // Only erase the route if it still points at THIS connection (the
+    // peer may have reconnected already, on any reactor).
+    std::lock_guard<std::mutex> route(route_mu_);
+    if (auto rit = inbound_by_peer_.find(*it->second.peer);
+        rit != inbound_by_peer_.end() &&
+        rit->second.serial == it->second.serial) {
+      inbound_by_peer_.erase(rit);
+    }
   }
-  std::erase(dirty_fds_, fd);
-  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  // Actor out_to_server entries are NOT touched here: they are guarded
+  // by the owning actor's step mutex, which this reactor may not take
+  // mid-step. Stale refs are detected by serial mismatch at the next
+  // send and lazily invalidated there.
+  std::erase(r.dirty_fds, fd);
+  ::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_DEL, fd, nullptr);
   wm_.backlog_bytes->add(-static_cast<std::int64_t>(it->second.out.bytes()));
   wm_.connections->add(-1);
-  conns_.erase(it);  // unique_fd closes
+  rm_[r.index].connections->add(-1);
+  r.conns.erase(it);  // unique_fd closes
 }
 
-void node::arm_window(std::uint32_t us) {
-  if (window_armed_) return;
+// --------------------------------------------------------- flush controller --
+
+void node::finish_window(connection& c) {
+  if (c.window_open_ns != 0 && c.frames_since_flush > 0) {
+    wm_.window_wait_ns->observe(now_ns() - c.window_open_ns);
+  }
+  c.window_open_ns = 0;
+  c.frames_since_flush = 0;
+}
+
+void node::arm_window_at(reactor& r, std::uint64_t deadline_ns) {
+  if (r.window_armed && r.armed_deadline_ns <= deadline_ns) return;
+  const std::uint64_t now = now_ns();
+  const std::uint64_t delta = deadline_ns > now ? deadline_ns - now : 1;
   itimerspec spec{};
-  spec.it_value.tv_sec = us / 1'000'000;
-  spec.it_value.tv_nsec = static_cast<long>(us % 1'000'000) * 1'000;
+  spec.it_value.tv_sec = static_cast<time_t>(delta / 1'000'000'000ull);
+  spec.it_value.tv_nsec = static_cast<long>(delta % 1'000'000'000ull);
   if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
     spec.it_value.tv_nsec = 1;  // fire immediately rather than disarm
   }
-  ::timerfd_settime(timer_fd_.get(), 0, &spec, nullptr);
-  window_armed_ = true;
+  ::timerfd_settime(r.timer_fd.get(), 0, &spec, nullptr);
+  r.window_armed = true;
+  r.armed_deadline_ns = deadline_ns;
 }
 
-void node::after_queue(int fd, connection& c) {
-  ++frames_since_flush_;
-  const bool windowed = opt_.adaptive || cur_window_us_ > 0;
+void node::after_queue(reactor& r, int fd, connection& c) {
+  ++c.frames_since_flush;
+  if (c.fault == conn_fault::pause) {
+    // Bytes hold until the fault heals; track the connection so the heal
+    // path finds and flushes it.
+    if (!c.dirty) {
+      c.dirty = true;
+      r.dirty_fds.push_back(fd);
+    }
+    return;
+  }
+  const bool windowed = opt_.adaptive || c.cur_window_us > 0;
   if (!windowed) {
     // Immediate mode (window 0): the pre-window behavior, one flush per
     // queueing step.
     wm_.flushes_immediate->inc();
     if (!c.connecting) {
-      flush(fd, c);
+      flush(r, fd, c);
     } else {
-      update_epoll(fd, c);
+      update_epoll(r, fd, c);
     }
     return;
   }
-  if (frames_since_flush_ == 1) window_open_ns_ = now_ns();
+  if (c.window_open_ns == 0) c.window_open_ns = now_ns();
   if (!c.dirty) {
     c.dirty = true;
-    dirty_fds_.push_back(fd);
+    r.dirty_fds.push_back(fd);
   }
-  if (cur_window_us_ > 0) arm_window(cur_window_us_);
+  if (opt_.flush_bytes > 0 && c.out.bytes() >= opt_.flush_bytes &&
+      !c.connecting) {
+    // Bytes budget: the backlog already amortizes a writev; waiting out
+    // the window would only add latency.
+    wm_.flushes_bytes->inc();
+    finish_window(c);
+    flush(r, fd, c);
+    return;
+  }
+  if (c.cur_window_us > 0) {
+    arm_window_at(r, c.window_open_ns +
+                         static_cast<std::uint64_t>(c.cur_window_us) * 1000);
+  }
   // Adaptive at window 0: flushed at the end of this reactor step (see
-  // reactor_main), so a lone frame still leaves with step latency.
+  // flush_step_end), so a lone frame still leaves with step latency.
 }
 
-void node::flush_dirty() {
-  // flush() can close a connection (erasing from conns_); iterate over a
-  // drained copy and re-validate each fd.
+void node::flush_expired(reactor& r) {
+  r.window_armed = false;
+  const std::uint64_t now = now_ns();
   std::vector<int> fds;
-  fds.swap(dirty_fds_);
+  fds.swap(r.dirty_fds);
+  std::uint64_t next_deadline = 0;
   for (const int fd : fds) {
-    auto it = conns_.find(fd);
-    if (it == conns_.end()) continue;
+    auto it = r.conns.find(fd);
+    if (it == r.conns.end()) continue;
     auto& c = it->second;
-    c.dirty = false;
-    if (c.connecting) {
-      // Connect still in progress: the bytes leave in handle_writable.
-      update_epoll(fd, c);
+    if (c.fault == conn_fault::pause) {
+      r.dirty_fds.push_back(fd);  // stays parked until healed
       continue;
     }
-    flush(fd, c);
+    if (c.window_open_ns == 0) {
+      // Already flushed (bytes budget or writability); just unlist.
+      c.dirty = false;
+      continue;
+    }
+    const std::uint64_t deadline =
+        c.window_open_ns + static_cast<std::uint64_t>(c.cur_window_us) * 1000;
+    if (deadline > now) {
+      // Still inside its window: keep listed, re-arm for it below.
+      r.dirty_fds.push_back(fd);
+      if (next_deadline == 0 || deadline < next_deadline) {
+        next_deadline = deadline;
+      }
+      continue;
+    }
+    // Adaptive policy, per connection: widen while the window keeps
+    // catching multi-frame backlog, shrink toward immediate when it
+    // stops.
+    if (opt_.adaptive) {
+      if (c.frames_since_flush >= 8) {
+        c.cur_window_us =
+            c.cur_window_us == 0
+                ? 50
+                : std::min(opt_.window_cap_us(), c.cur_window_us * 2);
+        wm_.window_widen->inc();
+      } else if (c.frames_since_flush <= 1) {
+        c.cur_window_us = c.cur_window_us >= 100 ? c.cur_window_us / 2 : 0;
+      }
+    }
+    wm_.flushes_window->inc();
+    finish_window(c);
+    c.dirty = false;
+    if (c.connecting) {
+      update_epoll(r, fd, c);  // bytes leave in handle_writable
+    } else {
+      flush(r, fd, c);  // may close (erase) the connection: c is dead after
+    }
   }
-  if (frames_since_flush_ > 0 && window_open_ns_ != 0) {
-    wm_.window_wait_ns->observe(now_ns() - window_open_ns_);
-  }
-  window_open_ns_ = 0;
-  frames_since_flush_ = 0;
+  if (next_deadline != 0) arm_window_at(r, next_deadline);
 }
 
-node::connection* node::conn_for(const process_id& to) {
-  if (to.is_server()) {
-    const int fd = outbound_to_server(to.index);
-    auto it = conns_.find(fd);
-    return it == conns_.end() ? nullptr : &it->second;
+void node::flush_step_end(reactor& r) {
+  // Only adaptive window-0 connections flush at step end; fixed-window
+  // connections wait for the timer.
+  if (!opt_.adaptive || r.dirty_fds.empty()) return;
+  std::vector<int> fds;
+  fds.swap(r.dirty_fds);
+  for (const int fd : fds) {
+    auto it = r.conns.find(fd);
+    if (it == r.conns.end()) continue;
+    auto& c = it->second;
+    if (c.fault == conn_fault::pause || c.cur_window_us > 0) {
+      r.dirty_fds.push_back(fd);
+      continue;
+    }
+    if (c.window_open_ns == 0) {
+      c.dirty = false;
+      continue;
+    }
+    if (c.frames_since_flush >= 8) {
+      // This step queued a burst: re-open the window instead of flushing.
+      c.cur_window_us = 50;
+      wm_.window_widen->inc();
+      arm_window_at(r, c.window_open_ns + 50'000);
+      r.dirty_fds.push_back(fd);
+      continue;
+    }
+    wm_.flushes_step->inc();
+    finish_window(c);
+    c.dirty = false;
+    if (c.connecting) {
+      update_epoll(r, fd, c);
+    } else {
+      flush(r, fd, c);
+    }
   }
-  // Replies to clients (or servers acting as clients of this server) go
-  // over the connection they introduced themselves on.
-  if (auto it = inbound_by_peer_.find(to); it != inbound_by_peer_.end()) {
-    auto cit = conns_.find(it->second);
-    return cit == conns_.end() ? nullptr : &cit->second;
-  }
-  LOG_DEBUG("%s: no route to %s; dropping frame", to_string(self_).c_str(),
-            to_string(to).c_str());
-  return nullptr;
 }
 
-int node::outbound_to_server(std::uint32_t index) {
-  if (auto it = out_to_server_.find(index); it != out_to_server_.end()) {
-    return it->second;
+// ------------------------------------------------------------------- faults --
+
+void node::run_on_all_reactors(const std::function<void(reactor&)>& fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Not running: no reactor thread exists, so no connection exists
+    // either (both inbound and outbound connections are created on
+    // reactors). Nothing to apply to.
+    if (!started_) return;
   }
-  FASTREG_EXPECTS(index < book_->server_ports.size());
-  unique_fd fd = connect_to(book_->server_ports[index]);
-  const int raw = fd.get();
-  connection c;
-  c.fd = std::move(fd);
-  c.connecting = true;
-  conns_.emplace(raw, std::move(c));
-  wm_.connections->add(1);
-  out_to_server_[index] = raw;
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLOUT;
-  ev.data.fd = raw;
-  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, raw, &ev);
-  // Introduce ourselves so the server can route replies back. The hello
-  // must precede any frame on this connection, so it bypasses the batch
-  // window ordering-wise (it is appended first) but still leaves in the
-  // same writev as the frames that triggered the connect.
-  auto& cref = conns_.find(raw)->second;
-  append_hello_frame(cref.out.tail_for(64), self_);
-  wm_.frames_out->inc();
-  wm_.backlog_bytes->add(static_cast<std::int64_t>(cref.out.bytes()));
-  return raw;
+  auto acked = std::make_shared<std::size_t>(0);
+  for (auto& r : reactors_) {
+    post_to(*r, [this, rp = r.get(), fn, acked] {
+      fn(*rp);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++*acked;
+      }
+      cv_.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    std::size_t live = 0;
+    for (const auto& r : reactors_) {
+      if (!r->exited) ++live;
+    }
+    return *acked >= live;
+  });
 }
+
+void node::set_fault_all(conn_fault f) {
+  default_fault_.store(f, std::memory_order_relaxed);
+  run_on_all_reactors([this, f](reactor& r) {
+    // apply_fault can close connections (heal-after-blackhole resets);
+    // iterate over a snapshot of fds and re-validate each.
+    std::vector<int> fds;
+    fds.reserve(r.conns.size());
+    for (const auto& [fd, c] : r.conns) fds.push_back(fd);
+    for (const int fd : fds) {
+      if (auto it = r.conns.find(fd); it != r.conns.end()) {
+        apply_fault(r, fd, it->second, f);
+      }
+    }
+  });
+}
+
+void node::reset_all_conns() {
+  run_on_all_reactors([this](reactor& r) {
+    std::vector<int> fds;
+    fds.reserve(r.conns.size());
+    for (const auto& [fd, c] : r.conns) fds.push_back(fd);
+    for (const int fd : fds) {
+      if (r.conns.find(fd) != r.conns.end()) {
+        wm_.conn_resets->inc();
+        close_conn(r, fd);
+      }
+    }
+  });
+}
+
+void node::apply_fault(reactor& r, int fd, connection& c, conn_fault f) {
+  if (c.fault == f) return;
+  const conn_fault prev = c.fault;
+  c.fault = f;
+  if (f == conn_fault::none) {
+    if (prev == conn_fault::blackhole) {
+      // Frames were dropped mid-stream; framing cannot resume. Reset --
+      // the peer reconnects with fresh state.
+      wm_.conn_resets->inc();
+      close_conn(r, fd);
+      return;
+    }
+    // Healing a pause: resume epoll interest and release the held bytes.
+    c.dirty = false;
+    std::erase(r.dirty_fds, fd);
+    finish_window(c);
+    update_epoll(r, fd, c);
+    if (!c.connecting && c.out.bytes() > 0) flush(r, fd, c);
+    return;
+  }
+  if (f == conn_fault::blackhole) {
+    // Discard anything queued; reads and writes are dropped from here on.
+    const std::size_t b = c.out.bytes();
+    if (b > 0) {
+      wm_.backlog_bytes->add(-static_cast<std::int64_t>(b));
+      c.out.consume(b);
+    }
+    c.dirty = false;
+    std::erase(r.dirty_fds, fd);
+    finish_window(c);
+  }
+  update_epoll(r, fd, c);  // pause: interest mask 0; blackhole keeps EPOLLIN
+}
+
+// -------------------------------------------------------------- send path --
 
 namespace {
 
@@ -706,71 +1136,244 @@ void stamp_if_untraced(message& m) {
 
 }  // namespace
 
+void node::actor_port::send(const process_id& to, message m) {
+  n->send_from(*a, to, std::move(m));
+}
+
+void node::actor_port::send_batch(const process_id& to,
+                                  std::vector<message> msgs) {
+  n->send_batch_from(*a, to, std::move(msgs));
+}
+
+// The node-as-netout entry points operate on actor 0 and take its step
+// mutex themselves: they are for EXTERNAL drivers only. Automata always
+// send through their actor_port (whose calls originate inside steps that
+// already hold the mutex) -- handing an automaton the node itself would
+// deadlock here.
 void node::send(const process_id& to, message m) {
-  stamp_if_untraced(m);
-  connection* c = conn_for(to);
-  if (c == nullptr) return;
-  if (obs::recording_active()) {
-    rec_->record(obs::rec_event::send, m.trace, m.span,
-                 static_cast<std::uint8_t>(m.type), to, m.obj, m.epoch, m.ts);
-  }
-  // Encoded in place into the connection's chain: no intermediate
-  // per-message byte vector.
-  const std::size_t before = c->out.bytes();
-  append_msg_frame(c->out.tail_for(msg_frame_wire_size(m)), self_, m);
-  wm_.frames_out->inc();
-  wm_.backlog_bytes->add(static_cast<std::int64_t>(c->out.bytes() - before));
-  after_queue(c->fd.get(), *c);
+  actor_state& a = actor_at(0);
+  std::lock_guard<std::mutex> step(a.step_mu);
+  send_from(a, to, std::move(m));
 }
 
 void node::send_batch(const process_id& to, std::vector<message> msgs) {
+  actor_state& a = actor_at(0);
+  std::lock_guard<std::mutex> step(a.step_mu);
+  send_batch_from(a, to, std::move(msgs));
+}
+
+void node::send_from(actor_state& a, const process_id& to, message m) {
+  stamp_if_untraced(m);
+  if (obs::recording_active()) {
+    a.rec->record(obs::rec_event::send, m.trace, m.span,
+                  static_cast<std::uint8_t>(m.type), to, m.obj, m.epoch,
+                  m.ts);
+  }
+  std::vector<message> one;
+  one.push_back(std::move(m));
+  route_from(a, to, std::move(one), /*batch=*/false);
+}
+
+void node::send_batch_from(actor_state& a, const process_id& to,
+                           std::vector<message> msgs) {
   FASTREG_EXPECTS(!msgs.empty());
   if (msgs.size() == 1) {
-    send(to, std::move(msgs.front()));
+    send_from(a, to, std::move(msgs.front()));
     return;
   }
   for (auto& m : msgs) stamp_if_untraced(m);
-  connection* c = conn_for(to);
-  if (c == nullptr) return;
   if (obs::recording_active()) {
     for (const auto& m : msgs) {
-      rec_->record(obs::rec_event::send, m.trace, m.span,
-                   static_cast<std::uint8_t>(m.type), to, m.obj, m.epoch,
-                   m.ts);
+      a.rec->record(obs::rec_event::send, m.trace, m.span,
+                    static_cast<std::uint8_t>(m.type), to, m.obj, m.epoch,
+                    m.ts);
     }
   }
-  const std::size_t before = c->out.bytes();
-  // Chunk so no frame approaches frame_buffer::max_frame_bytes -- the
-  // receiver treats an oversized frame as stream corruption and resets
-  // the connection, which batching large values could otherwise trigger.
-  constexpr std::size_t chunk_limit = frame_buffer::max_frame_bytes / 4;
-  std::size_t begin = 0;
-  std::size_t bytes = 0;
-  for (std::size_t i = 0; i < msgs.size(); ++i) {
-    const std::size_t sz = message_wire_size(msgs[i]);
-    if (i > begin && bytes + sz > chunk_limit) {
-      const auto chunk =
-          std::span<const message>(msgs.data() + begin, i - begin);
-      append_batch_frame(c->out.tail_for(batch_frame_wire_size(chunk)),
-                         self_, chunk);
-      wm_.frames_out->inc();
-      begin = i;
-      bytes = 0;
+  route_from(a, to, std::move(msgs), /*batch=*/true);
+}
+
+void node::route_from(actor_state& a, const process_id& to,
+                      std::vector<message> msgs, bool batch) {
+  reactor* cur = current_reactor();
+  if (cur == nullptr) {
+    // Off-reactor send (external driver): run on the actor's home
+    // reactor, which then owns any connection it creates.
+    reactor& home = home_of(a);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!started_ || home.exited) return;  // node not running: drop
     }
-    bytes += sz;
+    auto moved = std::make_shared<std::vector<message>>(std::move(msgs));
+    post_to(home, [this, &a, to, moved, batch] {
+      std::lock_guard<std::mutex> step(a.step_mu);
+      route_from(a, to, std::move(*moved), batch);
+    });
+    return;
   }
-  const auto chunk =
-      std::span<const message>(msgs.data() + begin, msgs.size() - begin);
-  if (chunk.size() == 1) {
-    append_msg_frame(c->out.tail_for(msg_frame_wire_size(chunk.front())),
-                     self_, chunk.front());
-  } else {
-    append_batch_frame(c->out.tail_for(batch_frame_wire_size(chunk)), self_,
-                       chunk);
+  if (to.is_server()) {
+    if (auto it = a.out_to_server.find(to.index);
+        it != a.out_to_server.end()) {
+      const conn_ref ref = it->second;
+      if (ref.reactor != cur->index) {
+        ship_to(ref, a, static_cast<int>(to.index), std::move(msgs), batch);
+        return;
+      }
+      if (auto cit = cur->conns.find(ref.fd);
+          cit != cur->conns.end() && cit->second.serial == ref.serial) {
+        queue_frames(*cur, ref.fd, cit->second, a.self, msgs, batch);
+        return;
+      }
+      // Stale (connection closed; fd possibly recycled): reconnect.
+      a.out_to_server.erase(to.index);
+    }
+    const conn_ref ref = open_to_server(*cur, a, to.index);
+    auto cit = cur->conns.find(ref.fd);
+    FASTREG_CHECK(cit != cur->conns.end());
+    queue_frames(*cur, ref.fd, cit->second, a.self, msgs, batch);
+    return;
   }
+  // Replies to clients (or servers acting as clients of this server) go
+  // over the connection they introduced themselves on.
+  conn_ref ref{};
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> route(route_mu_);
+    if (auto it = inbound_by_peer_.find(to); it != inbound_by_peer_.end()) {
+      ref = it->second;
+      found = true;
+    }
+  }
+  if (!found) {
+    LOG_DEBUG("%s: no route to %s; dropping frame",
+              to_string(a.self).c_str(), to_string(to).c_str());
+    return;
+  }
+  if (ref.reactor != cur->index) {
+    ship_to(ref, a, /*server_index=*/-1, std::move(msgs), batch);
+    return;
+  }
+  if (auto cit = cur->conns.find(ref.fd);
+      cit != cur->conns.end() && cit->second.serial == ref.serial) {
+    queue_frames(*cur, ref.fd, cit->second, a.self, msgs, batch);
+    return;
+  }
+  LOG_DEBUG("%s: route to %s went away; dropping frame",
+            to_string(a.self).c_str(), to_string(to).c_str());
+}
+
+void node::ship_to(const conn_ref& ref, actor_state& a, int server_index,
+                   std::vector<message> msgs, bool batch) {
+  // The connection lives on another reactor (or this thread is no
+  // reactor at all): the frames must be encoded into its chain by the
+  // owning thread. Ship them over; the serial check drops the frames
+  // rather than landing them on a recycled fd.
+  reactor& r = *reactors_[ref.reactor];
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (r.exited) return;
+  }
+  auto moved = std::make_shared<std::vector<message>>(std::move(msgs));
+  post_to(r, [this, &a, ref, server_index, moved, batch] {
+    reactor& owner = *reactors_[ref.reactor];
+    auto it = owner.conns.find(ref.fd);
+    if (it == owner.conns.end() || it->second.serial != ref.serial) {
+      // Dropped; protocols retry / quorum-cover the loss. Invalidate the
+      // actor's stale server route so its next send reconnects.
+      if (server_index >= 0) {
+        std::lock_guard<std::mutex> step(a.step_mu);
+        if (auto o =
+                a.out_to_server.find(static_cast<std::uint32_t>(server_index));
+            o != a.out_to_server.end() && o->second.serial == ref.serial) {
+          a.out_to_server.erase(o);
+        }
+      }
+      return;
+    }
+    rm_[owner.index].ships_in->inc();
+    queue_frames(owner, ref.fd, it->second, a.self, *moved, batch);
+  });
+}
+
+node::conn_ref node::open_to_server(reactor& r, actor_state& a,
+                                    std::uint32_t index) {
+  FASTREG_EXPECTS(index < book_->server_ports.size());
+  unique_fd fd = connect_to(book_->server_ports[index]);
+  const int raw = fd.get();
+  connection c;
+  c.fd = std::move(fd);
+  c.connecting = true;
+  c.owner = &a;
+  c.serial = next_conn_serial_.fetch_add(1, std::memory_order_relaxed);
+  c.fault = default_fault_.load(std::memory_order_relaxed);
+  c.cur_window_us = opt_.adaptive ? 0 : opt_.batch_window_us;
+  const bool paused = c.fault == conn_fault::pause;
+  r.conns.emplace(raw, std::move(c));
+  wm_.connections->add(1);
+  rm_[r.index].connections->add(1);
+  epoll_event ev{};
+  ev.events = paused ? 0u : (EPOLLIN | EPOLLOUT);
+  ev.data.fd = raw;
+  ::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_ADD, raw, &ev);
+  // Introduce the ACTOR (not the node: a hub hosts many) so the server
+  // can route replies back. The hello must precede any frame on this
+  // connection, so it bypasses the batch window ordering-wise (it is
+  // appended first) but still leaves in the same writev as the frames
+  // that triggered the connect.
+  auto& cref = r.conns.find(raw)->second;
+  append_hello_frame(cref.out.tail_for(64), a.self);
   wm_.frames_out->inc();
-  wm_.backlog_bytes->add(static_cast<std::int64_t>(c->out.bytes() - before));
-  after_queue(c->fd.get(), *c);
+  wm_.backlog_bytes->add(static_cast<std::int64_t>(cref.out.bytes()));
+  const conn_ref ref{r.index, raw, cref.serial};
+  a.out_to_server[index] = ref;
+  return ref;
+}
+
+void node::queue_frames(reactor& r, int fd, connection& c,
+                        const process_id& from, std::vector<message>& msgs,
+                        bool batch) {
+  if (c.fault == conn_fault::blackhole) return;  // sent into the void
+  const std::size_t before = c.out.bytes();
+  if (!batch || msgs.size() == 1) {
+    // Encoded in place into the connection's chain: no intermediate
+    // per-message byte vector.
+    for (const auto& m : msgs) {
+      append_msg_frame(c.out.tail_for(msg_frame_wire_size(m)), from, m);
+      wm_.frames_out->inc();
+    }
+  } else {
+    // Chunk so no frame approaches frame_buffer::max_frame_bytes -- the
+    // receiver treats an oversized frame as stream corruption and resets
+    // the connection, which batching large values could otherwise
+    // trigger.
+    constexpr std::size_t chunk_limit = frame_buffer::max_frame_bytes / 4;
+    std::size_t begin = 0;
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      const std::size_t sz = message_wire_size(msgs[i]);
+      if (i > begin && bytes + sz > chunk_limit) {
+        const auto chunk =
+            std::span<const message>(msgs.data() + begin, i - begin);
+        append_batch_frame(c.out.tail_for(batch_frame_wire_size(chunk)), from,
+                           chunk);
+        wm_.frames_out->inc();
+        begin = i;
+        bytes = 0;
+      }
+      bytes += sz;
+    }
+    const auto chunk =
+        std::span<const message>(msgs.data() + begin, msgs.size() - begin);
+    if (chunk.size() == 1) {
+      append_msg_frame(c.out.tail_for(msg_frame_wire_size(chunk.front())),
+                       from, chunk.front());
+    } else {
+      append_batch_frame(c.out.tail_for(batch_frame_wire_size(chunk)), from,
+                         chunk);
+    }
+    wm_.frames_out->inc();
+  }
+  wm_.backlog_bytes->add(static_cast<std::int64_t>(c.out.bytes() - before));
+  after_queue(r, fd, c);
 }
 
 }  // namespace fastreg::net

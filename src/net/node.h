@@ -1,5 +1,6 @@
-// A network node: one protocol automaton hosted on its own epoll reactor
-// thread, speaking the framed TCP protocol of framing.h.
+// A network node: one or more protocol automata (actors) hosted on a
+// sharded epoll reactor pool, speaking the framed TCP protocol of
+// framing.h.
 //
 // Topology (matching the paper's client/server system):
 //  * server nodes listen on a TCP port; clients connect to every server
@@ -8,29 +9,53 @@
 //  * server nodes also open outbound connections to other servers when the
 //    protocol requires it (the max-min variant's gossip round).
 //
-// Threading: the automaton runs exclusively on the reactor thread.
-// Invocations from client code are posted through an eventfd queue;
-// blocking_read / blocking_write wait on a condition variable until the
-// automaton reports completion. Operation histories are recorded with
-// steady-clock nanosecond timestamps so cross-node histories are
-// comparable (same clock domain on one machine).
+// Reactor sharding: node_options::reactors picks the number of event-loop
+// threads. Reactor 0 owns the listener and dispatches accepted
+// connections round-robin across the pool; each connection's frame
+// buffer, zero-copy buffer chain and batch-window state are owned by
+// exactly one reactor and never touched from another thread. A send whose
+// destination connection lives on a different reactor ships the messages
+// to the owning reactor's task queue (serial-checked against fd reuse)
+// and is encoded there, so receivers observe the same frame/step
+// structure either way.
+//
+// Actors: the classic constructor hosts one automaton (actor 0) and every
+// historical entry point keeps working unchanged. A node built with the
+// hub constructor hosts MANY client automata (add_actor) multiplexed over
+// the reactor pool -- the fan-in configuration the store's async
+// front-end uses to drive thousands of pipelined client connections from
+// a handful of threads. Each actor is pinned to a home reactor
+// (index % reactors); its invocations run there and its outbound
+// connections are created there, so a client actor's whole data path is
+// single-threaded. Server automata may be stepped from any reactor
+// (deliveries arrive on whichever reactor owns the inbound connection);
+// a per-actor step mutex serializes those steps.
 //
 // Outbound path (zero-copy): frames encode straight into the destination
 // connection's buffer_chain (exact-size reservation, no intermediate byte
-// vector), and a flush hands the whole chain to one writev. node_options
-// adds an optional Nagle-style batch window: queued frames wait up to
-// batch_window_us on a timerfd so one writev coalesces frames across
-// automaton steps. Coalescing is strictly at the BYTE level -- each
-// send/send_batch still forms its own frame, so the receiving automaton
-// observes exactly the same step structure (one on_batch per send_batch)
-// as the simulator's envelope model, whatever the window is.
+// vector), and a flush hands the whole chain to one writev. The flush
+// controller is per-CONNECTION: each connection has its own batch window
+// (node_options::batch_window_us / adaptive) plus a bytes budget
+// (node_options::flush_bytes) that flushes early when the backlog is
+// already worth a writev. Coalescing is strictly at the BYTE level --
+// each send/send_batch still forms its own frame, so the receiving
+// automaton observes exactly the same step structure (one on_batch per
+// send_batch) as the simulator's envelope model, whatever the window is.
+//
+// Fault hooks: every connection can be paused (no reads, no writes --
+// bytes queue up; healing flushes them), blackholed (reads and writes
+// silently discarded; healing RESETS the connection, since a partially
+// written frame cannot be resumed), or reset outright. set_fault_all
+// drives partition schedules from the stress harness.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -53,41 +78,78 @@ struct address_book {
   std::vector<std::uint16_t> server_ports;
 };
 
-/// Outbound flush policy of a node's reactor (the time-window batching
-/// knob). Frames always encode straight into the destination connection's
-/// buffer chain; the policy decides when the chain is handed to writev.
+/// Per-connection fault injection state (stress/partition harness).
+enum class conn_fault : std::uint8_t {
+  none = 0,
+  /// No reads, no writes; outbound bytes queue. Healing flushes them.
+  pause = 1,
+  /// Reads and writes silently discarded. Healing resets the connection
+  /// (a half-written frame cannot be resumed without corrupting the
+  /// peer's stream).
+  blackhole = 2,
+};
+
+/// Reactor-pool and outbound flush policy of a node. Frames always encode
+/// straight into the destination connection's buffer chain; the policy
+/// decides when the chain is handed to writev.
 struct node_options {
-  /// Flush window in microseconds. 0 = flush within the reactor step that
-  /// queued the bytes (lowest latency; the pre-window behavior). > 0 =
-  /// queued frames wait up to this long on a timerfd, so one writev
-  /// coalesces frames across automaton steps (Nagle-style: higher
-  /// throughput for bounded added latency).
+  /// Flush window in microseconds, per connection. 0 = flush within the
+  /// reactor step that queued the bytes (lowest latency; the pre-window
+  /// behavior). > 0 = a connection's queued frames wait up to this long
+  /// on the reactor's timerfd, so one writev coalesces frames across
+  /// automaton steps (Nagle-style: higher throughput for bounded added
+  /// latency).
   std::uint32_t batch_window_us{0};
-  /// Adaptive mode: the effective window starts at 0 and widens -- up to
-  /// batch_window_us (or adaptive_cap_us when batch_window_us is 0) --
-  /// while flushes keep observing multi-frame backlog; it collapses back
-  /// toward 0 when traffic goes idle, so a lone request is not taxed the
-  /// full window.
+  /// Adaptive mode: each connection's effective window starts at 0 and
+  /// widens -- up to batch_window_us (or adaptive_cap_us when
+  /// batch_window_us is 0) -- while its flushes keep observing
+  /// multi-frame backlog; it collapses back toward 0 when that
+  /// connection goes idle, so a lone request is not taxed the full
+  /// window.
   bool adaptive{false};
   std::uint32_t adaptive_cap_us{500};
+  /// Bytes budget of the per-connection flush controller: under a batch
+  /// window, a connection whose backlog reaches this many bytes is
+  /// flushed immediately (the backlog already amortizes a writev; waiting
+  /// longer only adds latency). 0 disables the budget.
+  std::uint32_t flush_bytes{64 * 1024};
+  /// Number of reactor (event-loop) threads. Connections are owned by
+  /// exactly one reactor; reactor 0 accepts and deals new connections
+  /// round-robin.
+  std::uint32_t reactors{1};
 
   [[nodiscard]] std::uint32_t window_cap_us() const {
     return batch_window_us != 0 ? batch_window_us : adaptive_cap_us;
   }
 
-  /// Reads FASTREG_BATCH_WINDOW_US: an integer window in microseconds
-  /// ("0"/unset = immediate flush), or "adaptive" / "adaptive:<cap_us>".
+  /// Reads FASTREG_BATCH_WINDOW_US (an integer window in microseconds,
+  /// "0"/unset = immediate flush, or "adaptive" / "adaptive:<cap_us>"),
+  /// FASTREG_REACTORS (a positive integer) and FASTREG_FLUSH_BYTES (a
+  /// byte count; 0 disables the budget).
   [[nodiscard]] static node_options from_env();
 };
 
 class node final : public netout {
  public:
+  /// Classic single-automaton node: the automaton becomes actor 0 and
+  /// every un-indexed entry point below operates on it.
   node(system_config cfg, std::unique_ptr<automaton> a,
        std::shared_ptr<const address_book> book, node_options opt = {});
+  /// Hub node: starts with no actors; add client automata with
+  /// add_actor() before start().
+  node(system_config cfg, std::shared_ptr<const address_book> book,
+       node_options opt = {});
   ~node() override;
 
   node(const node&) = delete;
   node& operator=(const node&) = delete;
+
+  /// Installs another automaton on this node (before start() only).
+  /// Returns its actor index; the actor is pinned to reactor
+  /// (index % reactors).
+  std::size_t add_actor(std::unique_ptr<automaton> a);
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  [[nodiscard]] const process_id& actor_self(std::size_t actor) const;
 
   /// Servers: bind the listener (port 0 = ephemeral) before start().
   void bind_listener(std::uint16_t port = 0);
@@ -100,39 +162,59 @@ class node final : public netout {
   /// Returns nullopt / false on timeout.
   [[nodiscard]] std::optional<read_result> blocking_read(
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  [[nodiscard]] std::optional<read_result> blocking_read(
+      std::size_t actor,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
   [[nodiscard]] bool blocking_write(
       value_t v,
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  [[nodiscard]] bool blocking_write(
+      std::size_t actor, value_t v,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
 
   /// Generic blocking invocation for automata that expose
-  /// async_client_iface (the store front-end): `start` runs on the reactor
-  /// thread (it may begin several pipelined ops); returns once every op it
-  /// began completed, or false on timeout. Histories are the caller's job.
+  /// async_client_iface (the store front-end): `start` runs on the
+  /// actor's home reactor (it may begin several pipelined ops); returns
+  /// once every op it began completed, or false on timeout. Histories
+  /// are the caller's job.
   [[nodiscard]] bool blocking_op(
       const std::function<void(automaton&, netout&)>& start,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  [[nodiscard]] bool blocking_op(
+      std::size_t actor, const std::function<void(automaton&, netout&)>& start,
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
 
   // Pipelined async client support (async_client_iface automata). The
   // reactor mirrors the iface's in-flight and completed counters under
   // mu_ so callers can wait without racing automaton internals.
 
-  /// Waits until fewer than `limit` ops are in flight (a pipeline slot is
-  /// free). False on timeout.
+  /// Waits until fewer than `limit` ops are in flight on the actor (a
+  /// pipeline slot is free). False on timeout.
   [[nodiscard]] bool wait_ops_in_flight_below(
       std::size_t limit,
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
-  /// Waits until the automaton has completed at least `target` ops since
+  [[nodiscard]] bool wait_ops_in_flight_below(
+      std::size_t actor, std::size_t limit,
+      std::chrono::milliseconds timeout);
+  /// Waits until the actor has completed at least `target` ops since
   /// construction. False on timeout.
   [[nodiscard]] bool wait_ops_completed(
       std::uint64_t target,
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  [[nodiscard]] bool wait_ops_completed(std::size_t actor,
+                                        std::uint64_t target,
+                                        std::chrono::milliseconds timeout);
   /// Reactor-mirrored ops_completed() (safe from any thread).
   [[nodiscard]] std::uint64_t async_completed() const;
+  [[nodiscard]] std::uint64_t async_completed(std::size_t actor) const;
 
-  /// Runs `fn` on the reactor thread and waits for it to finish. The only
-  /// safe way for non-reactor code to inspect automaton state that late
-  /// messages may still mutate (e.g. draining store completions).
+  /// Runs `fn` on the actor's home reactor and waits for it to finish.
+  /// The only safe way for non-reactor code to inspect automaton state
+  /// that late messages may still mutate (e.g. draining store
+  /// completions).
   void run_on_reactor(const std::function<void(automaton&)>& fn);
+  void run_on_reactor(std::size_t actor,
+                      const std::function<void(automaton&)>& fn);
 
   /// Like run_on_reactor, but NEVER runs `fn` inline when the reactor is
   /// not running: returns false instead (also when the reactor exits
@@ -142,85 +224,220 @@ class node final : public netout {
   /// is racy against a concurrent stop().
   [[nodiscard]] bool try_run_on_reactor(
       const std::function<void(automaton&)>& fn);
+  [[nodiscard]] bool try_run_on_reactor(
+      std::size_t actor, const std::function<void(automaton&)>& fn);
 
-  /// Like run_on_reactor, but hands `fn` this node's netout so it can
+  /// Like run_on_reactor, but hands `fn` the actor's netout so it can
   /// start or re-issue protocol traffic (the reconfiguration control
   /// plane: migration handoff ops, resuming parked ops). Does NOT wait
   /// for any started op to complete -- pair with a completion poll.
   void run_on_reactor_net(const std::function<void(automaton&, netout&)>& fn);
+  void run_on_reactor_net(
+      std::size_t actor,
+      const std::function<void(automaton&, netout&)>& fn);
 
-  /// Operation history recorded by this node (clients only). Safe to call
-  /// after stop(), or concurrently (copies under lock).
+  /// Applies `f` to every current connection on every reactor (and to
+  /// connections accepted/opened later, until cleared with
+  /// conn_fault::none). Returns after every reactor acknowledged, so the
+  /// fault is fully in force (or fully lifted) when this returns.
+  /// Healing a blackholed connection resets it.
+  void set_fault_all(conn_fault f);
+  /// Hard-resets every connection on every reactor (the peers reconnect
+  /// with fresh framing state).
+  void reset_all_conns();
+
+  /// Merged operation history recorded by this node's client actors.
+  /// Safe to call after stop(), or concurrently (copies under lock).
   [[nodiscard]] checker::history hist() const;
 
   [[nodiscard]] const process_id& self() const { return self_; }
 
-  // netout: called by the automaton on the reactor thread.
+  // netout over actor 0, for drivers that treat the node itself as the
+  // automaton's port (single-actor nodes only; must honor the same
+  // step-serialization contract as reactor-delivered steps).
   void send(const process_id& to, message m) override;
   void send_batch(const process_id& to, std::vector<message> msgs) override;
 
  private:
+  struct actor_state;
+
+  /// Which reactor owns a connection, plus an fd-reuse guard.
+  struct conn_ref {
+    std::uint32_t reactor{0};
+    int fd{-1};
+    std::uint64_t serial{0};
+  };
+
   struct connection {
     unique_fd fd;
     frame_buffer in;
     /// Outbound frames, encoded in place; flushed with one writev.
     buffer_chain out;
     std::optional<process_id> peer;
+    /// Actor whose traffic this connection carries: the opening actor
+    /// for outbound connections, actor 0 for inbound ones.
+    actor_state* owner{nullptr};
+    /// Monotone creation serial; cross-reactor sends carry it so a
+    /// shipped frame never lands on a recycled fd.
+    std::uint64_t serial{0};
     bool connecting{false};
     /// Queued bytes awaiting a deferred (windowed) flush.
     bool dirty{false};
+    conn_fault fault{conn_fault::none};
+    /// Per-connection flush-controller state (see node_options).
+    std::uint32_t cur_window_us{0};
+    std::uint64_t frames_since_flush{0};
+    /// now_ns() when this connection's current batch window opened
+    /// (first frame queued since its last flush); 0 = no window open.
+    std::uint64_t window_open_ns{0};
   };
 
-  void reactor_main();
-  void post(std::function<void()> fn);
-  void handle_readable(int fd);
-  void handle_writable(int fd);
-  void flush(int fd, connection& c);
-  void close_conn(int fd);
-  /// Post-encode hook: immediate-mode flush, or dirty-marking + timer
-  /// arming under a batch window.
-  void after_queue(int fd, connection& c);
-  /// Flushes every dirty connection (window expiry / end of step).
-  void flush_dirty();
-  void arm_window(std::uint32_t us);
-  [[nodiscard]] connection* conn_for(const process_id& to);
-  int outbound_to_server(std::uint32_t index);
-  void poll_client_completion();
-  void update_epoll(int fd, connection& c);
+  struct reactor {
+    std::uint32_t index{0};
+    node* owner{nullptr};
+    unique_fd epoll_fd;
+    unique_fd event_fd;
+    unique_fd timer_fd;
+    std::thread thread;
+    std::unordered_map<int, connection> conns;
+    std::vector<int> dirty_fds;
+    bool window_armed{false};
+    std::uint64_t armed_deadline_ns{0};
+    /// Connection currently being drained by handle_readable; close_conn
+    /// on it is deferred until the drain returns.
+    int drain_guard_fd{-1};
+    bool drain_close_pending{false};
+    std::mutex q_mu;
+    std::deque<std::function<void()>> tasks;
+    /// Guarded by the node's mu_ (paired with cv_).
+    bool exited{false};
+  };
+
+  /// The actor's netout: routes sends through the hosting node with the
+  /// actor's identity (hello frames, outbound connection ownership).
+  struct actor_port final : netout {
+    node* n{nullptr};
+    actor_state* a{nullptr};
+    void send(const process_id& to, message m) override;
+    void send_batch(const process_id& to, std::vector<message> msgs) override;
+  };
+
+  struct actor_state {
+    std::unique_ptr<automaton> automaton_;
+    process_id self{};
+    std::uint32_t home_reactor{0};
+    /// Cached cross-casts; non-null per the automaton's roles.
+    async_client_iface* async_iface{nullptr};
+    reader_iface* reader{nullptr};
+    writer_iface* writer{nullptr};
+    obs::recorder* rec{nullptr};
+    actor_port port{};
+    /// Serializes automaton steps. Uncontended for client actors (all
+    /// their steps run on the home reactor); contended only for a server
+    /// actor stepped from several reactors. All sends happen under it.
+    std::mutex step_mu;
+    /// Outbound connections to servers, by server index. Guarded by
+    /// step_mu. Entries are validated lazily against the connection's
+    /// serial (a closed connection leaves a stale ref behind).
+    std::map<std::uint32_t, conn_ref> out_to_server;
+    // ---- guarded by the node's mu_ ----
+    checker::history hist;
+    std::uint64_t reads_done{0};
+    std::uint64_t writes_done{0};
+    std::size_t open_op_index{0};
+    bool op_open{false};
+    // Reactor-maintained mirror of async_iface state, so blocking_op and
+    // the pipelined waiters can wait under mu_ without racing automaton
+    // internals.
+    bool async_busy{false};
+    std::uint64_t async_done{0};
+    std::size_t async_in_flight{0};
+  };
+
+  void init_reactors();
+  void bind_node_metrics();
+  [[nodiscard]] actor_state& actor_at(std::size_t i) const;
+  [[nodiscard]] reactor& home_of(actor_state& a) {
+    return *reactors_[a.home_reactor];
+  }
+  /// The reactor struct this thread is currently running, when it
+  /// belongs to THIS node; nullptr otherwise (off-reactor context).
+  [[nodiscard]] reactor* current_reactor() const;
+
+  void reactor_main(reactor& r);
+  void post_to(reactor& r, std::function<void()> fn);
+  void wake(reactor& r);
+  void adopt_inbound(reactor& r, unique_fd fd);
+  void handle_readable(reactor& r, int fd);
+  void handle_writable(reactor& r, int fd);
+  void flush(reactor& r, int fd, connection& c);
+  void close_conn(reactor& r, int fd);
+  /// Post-encode hook: immediate-mode flush, or dirty-marking + window
+  /// arming / bytes-budget flush under a batch window.
+  void after_queue(reactor& r, int fd, connection& c);
+  /// Window-expiry path: flushes connections whose window deadline
+  /// passed, applies the per-connection adaptive policy, re-arms for the
+  /// earliest remaining deadline.
+  void flush_expired(reactor& r);
+  /// Step-end path: adaptive-mode connections currently at window 0
+  /// flush at the end of the reactor step that queued their bytes.
+  void flush_step_end(reactor& r);
+  /// Closes a connection's window accounting (observe wait, reset
+  /// counters) just before its flush.
+  void finish_window(connection& c);
+  void arm_window_at(reactor& r, std::uint64_t deadline_ns);
+  void update_epoll(reactor& r, int fd, connection& c);
+  void apply_fault(reactor& r, int fd, connection& c, conn_fault f);
+
+  // Send path. All called with a.step_mu held (sends only originate
+  // inside automaton steps / invocations, which hold it).
+  void send_from(actor_state& a, const process_id& to, message m);
+  void send_batch_from(actor_state& a, const process_id& to,
+                       std::vector<message> msgs);
+  void route_from(actor_state& a, const process_id& to,
+                  std::vector<message> msgs, bool batch);
+  /// Encodes `msgs` into the connection's chain on its owning reactor
+  /// (inline when that is the current context) and runs the flush
+  /// controller. `batch` selects batch frames (with chunking) vs one msg
+  /// frame.
+  void queue_frames(reactor& r, int fd, connection& c, const process_id& from,
+                    std::vector<message>& msgs, bool batch);
+  /// Opens an outbound connection to server `index` on reactor `r` for
+  /// actor `a` (hello first) and registers it in a.out_to_server.
+  conn_ref open_to_server(reactor& r, actor_state& a, std::uint32_t index);
+  /// Posts `msgs` to the reactor owning `ref` for encoding there. Drops
+  /// (and, for server routes, lazily invalidates a.out_to_server) when
+  /// the serial shows the connection is gone.
+  void ship_to(const conn_ref& ref, actor_state& a, int server_index,
+               std::vector<message> msgs, bool batch);
+  /// Runs `fn` on every reactor and returns once all acknowledged (or
+  /// exited). No-op before start().
+  void run_on_all_reactors(const std::function<void(reactor&)>& fn);
+
+  void poll_client_completion(actor_state& a);
 
   system_config cfg_;
-  std::unique_ptr<automaton> automaton_;
   std::shared_ptr<const address_book> book_;
   process_id self_;
   node_options opt_;
-  /// Cached cross-cast; non-null when the automaton is a store front-end.
-  async_client_iface* async_iface_{nullptr};
 
+  std::vector<std::unique_ptr<actor_state>> actors_;
+  std::vector<std::unique_ptr<reactor>> reactors_;
   unique_fd listen_fd_;
-  unique_fd epoll_fd_;
-  unique_fd event_fd_;
-  unique_fd timer_fd_;
-  std::thread thread_;
+  std::uint64_t next_conn_rr_{0};
+  std::atomic<std::uint64_t> next_conn_serial_{1};
+  /// Fault inherited by connections created while a fault is in force.
+  std::atomic<conn_fault> default_fault_{conn_fault::none};
 
-  std::unordered_map<int, connection> conns_;
-  std::unordered_map<std::uint32_t, int> out_to_server_;
-  std::unordered_map<process_id, int> inbound_by_peer_;
-  std::vector<int> dirty_fds_;
-  bool window_armed_{false};
-  /// Connection currently being drained by handle_readable; close_conn on
-  /// it is deferred until the drain returns (see close_conn).
-  int drain_guard_fd_{-1};
-  bool drain_close_pending_{false};
-  /// Adaptive mode state: current effective window and the number of
-  /// frames queued since the last deferred flush (the backlog signal).
-  std::uint32_t cur_window_us_{0};
-  std::uint64_t frames_since_flush_{0};
-  /// trace_now() when the current batch window opened (first frame queued
-  /// since the last deferred flush); 0 = no window open.
-  std::uint64_t window_open_ns_{0};
+  /// Reply routes: peer pid -> connection it introduced itself on.
+  /// Written by the owning reactor on hello/close, read by any reactor
+  /// when routing a send.
+  mutable std::mutex route_mu_;
+  std::unordered_map<process_id, conn_ref> inbound_by_peer_;
 
-  /// Registry handles, resolved once in the constructor with this node's
-  /// label; the reactor hot path only touches these cached pointers.
+  /// Registry handles, resolved once off-reactor with this node's label;
+  /// the hot path only touches these cached pointers. Shared across
+  /// reactors (all underlying metrics are thread-safe).
   struct wire_metrics {
     obs::counter* frames_out{nullptr};
     obs::counter* bytes_out{nullptr};
@@ -231,6 +448,7 @@ class node final : public netout {
     obs::counter* flushes_immediate{nullptr};
     obs::counter* flushes_window{nullptr};
     obs::counter* flushes_step{nullptr};
+    obs::counter* flushes_bytes{nullptr};
     obs::counter* window_widen{nullptr};
     obs::counter* conn_resets{nullptr};
     obs::gauge* connections{nullptr};
@@ -239,28 +457,22 @@ class node final : public netout {
     obs::histogram* window_wait_ns{nullptr};
   };
   wire_metrics wm_;
-  /// Flight recorder for this node (stable global, cached like wm_; all
-  /// hooks run on the reactor thread but the ring is safe to dump from
-  /// any thread).
-  obs::recorder* rec_{nullptr};
+  /// Per-reactor handles (label reactor="i"), pre-created before any
+  /// reactor thread exists -- the registry's fetch-or-create path is
+  /// asserted cold on reactor threads.
+  struct reactor_metrics {
+    obs::counter* tasks_run{nullptr};
+    obs::counter* accepts{nullptr};
+    obs::counter* ships_in{nullptr};
+    obs::gauge* connections{nullptr};
+  };
+  std::vector<reactor_metrics> rm_;
+  bool metrics_bound_{false};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
   bool started_{false};
   bool stop_requested_{false};
-  bool reactor_exited_{false};
-  checker::history hist_;
-  std::uint64_t reads_done_{0};
-  std::uint64_t writes_done_{0};
-  std::size_t open_op_index_{0};
-  bool op_open_{false};
-  // Reactor-maintained mirror of async_iface_ state, so blocking_op and
-  // the pipelined waiters can wait under mu_ without racing on automaton
-  // internals.
-  bool async_busy_{false};
-  std::uint64_t async_done_{0};
-  std::size_t async_in_flight_{0};
 
   static std::uint64_t now_ns();
 };

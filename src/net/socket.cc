@@ -48,7 +48,9 @@ unique_fd listen_on(std::uint16_t port) {
   addr.sin_port = htons(port);
   FASTREG_CHECK(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
                        sizeof addr) == 0);
-  FASTREG_CHECK(::listen(fd.get(), 64) == 0);
+  // Backlog sized for the E12 fan-in benchmark: ~1k pipelined clients
+  // connecting in a burst. The kernel clamps to net.core.somaxconn.
+  FASTREG_CHECK(::listen(fd.get(), 4096) == 0);
   set_nonblocking(fd.get());
   return fd;
 }

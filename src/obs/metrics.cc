@@ -8,7 +8,32 @@
 #include <map>
 #include <mutex>
 
+#include "common/check.h"
+
 namespace fastreg::obs {
+
+namespace {
+
+// Hot-loop registration contract (see registry::mark_hot_loop_thread):
+// reactor threads set `hot_loop_thread`; series creation on them is a
+// bug unless an allow_hot_registration scope is live.
+thread_local bool hot_loop_thread = false;
+thread_local int hot_registration_exemptions = 0;
+
+void check_creation_allowed() {
+  FASTREG_CHECK(!hot_loop_thread || hot_registration_exemptions > 0);
+}
+
+}  // namespace
+
+void registry::mark_hot_loop_thread(bool hot) { hot_loop_thread = hot; }
+
+allow_hot_registration::allow_hot_registration() {
+  ++hot_registration_exemptions;
+}
+allow_hot_registration::~allow_hot_registration() {
+  --hot_registration_exemptions;
+}
 
 // ---------------------------------------------------------------- counter --
 
@@ -163,6 +188,7 @@ counter& registry::get_counter(std::string_view name,
   const auto key = series_key(name, labels);
   const auto it = s.counter_idx.find(key);
   if (it != s.counter_idx.end()) return s.counters[it->second];
+  check_creation_allowed();
   s.counters.emplace_back();
   s.counter_idx.emplace(key, s.counters.size() - 1);
   return s.counters.back();
@@ -174,6 +200,7 @@ gauge& registry::get_gauge(std::string_view name, std::string_view labels) {
   const auto key = series_key(name, labels);
   const auto it = s.gauge_idx.find(key);
   if (it != s.gauge_idx.end()) return s.gauges[it->second];
+  check_creation_allowed();
   s.gauges.emplace_back();
   s.gauge_idx.emplace(key, s.gauges.size() - 1);
   return s.gauges.back();
@@ -186,6 +213,7 @@ histogram& registry::get_histogram(std::string_view name,
   const auto key = series_key(name, labels);
   const auto it = s.hist_idx.find(key);
   if (it != s.hist_idx.end()) return s.hists[it->second];
+  check_creation_allowed();
   s.hists.emplace_back();
   s.hist_idx.emplace(key, s.hists.size() - 1);
   return s.hists.back();

@@ -134,12 +134,24 @@ class registry {
   /// Fetch-or-create. `labels` is the rendered label body, e.g.
   /// `node="server:0"` (no braces); empty for an unlabeled series.
   /// Returned references stay valid for the life of the process.
+  ///
+  /// The CREATE branch takes the registry mutex and allocates; it is a
+  /// startup-time path, not a hot-loop one. Threads that declare
+  /// themselves hot loops (reactor threads, via mark_hot_loop_thread)
+  /// trip a FASTREG_CHECK if a get_* call on them would register a new
+  /// series -- handles must be pre-created before the loop starts.
   [[nodiscard]] counter& get_counter(std::string_view name,
                                      std::string_view labels = {});
   [[nodiscard]] gauge& get_gauge(std::string_view name,
                                  std::string_view labels = {});
   [[nodiscard]] histogram& get_histogram(std::string_view name,
                                          std::string_view labels = {});
+
+  /// Declares (or undeclares) the calling thread a hot loop: any
+  /// subsequent series CREATION from it is a contract violation unless
+  /// wrapped in allow_hot_registration. Fetches of existing series stay
+  /// legal (they still lock, so hot paths should cache handles anyway).
+  static void mark_hot_loop_thread(bool hot);
 
   /// All current samples, name-sorted (histograms expanded).
   [[nodiscard]] std::vector<sample> snapshot() const;
@@ -152,6 +164,19 @@ class registry {
   registry() = default;
   struct impl;
   [[nodiscard]] impl& self() const;
+};
+
+/// Scoped exemption from the hot-loop registration check, for control-
+/// plane work that legitimately runs on a reactor thread (e.g. a
+/// reconfiguration installing a new shard map creates that map's
+/// counters from a posted task). Construction is cheap (one
+/// thread_local increment); nests.
+class allow_hot_registration {
+ public:
+  allow_hot_registration();
+  ~allow_hot_registration();
+  allow_hot_registration(const allow_hot_registration&) = delete;
+  allow_hot_registration& operator=(const allow_hot_registration&) = delete;
 };
 
 /// Conveniences over registry::instance().

@@ -95,6 +95,11 @@ counter& restarts_counter() {
 
 }  // namespace
 
+void preheat_trace_metrics() {
+  (void)drops_counter();
+  (void)restarts_counter();
+}
+
 void op_begin(const process_id& self, bool is_write) {
   if (!trace_active()) return;
   auto& s = store();

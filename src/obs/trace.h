@@ -129,6 +129,11 @@ struct op_trace {
   std::vector<round_span> spans{};
 };
 
+/// Forces creation of the tracer's lazily-registered counters (drops,
+/// restarts) so threads under the registry's hot-loop creation check
+/// (reactor threads) never hit the creation path.
+void preheat_trace_metrics();
+
 /// Drains completed traces (oldest first). Retention is capped; drops
 /// are visible as the fastreg_obs_trace_drops_total counter.
 [[nodiscard]] std::vector<op_trace> take_traces();

@@ -85,45 +85,50 @@ class tcp_control final : public control_plane {
 
   void with_migrator(
       const std::function<void(store::client&, netout&)>& fn) override {
-    s_.cluster().reader(0).run_on_reactor_net(
-        [&](automaton& a, netout& net) {
-          fn(dynamic_cast<store::client&>(a), net);
-        });
+    // The migrator is reader 0, addressed through client_node /
+    // client_actor so per-node and hub client topologies both work.
+    auto& c = s_.cluster();
+    c.client_node(reader_id(0))
+        .run_on_reactor_net(c.client_actor(reader_id(0)),
+                            [&](automaton& a, netout& net) {
+                              fn(dynamic_cast<store::client&>(a), net);
+                            });
   }
 
   bool migrator_done() override {
     bool done = false;
     // Marshal the peek through the reactor: the migration op's state is
     // mutated by live traffic on that thread.
-    s_.cluster().reader(0).run_on_reactor([&](automaton& a) {
-      done = dynamic_cast<store::client&>(a).mig_done();
-    });
+    auto& c = s_.cluster();
+    c.client_node(reader_id(0))
+        .run_on_reactor(c.client_actor(reader_id(0)), [&](automaton& a) {
+          done = dynamic_cast<store::client&>(a).mig_done();
+        });
     return done;
   }
 
   register_snapshot migrator_snapshot() override {
     register_snapshot snap;
-    s_.cluster().reader(0).run_on_reactor([&](automaton& a) {
-      snap = dynamic_cast<store::client&>(a).mig_snapshot();
-    });
+    auto& c = s_.cluster();
+    c.client_node(reader_id(0))
+        .run_on_reactor(c.client_actor(reader_id(0)), [&](automaton& a) {
+          snap = dynamic_cast<store::client&>(a).mig_snapshot();
+        });
     return snap;
   }
 
   void for_each_client(
       const std::function<void(store::client&, netout&)>& fn) override {
     const auto& base = s_.config().base;
-    for (std::uint32_t j = 0; j < base.W(); ++j) {
-      s_.cluster().writer(j).run_on_reactor_net(
-          [&](automaton& a, netout& net) {
+    auto& c = s_.cluster();
+    const auto step = [&](const process_id& pid) {
+      c.client_node(pid).run_on_reactor_net(
+          c.client_actor(pid), [&](automaton& a, netout& net) {
             fn(dynamic_cast<store::client&>(a), net);
           });
-    }
-    for (std::uint32_t i = 0; i < base.R(); ++i) {
-      s_.cluster().reader(i).run_on_reactor_net(
-          [&](automaton& a, netout& net) {
-            fn(dynamic_cast<store::client&>(a), net);
-          });
-    }
+    };
+    for (std::uint32_t j = 0; j < base.W(); ++j) step(writer_id(j));
+    for (std::uint32_t i = 0; i < base.R(); ++i) step(reader_id(i));
   }
 
  private:

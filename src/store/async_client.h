@@ -1,0 +1,252 @@
+// The store's ONE pipelined async front-end, transport-agnostic: a
+// sliding-window session per client that keeps up to `depth` operations
+// in flight, backed by either the deterministic simulator (sim_store /
+// sim::world) or the real-socket deployment (net::cluster / net::node).
+//
+// This collapses what used to be two parallel drivers -- the TCP-only
+// `tcp_store::pipeline` and the simulator's `invoke_*_batch` loops --
+// into one surface, so stress harnesses, benches and tests submit ops
+// the same way on both transports and their histories are gathered by
+// the same logging code.
+//
+// Surface:
+//  * try_get/try_put -- one admission attempt, never blocks: `submitted`
+//    once the op is accepted into the window, `window_full` when `depth`
+//    ops are already in flight, `key_busy` when the same (client, key)
+//    already has an op in flight (per-object well-formedness).
+//  * get/put -- blocking submit: waits for admission (window slot + key
+//    free), returns once the op is on the wire. False on timeout.
+//  * pump() -- makes progress without submitting: issues anything
+//    buffered and harvests completions into the results stash.
+//  * drain() -- waits until nothing submitted remains in flight.
+//  * take_results() -- completion-ordered results since the last call.
+//
+// Threading: one session per client index at a time, driven from one
+// thread (the same exclusivity rule as the blocking store calls, which
+// must not be mixed with an active session on that index). Different
+// sessions may live on different threads; on TCP they may share a hub
+// node whose reactor pool multiplexes all their connections.
+//
+// Admission outcomes are counted in the process registry
+// (fastreg_store_admission_total{result=...}) so a scrape shows how
+// often the window or a busy key pushed back.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "store/client.h"
+#include "store/histories.h"
+
+namespace fastreg::net {
+class cluster;
+class node;
+}  // namespace fastreg::net
+
+namespace fastreg::store {
+
+class sim_store;
+
+/// Outcome of one non-blocking admission attempt.
+enum class submit_status : std::uint8_t {
+  submitted = 0,
+  /// `depth` ops already in flight on this session.
+  window_full = 1,
+  /// The same (client, key) already has an op in flight.
+  key_busy = 2,
+  /// Transport failure (e.g. the node is stopped).
+  failed = 3,
+};
+
+/// Invocation/completion log shared by every TCP session and blocking
+/// call of a deployment, written once and rebuilt into per-key histories
+/// on demand. Timestamps are steady-clock nanoseconds taken by the
+/// caller (ON the reactor for pipelined submits, so same-key precedence
+/// is preserved -- see tcp session internals). Thread-safe.
+class op_log {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Appends an incomplete entry for a just-invoked op and registers it
+  /// as the open op for (client, key). Returns its log index.
+  std::size_t open(const process_id& client, const std::string& key,
+                   bool is_put, const value_t& v, std::uint64_t t0);
+
+  /// Closes the EARLIEST incomplete entry for each result's (client,
+  /// key): a stale completion closes the abandoned older entry, a fresh
+  /// one closes its own call's. Returns the closed log indices
+  /// (parallel to `results`; npos for results with no open entry).
+  std::vector<std::size_t> close(const process_id& client,
+                                 const std::vector<store_result>& results,
+                                 std::uint64_t t1);
+
+  /// Per-key histories of everything logged so far, rebuilt in
+  /// invocation-time order.
+  [[nodiscard]] store_histories gather() const;
+
+ private:
+  struct raw_op {
+    std::string key{};
+    process_id client{};
+    bool is_put{false};
+    std::uint64_t t0{0};
+    std::optional<std::uint64_t> t1{};
+    ts_t ts{k_initial_ts};
+    std::int32_t wid{0};
+    value_t val{};
+    int rounds{0};
+  };
+
+  mutable std::mutex mu_;
+  std::vector<raw_op> log_;
+  /// Indices of incomplete log_ entries per (client, key), oldest first,
+  /// so completions match their op in O(log n) instead of rescanning the
+  /// whole append-only log.
+  std::map<std::pair<process_id, std::string>, std::deque<std::size_t>>
+      open_;
+};
+
+/// One client's pipelined session (see file comment for the surface and
+/// threading contract). Obtained from a store_frontend.
+class async_session {
+ public:
+  virtual ~async_session() = default;
+
+  async_session(const async_session&) = delete;
+  async_session& operator=(const async_session&) = delete;
+
+  /// Blocking submits: wait for admission, return once the op is on the
+  /// wire. False on timeout (the op was NOT submitted).
+  [[nodiscard]] bool get(
+      const std::string& key,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  [[nodiscard]] bool put(
+      const std::string& key, value_t v,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  /// Non-blocking admission attempts. A sim session buffers accepted ops
+  /// until the next pump() so they leave in ONE invocation step (batched
+  /// envelopes); a TCP session puts them on the wire immediately.
+  [[nodiscard]] submit_status try_get(const std::string& key);
+  [[nodiscard]] submit_status try_put(const std::string& key, value_t v);
+
+  /// Issues anything buffered and harvests completions into the results
+  /// stash. Never blocks (on the sim it does not step the world; the
+  /// driver owns the schedule).
+  virtual void pump() = 0;
+
+  /// Waits until nothing submitted remains in flight and harvests the
+  /// final completions. False on timeout (ops may still be in flight).
+  [[nodiscard]] virtual bool drain(
+      std::chrono::milliseconds timeout = std::chrono::seconds(10)) = 0;
+
+  /// Harvested completions since the last call, completion-ordered (may
+  /// include late completions of ops an earlier timed-out blocking store
+  /// call abandoned on this client).
+  [[nodiscard]] std::vector<store_result> take_results() {
+    return std::exchange(results_, {});
+  }
+
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  /// Ops submitted through this session and not yet harvested (buffered
+  /// ones included).
+  [[nodiscard]] std::uint64_t in_flight() const {
+    return submitted_ >= harvested_ ? submitted_ - harvested_ : 0;
+  }
+  [[nodiscard]] const process_id& client_id() const { return client_; }
+  [[nodiscard]] std::uint32_t depth() const { return depth_; }
+
+ protected:
+  async_session(process_id client, std::uint32_t depth);
+
+  /// One admission attempt (never blocks).
+  [[nodiscard]] virtual submit_status try_submit(const std::string& key,
+                                                 bool is_put, value_t v) = 0;
+  /// Blocking admission (waits for a slot / key, then submits).
+  [[nodiscard]] virtual bool blocking_submit(
+      const std::string& key, bool is_put, value_t v,
+      std::chrono::milliseconds timeout) = 0;
+
+  /// Appends harvested completions to the results stash and advances the
+  /// in-flight accounting.
+  void stash(std::vector<store_result> done);
+
+  process_id client_;
+  std::uint32_t depth_;
+  std::uint64_t submitted_{0};
+  std::uint64_t harvested_{0};
+  std::vector<store_result> results_;
+
+ private:
+  void count(submit_status st);
+
+  /// Admission counters, one per outcome (registry handles, fetched at
+  /// construction on the driver thread).
+  obs::counter* adm_[4] = {nullptr, nullptr, nullptr, nullptr};
+};
+
+/// A deployment that can hand out pipelined sessions and gather the
+/// per-key histories of everything they (and the blocking calls) did.
+class store_frontend {
+ public:
+  virtual ~store_frontend() = default;
+
+  /// Opens the pipelined session for client `client` with a window of
+  /// `depth` ops. One live session per client index (see the threading
+  /// contract above).
+  [[nodiscard]] virtual std::unique_ptr<async_session> open_session(
+      const process_id& client, std::uint32_t depth) = 0;
+
+  [[nodiscard]] virtual store_histories gather() const = 0;
+};
+
+/// TCP backend: sessions submit through the client's node (per-node or
+/// hub topology -- cluster::client_node/client_actor hide the
+/// difference) and log into the deployment's shared op_log.
+class tcp_frontend final : public store_frontend {
+ public:
+  tcp_frontend(net::cluster& cluster, op_log& log)
+      : cluster_(cluster), log_(log) {}
+
+  [[nodiscard]] std::unique_ptr<async_session> open_session(
+      const process_id& client, std::uint32_t depth) override;
+  [[nodiscard]] store_histories gather() const override;
+
+ private:
+  net::cluster& cluster_;
+  op_log& log_;
+};
+
+/// Simulator backend: sessions buffer admissions and issue them in ONE
+/// world::invoke_step per pump() (batched envelopes, the sim equivalent
+/// of a wire flush). Histories stay on the sim_store's virtual-time
+/// recording path. The driver still owns the schedule: sessions never
+/// step the world except inside blocking_submit/drain, which use the
+/// frontend's rng to run the world until admission/completion.
+class sim_frontend final : public store_frontend {
+ public:
+  /// `r` drives world steps for the blocking calls; it aliases the
+  /// driver's rng so blocking and scripted schedules interleave
+  /// deterministically.
+  sim_frontend(sim_store& s, rng& r) : s_(s), r_(r) {}
+
+  [[nodiscard]] std::unique_ptr<async_session> open_session(
+      const process_id& client, std::uint32_t depth) override;
+  [[nodiscard]] store_histories gather() const override;
+
+ private:
+  sim_store& s_;
+  rng& r_;
+};
+
+}  // namespace fastreg::store

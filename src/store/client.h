@@ -41,6 +41,14 @@
 
 namespace fastreg::store {
 
+/// One store operation to invoke: a get of `key` (is_put false) or a put
+/// of `val` to `key`. The unit the pipelined front-ends submit in.
+struct store_op {
+  std::string key{};
+  bool is_put{false};
+  value_t val{};
+};
+
 /// Result of one completed store operation, as observed by the client.
 struct store_result {
   std::string key{};

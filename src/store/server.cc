@@ -29,6 +29,10 @@ server::server(std::shared_ptr<const shard_map> shards, std::uint32_t index)
 }
 
 void server::bind_metrics() {
+  // Re-binding happens during install_map, which a reshard posts to the
+  // reactor thread: a control-plane creation, explicitly exempted from
+  // the registry's hot-loop check (new shard labels may not exist yet).
+  obs::allow_hot_registration exempt;
   auto& reg = obs::registry::instance();
   const std::string lbl = "node=\"" + to_string(server_id(index_)) + "\"";
   sm_.ops = &reg.get_counter("fastreg_store_ops_total", lbl);

@@ -37,41 +37,40 @@ void sim_store::record_invoke(const process_id& p, const std::string& key,
 
 void sim_store::invoke_get(std::uint32_t reader_index,
                            const std::string& key) {
-  invoke_get_batch(reader_index, std::span<const std::string>(&key, 1));
+  const store_op op{key, /*is_put=*/false, {}};
+  invoke_ops(reader_id(reader_index), std::span<const store_op>(&op, 1));
 }
 
 void sim_store::invoke_put(std::uint32_t writer_index, const std::string& key,
                            value_t v) {
-  const std::pair<std::string, value_t> kv{key, std::move(v)};
-  invoke_put_batch(writer_index,
-                   std::span<const std::pair<std::string, value_t>>(&kv, 1));
+  const store_op op{key, /*is_put=*/true, std::move(v)};
+  invoke_ops(writer_id(writer_index), std::span<const store_op>(&op, 1));
 }
 
-void sim_store::invoke_get_batch(std::uint32_t reader_index,
-                                 std::span<const std::string> keys) {
-  const process_id p = reader_id(reader_index);
+void sim_store::invoke_ops(const process_id& p,
+                           std::span<const store_op> ops) {
   auto& c = client_at(p);
   world_.invoke_step(p, [&](netout& net) {
-    for (const auto& key : keys) {
-      record_invoke(p, key, /*is_put=*/false, {});
-      c.begin_get(key);
+    for (const auto& op : ops) {
+      record_invoke(p, op.key, op.is_put, op.val);
+      if (op.is_put) {
+        c.begin_put(op.key, op.val);
+      } else {
+        c.begin_get(op.key);
+      }
     }
     c.flush(net);
   });
 }
 
-void sim_store::invoke_put_batch(
-    std::uint32_t writer_index,
-    std::span<const std::pair<std::string, value_t>> kvs) {
-  const process_id p = writer_id(writer_index);
-  auto& c = client_at(p);
-  world_.invoke_step(p, [&](netout& net) {
-    for (const auto& [key, v] : kvs) {
-      record_invoke(p, key, /*is_put=*/true, v);
-      c.begin_put(key, v);
-    }
-    c.flush(net);
-  });
+void sim_store::tap_client(const process_id& p) { taps_[p]; }
+
+void sim_store::untap_client(const process_id& p) { taps_.erase(p); }
+
+std::vector<store_result> sim_store::take_tapped(const process_id& p) {
+  const auto it = taps_.find(p);
+  if (it == taps_.end()) return {};
+  return std::exchange(it->second, {});
 }
 
 void sim_store::drain_completions() {
@@ -93,6 +92,8 @@ void sim_store::drain_completions() {
                           res.val, res.rounds);
         }
         open_for_p.erase(it);
+        const auto tap = taps_.find(p);
+        if (tap != taps_.end()) tap->second.push_back(std::move(res));
       }
     }
   }

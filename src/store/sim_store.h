@@ -43,14 +43,12 @@ class sim_store {
   void invoke_get(std::uint32_t reader_index, const std::string& key);
   void invoke_put(std::uint32_t writer_index, const std::string& key,
                   value_t v);
-  /// Pipelined invocations: every op starts in ONE step, so the requests
-  /// leave as batched envelopes (one per server). Keys must be distinct
-  /// and op-free.
-  void invoke_get_batch(std::uint32_t reader_index,
-                        std::span<const std::string> keys);
-  void invoke_put_batch(
-      std::uint32_t writer_index,
-      std::span<const std::pair<std::string, value_t>> kvs);
+  /// Pipelined invocations: every op in `ops` starts in ONE step, so the
+  /// requests leave as batched envelopes (one per server). Keys must be
+  /// distinct and op-free. This is the submission primitive the unified
+  /// async front-end (store/async_client.h) issues through; invoke_get/
+  /// invoke_put are one-op shims over it.
+  void invoke_ops(const process_id& p, std::span<const store_op> ops);
 
   // ------------------------------------------------------------- schedules --
   /// Single-step wrappers around the world's schedules that harvest store
@@ -64,6 +62,13 @@ class sim_store {
 
   /// Completes history records for everything the clients finished.
   void drain_completions();
+
+  // Per-client completion taps, for the async front-end's sessions:
+  // while `p` is tapped, every completion drained for it is ALSO copied
+  // into a per-client stash fetched (and cleared) with take_tapped.
+  void tap_client(const process_id& p);
+  void untap_client(const process_id& p);
+  [[nodiscard]] std::vector<store_result> take_tapped(const process_id& p);
 
   /// Scrapes server `server_index`'s metrics over the simulated data
   /// path (stats_req/stats_ack through reader 0), driving the world
@@ -86,6 +91,8 @@ class sim_store {
   std::unordered_map<process_id,
                      std::unordered_map<std::string, std::size_t>>
       open_;
+  /// Completion stashes of tapped clients (see tap_client).
+  std::unordered_map<process_id, std::vector<store_result>> taps_;
 };
 
 }  // namespace fastreg::store

@@ -22,65 +22,25 @@ std::uint64_t now_ns() {
 
 }  // namespace
 
-tcp_store::tcp_store(store_config cfg, net::node_options nopt)
-    : proto_(std::move(cfg)), cluster_(proto_.config().base, proto_, nopt) {}
-
-std::size_t tcp_store::log_open(const process_id& client_pid,
-                                const std::string& key, bool is_put,
-                                const value_t& v, std::uint64_t t0) {
-  std::lock_guard<std::mutex> lk(mu_);
-  raw_op op;
-  op.key = key;
-  op.client = client_pid;
-  op.is_put = is_put;
-  op.t0 = t0;
-  if (is_put) op.val = v;
-  log_.push_back(std::move(op));
-  const std::size_t idx = log_.size() - 1;
-  open_[{client_pid, key}].push_back(idx);
-  return idx;
-}
-
-std::vector<std::size_t> tcp_store::log_close(
-    const process_id& client_pid, const std::vector<store_result>& results,
-    std::uint64_t t1) {
-  std::lock_guard<std::mutex> lk(mu_);
-  // Match completions to the EARLIEST incomplete log entry for their
-  // (client, key): a stale completion closes the abandoned older entry,
-  // a fresh one closes its own call's.
-  std::vector<std::size_t> closed;
-  closed.reserve(results.size());
-  for (const auto& r : results) {
-    const auto open_it = open_.find({client_pid, r.key});
-    if (open_it == open_.end() || open_it->second.empty()) {
-      closed.push_back(static_cast<std::size_t>(-1));
-      continue;
-    }
-    const std::size_t i = open_it->second.front();
-    open_it->second.pop_front();
-    if (open_it->second.empty()) open_.erase(open_it);
-    auto& op = log_[i];
-    op.t1 = t1;
-    op.ts = r.ts;
-    op.wid = r.wid;
-    if (!r.is_put) op.val = r.val;
-    op.rounds = r.rounds;
-    closed.push_back(i);
-  }
-  return closed;
-}
+tcp_store::tcp_store(store_config cfg, net::node_options nopt,
+                     net::cluster_options copt)
+    : proto_(std::move(cfg)),
+      cluster_(proto_.config().base, proto_, nopt, copt) {}
 
 std::optional<std::vector<store_result>> tcp_store::run_ops(
-    net::node& n, const process_id& client_pid,
+    const process_id& client_pid,
     const std::vector<std::pair<std::string, value_t>>& kvs, bool is_put,
     std::chrono::milliseconds timeout) {
   FASTREG_EXPECTS(!kvs.empty());
+  net::node& n = cluster_.client_node(client_pid);
+  const std::size_t actor = cluster_.client_actor(client_pid);
   const std::uint64_t t0 = now_ns();
   // Keys whose previous op timed out and is still in flight cannot be
   // re-begun (precondition); skip them -- the call reports failure but
   // the process must not abort on the reactor thread.
   auto skipped = std::make_shared<std::vector<std::string>>();
   const bool wait_ok = n.blocking_op(
+      actor,
       [&kvs, is_put, skipped](automaton& a, netout& net) {
         auto& c = dynamic_cast<client&>(a);
         for (const auto& [key, v] : kvs) {
@@ -101,7 +61,7 @@ std::optional<std::vector<store_result>> tcp_store::run_ops(
   // cannot race the drain. The haul may include stale completions of ops
   // a previous timed-out call abandoned.
   std::vector<store_result> results;
-  n.run_on_reactor([&results](automaton& a) {
+  n.run_on_reactor(actor, [&results](automaton& a) {
     results = dynamic_cast<client&>(a).take_completions();
   });
   const std::uint64_t t1 = now_ns();
@@ -117,9 +77,9 @@ std::optional<std::vector<store_result>> tcp_store::run_ops(
         skipped->end()) {
       continue;
     }
-    started.push_back(log_open(client_pid, key, is_put, v, t0));
+    started.push_back(log_.open(client_pid, key, is_put, v, t0));
   }
-  const auto closed = log_close(client_pid, results, t1);
+  const auto closed = log_.close(client_pid, results, t1);
   std::vector<store_result> fresh;
   for (std::size_t k = 0; k < results.size(); ++k) {
     if (std::find(started.begin(), started.end(), closed[k]) !=
@@ -131,106 +91,6 @@ std::optional<std::vector<store_result>> tcp_store::run_ops(
     return std::nullopt;
   }
   return fresh;
-}
-
-// ------------------------------------------------------------- pipeline --
-
-tcp_store::pipeline::pipeline(tcp_store& ts, bool is_writer,
-                              std::uint32_t index, std::uint32_t depth)
-    : ts_(ts),
-      node_(is_writer ? ts.cluster_.writer(index) : ts.cluster_.reader(index)),
-      client_(is_writer ? writer_id(index) : reader_id(index)),
-      depth_(depth) {
-  FASTREG_EXPECTS(depth >= 1);
-}
-
-bool tcp_store::pipeline::get(const std::string& key,
-                              std::chrono::milliseconds timeout) {
-  return submit(key, /*is_put=*/false, value_t{}, timeout);
-}
-
-bool tcp_store::pipeline::put(const std::string& key, value_t v,
-                              std::chrono::milliseconds timeout) {
-  return submit(key, /*is_put=*/true, std::move(v), timeout);
-}
-
-bool tcp_store::pipeline::submit(const std::string& key, bool is_put,
-                                 value_t v,
-                                 std::chrono::milliseconds timeout) {
-  for (;;) {
-    // A free window slot first; completions only ever shrink the window
-    // between this wait and the reactor step below (this thread is the
-    // sole submitter on the client), so the slot cannot vanish.
-    if (!node_.wait_ops_in_flight_below(depth_, timeout)) return false;
-    bool begun = false;
-    std::uint64_t completed_before = 0;
-    // Completion (t1) and invocation (t0) times are both taken ON the
-    // reactor, at the top of the step that harvests the completions and
-    // begins the new op. Completions harvested here finished strictly
-    // before this step ran, and the new op starts strictly after, so
-    // recording t1 = steptime < t0 = steptime + 1 preserves the real
-    // precedence -- timestamping outside the step would let a just-
-    // finished same-key op appear concurrent with its successor, which
-    // the checkers reject as a well-formedness violation.
-    std::uint64_t steptime = 0;
-    std::vector<store_result> done;
-    node_.run_on_reactor_net([&](automaton& a, netout& net) {
-      steptime = now_ns();
-      auto& c = dynamic_cast<client&>(a);
-      done = c.take_completions();
-      if (c.has_pending(key)) {
-        // Baseline for the wait below, captured ON the reactor: reading
-        // the mirror after this step returns would race a completion
-        // landing in between and wait for one more than will ever come.
-        completed_before = c.ops_completed();
-        return;  // same-key op still in flight
-      }
-      if (is_put) {
-        c.begin_put(key, v);
-      } else {
-        c.begin_get(key);
-      }
-      c.flush(net);
-      begun = true;
-    });
-    if (!done.empty()) {
-      (void)ts_.log_close(client_, done, steptime);
-      results_.insert(results_.end(),
-                      std::make_move_iterator(done.begin()),
-                      std::make_move_iterator(done.end()));
-    }
-    if (begun) {
-      ts_.log_open(client_, key, is_put, v, steptime + 1);
-      ++submitted_;
-      return true;
-    }
-    // The key's previous op (possibly abandoned by a timed-out blocking
-    // call) is still in flight: wait for any completion, then retry.
-    if (!node_.wait_ops_completed(completed_before + 1, timeout)) {
-      return false;
-    }
-  }
-}
-
-bool tcp_store::pipeline::drain(std::chrono::milliseconds timeout) {
-  const bool ok = node_.wait_ops_in_flight_below(1, timeout);
-  harvest();
-  return ok;
-}
-
-void tcp_store::pipeline::harvest() {
-  std::vector<store_result> done;
-  node_.run_on_reactor([&done](automaton& a) {
-    done = dynamic_cast<client&>(a).take_completions();
-  });
-  if (done.empty()) return;
-  (void)ts_.log_close(client_, done, now_ns());
-  results_.insert(results_.end(), std::make_move_iterator(done.begin()),
-                  std::make_move_iterator(done.end()));
-}
-
-std::vector<store_result> tcp_store::pipeline::take_results() {
-  return std::exchange(results_, {});
 }
 
 std::optional<store_result> tcp_store::get(std::uint32_t reader_index,
@@ -252,16 +112,14 @@ std::optional<std::vector<store_result>> tcp_store::multi_get(
   std::vector<std::pair<std::string, value_t>> kvs;
   kvs.reserve(keys.size());
   for (const auto& k : keys) kvs.emplace_back(k, value_t{});
-  return run_ops(cluster_.reader(reader_index), reader_id(reader_index), kvs,
-                 /*is_put=*/false, timeout);
+  return run_ops(reader_id(reader_index), kvs, /*is_put=*/false, timeout);
 }
 
 bool tcp_store::multi_put(
     std::uint32_t writer_index,
     const std::vector<std::pair<std::string, value_t>>& kvs,
     std::chrono::milliseconds timeout) {
-  return run_ops(cluster_.writer(writer_index), writer_id(writer_index), kvs,
-                 /*is_put=*/true, timeout)
+  return run_ops(writer_id(writer_index), kvs, /*is_put=*/true, timeout)
       .has_value();
 }
 
@@ -330,29 +188,6 @@ std::string tcp_store::scrape(std::uint32_t server_index,
     if (in.corrupt()) return {};
   }
   return dump;
-}
-
-store_histories tcp_store::gather() const {
-  std::vector<raw_op> log;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    log = log_;
-  }
-  std::sort(log.begin(), log.end(),
-            [](const raw_op& a, const raw_op& b) { return a.t0 < b.t0; });
-  store_histories out;
-  for (const auto& op : log) {
-    auto& h = out.for_key(op.key);
-    const auto idx = h.begin_op(op.client, op.is_put, op.t0,
-                                op.is_put ? op.val : value_t{});
-    if (!op.t1) continue;
-    if (op.is_put) {
-      h.complete_write(idx, *op.t1, op.rounds);
-    } else {
-      h.complete_read(idx, *op.t1, op.ts, op.wid, op.val, op.rounds);
-    }
-  }
-  return out;
 }
 
 }  // namespace fastreg::store

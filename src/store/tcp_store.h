@@ -2,17 +2,23 @@
 // client/server automata, with blocking get/put/multi_get front-ends and
 // per-key history gathering.
 //
+// Client topology follows the cluster's (net::cluster_options): per-node
+// (one node and reactor thread per client, the default) or hub (every
+// client an actor on one node whose reactor pool carries all their
+// connections). All the entry points below address clients through
+// cluster::client_node/client_actor, so they work unchanged under both.
+//
 // Threading contract: at most one blocking operation at a time per client
 // index (same rule as node::blocking_read); different client indices may
 // be driven from different threads concurrently. multi_get pipelines all
 // its keys in one reactor step, so requests and replies travel as batch
 // frames.
 //
-// For sustained throughput, `pipeline` replaces the one-blocking-op-at-a-
-// time loop with a sliding window: up to `depth` operations in flight per
-// client connection, submission blocking only while the window is full.
-// Combined with the reactor's batch window (net::node_options) this keeps
-// the wire busy across round trips instead of idling between them.
+// For sustained throughput, open_session() (the unified async front-end
+// of store/async_client.h) replaces the one-blocking-op-at-a-time loop
+// with a sliding window of up to `depth` ops in flight per client.
+// Combined with the per-connection batch window (net::node_options) this
+// keeps the wire busy across round trips instead of idling between them.
 //
 // Timeouts: a timed-out op may still be in flight; until it completes,
 // further ops on the same (client, key) fail fast (nullopt/false) rather
@@ -21,15 +27,14 @@
 #pragma once
 
 #include <chrono>
-#include <deque>
-#include <map>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "net/cluster.h"
+#include "store/async_client.h"
 #include "store/histories.h"
 #include "store/store.h"
 
@@ -38,7 +43,8 @@ namespace fastreg::store {
 class tcp_store {
  public:
   explicit tcp_store(store_config cfg,
-                     net::node_options nopt = net::node_options::from_env());
+                     net::node_options nopt = net::node_options::from_env(),
+                     net::cluster_options copt = {});
 
   void start() { cluster_.start(); }
   void stop() { cluster_.stop(); }
@@ -70,10 +76,22 @@ class tcp_store {
       const std::vector<std::pair<std::string, value_t>>& kvs,
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
 
+  /// The unified pipelined front-end over this deployment. Sessions from
+  /// it share the deployment's op log with the blocking calls above, so
+  /// gather() sees everything either path did.
+  [[nodiscard]] tcp_frontend& frontend() { return fe_; }
+  /// Convenience for frontend().open_session: the pipelined session for
+  /// one client (one live session per client index; do not mix with
+  /// blocking calls on the same index).
+  [[nodiscard]] std::unique_ptr<async_session> open_session(
+      const process_id& client, std::uint32_t depth) {
+    return fe_.open_session(client, depth);
+  }
+
   /// Per-key histories of everything invoked so far, rebuilt in
   /// invocation-time order (steady-clock nanoseconds, one machine, so
   /// cross-node ordering is meaningful). Thread-safe.
-  [[nodiscard]] store_histories gather() const;
+  [[nodiscard]] store_histories gather() const { return log_.gather(); }
 
   /// Scrapes server `server_index`'s metrics over a dedicated raw socket
   /// (hello + stats_req, framed exactly like any client): the admin path
@@ -85,90 +103,16 @@ class tcp_store {
       std::uint32_t server_index,
       std::chrono::milliseconds timeout = std::chrono::seconds(10));
 
-  /// Pipelined async session on one client: keeps up to `depth` ops in
-  /// flight on the client's connection instead of one blocking op at a
-  /// time. get/put SUBMIT (returning once the op is on the wire),
-  /// blocking only while the window is full or the key already has an op
-  /// in flight; drain() waits for everything submitted to complete.
-  /// Completed results accumulate (completion-ordered) until
-  /// take_results. One pipeline per client index at a time, driven from
-  /// one thread (the same exclusivity rule as the blocking calls, which
-  /// must not be mixed with an active pipeline on that index).
-  class pipeline {
-   public:
-    pipeline(tcp_store& ts, bool is_writer, std::uint32_t index,
-             std::uint32_t depth);
-
-    [[nodiscard]] bool get(
-        const std::string& key,
-        std::chrono::milliseconds timeout = std::chrono::seconds(10));
-    [[nodiscard]] bool put(
-        const std::string& key, value_t v,
-        std::chrono::milliseconds timeout = std::chrono::seconds(10));
-    /// Waits until no submitted op remains in flight and harvests the
-    /// final completions. False on timeout (ops may still be in flight).
-    [[nodiscard]] bool drain(
-        std::chrono::milliseconds timeout = std::chrono::seconds(10));
-
-    [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
-    /// Harvested completions since the last call (may include late
-    /// completions of ops an earlier timed-out blocking call abandoned).
-    [[nodiscard]] std::vector<store_result> take_results();
-
-   private:
-    [[nodiscard]] bool submit(const std::string& key, bool is_put,
-                              value_t v, std::chrono::milliseconds timeout);
-    /// take_completions on the reactor; closes log entries and stashes
-    /// the results.
-    void harvest();
-
-    tcp_store& ts_;
-    net::node& node_;
-    process_id client_;
-    std::uint32_t depth_;
-    std::uint64_t submitted_{0};
-    std::vector<store_result> results_;
-  };
-
  private:
-  friend class pipeline;
-  struct raw_op {
-    std::string key{};
-    process_id client{};
-    bool is_put{false};
-    std::uint64_t t0{0};
-    std::optional<std::uint64_t> t1{};
-    ts_t ts{k_initial_ts};
-    std::int32_t wid{0};
-    value_t val{};
-    int rounds{0};
-  };
-
   std::optional<std::vector<store_result>> run_ops(
-      net::node& n, const process_id& client,
+      const process_id& client,
       const std::vector<std::pair<std::string, value_t>>& kvs, bool is_put,
       std::chrono::milliseconds timeout);
 
-  /// Appends an incomplete log entry for a just-invoked op (mu_ held
-  /// inside), registers it in open_, and returns its log index.
-  std::size_t log_open(const process_id& client, const std::string& key,
-                       bool is_put, const value_t& v, std::uint64_t t0);
-  /// Closes the earliest incomplete entry for each result's (client,
-  /// key); returns the closed log indices (parallel to `results`; npos
-  /// for results with no open entry).
-  std::vector<std::size_t> log_close(const process_id& client,
-                                     const std::vector<store_result>& results,
-                                     std::uint64_t t1);
-
   store_protocol proto_;
   net::cluster cluster_;
-  mutable std::mutex mu_;
-  std::vector<raw_op> log_;
-  /// Indices of incomplete log_ entries per (client, key), oldest first,
-  /// so completions match their op in O(log n) instead of rescanning the
-  /// whole append-only log.
-  std::map<std::pair<process_id, std::string>, std::deque<std::size_t>>
-      open_;
+  op_log log_;
+  tcp_frontend fe_{cluster_, log_};
 };
 
 }  // namespace fastreg::store

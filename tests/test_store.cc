@@ -177,11 +177,14 @@ TEST(SimStore, PipelinedBatchesCoalesceEnvelopes) {
   sim::uniform_delay d(50, 150);
   const std::vector<std::string> keys = {"k0", "k1", "k2", "k3",
                                          "k4", "k5", "k6", "k7"};
-  std::vector<std::pair<std::string, value_t>> kvs;
-  for (const auto& k : keys) kvs.emplace_back(k, "v:" + k);
-  s.invoke_put_batch(0, kvs);
+  std::vector<store_op> puts, gets;
+  for (const auto& k : keys) {
+    puts.push_back(store_op{k, /*is_put=*/true, "v:" + k});
+    gets.push_back(store_op{k, /*is_put=*/false, {}});
+  }
+  s.invoke_ops(writer_id(0), puts);
   s.run_timed(r, d);
-  s.invoke_get_batch(0, keys);
+  s.invoke_ops(reader_id(0), gets);
   s.run_timed(r, d);
   ASSERT_TRUE(s.idle());
   EXPECT_TRUE(s.histories().all_complete());

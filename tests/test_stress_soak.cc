@@ -179,6 +179,21 @@ TEST(StressSoak, MwmrTcpFiveThousandOpsOneKey) {
   EXPECT_GE(rep.max_key_ops, 5000u) << rep.describe();
 }
 
+TEST(StressSoak, MwmrTcpPartitionPauseSoakThenHeal) {
+  // The TCP flavor of the partition soak: the minority server's
+  // connections are pause-faulted (net::conn_fault::pause -- bytes queue
+  // on both sides of every socket) a third of the way into a contended
+  // multi-writer run and released at two thirds. S=5, t=1: quorums keep
+  // completing without the paused server, so no op may time out, and the
+  // stale flood that flushes at the heal must land with zero violations.
+  auto opt = mwmr_base("soak_mwmr_tcp_partition");
+  opt.partition_servers = 1;
+  opt.puts_per_writer = stress_iters(250);
+  opt.gets_per_reader = stress_iters(250);
+  const auto rep = run_tcp_stress(opt);
+  expect_ok(rep);
+}
+
 TEST(StressSoak, MwmrTcpCrashAndReshardMidRun) {
   auto opt = mwmr_base("soak_mwmr_tcp_crash_reshard");
   opt.num_keys = 2;

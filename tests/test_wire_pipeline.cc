@@ -351,27 +351,27 @@ TEST(Pipeline, KeepsNOpsInFlightAndHistoriesVerify) {
 
   const int keys = 16;
   {
-    tcp_store::pipeline w(ts, /*is_writer=*/true, 0, /*depth=*/4);
+    auto w = ts.open_session(writer_id(0), /*depth=*/4);
     for (int round = 0; round < 4; ++round) {
       for (int k = 0; k < keys; ++k) {
-        ASSERT_TRUE(w.put("key" + std::to_string(k),
-                          "v" + std::to_string(round) + "_" +
-                              std::to_string(k)));
+        ASSERT_TRUE(w->put("key" + std::to_string(k),
+                           "v" + std::to_string(round) + "_" +
+                               std::to_string(k)));
       }
     }
-    ASSERT_TRUE(w.drain());
-    EXPECT_EQ(w.submitted(), 4u * keys);
-    EXPECT_EQ(w.take_results().size(), 4u * keys);
+    ASSERT_TRUE(w->drain());
+    EXPECT_EQ(w->submitted(), 4u * keys);
+    EXPECT_EQ(w->take_results().size(), 4u * keys);
   }
   {
-    tcp_store::pipeline r(ts, /*is_writer=*/false, 0, /*depth=*/8);
+    auto r = ts.open_session(reader_id(0), /*depth=*/8);
     for (int round = 0; round < 4; ++round) {
       for (int k = 0; k < keys; ++k) {
-        ASSERT_TRUE(r.get("key" + std::to_string(k)));
+        ASSERT_TRUE(r->get("key" + std::to_string(k)));
       }
     }
-    ASSERT_TRUE(r.drain());
-    const auto results = r.take_results();
+    ASSERT_TRUE(r->drain());
+    const auto results = r->take_results();
     EXPECT_EQ(results.size(), 4u * keys);
     for (const auto& res : results) {
       EXPECT_FALSE(res.is_put);
@@ -388,13 +388,13 @@ TEST(Pipeline, KeepsNOpsInFlightAndHistoriesVerify) {
 TEST(Pipeline, SameKeyBackToBackSerializesInsteadOfAborting) {
   tcp_store ts(pipeline_cfg());
   ts.start();
-  tcp_store::pipeline w(ts, /*is_writer=*/true, 0, /*depth=*/4);
-  // Well-formedness is per key; the pipeline must wait for the previous
+  auto w = ts.open_session(writer_id(0), /*depth=*/4);
+  // Well-formedness is per key; the session must wait for the previous
   // op on the key rather than violate the precondition (or abort).
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(w.put("samekey", "v" + std::to_string(i + 1)));
+    ASSERT_TRUE(w->put("samekey", "v" + std::to_string(i + 1)));
   }
-  ASSERT_TRUE(w.drain());
+  ASSERT_TRUE(w->drain());
   const auto res = ts.gather().verify();
   EXPECT_TRUE(res.ok) << res.error;
   ts.stop();
