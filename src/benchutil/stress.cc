@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "crypto/sig.h"
 #include "obs/recorder.h"
+#include "persist/options.h"
 #include "reconfig/control.h"
 #include "reconfig/coordinator.h"
 #include "reconfig/plan.h"
@@ -35,6 +36,9 @@ store::store_config make_store_cfg(const stress_options& opt) {
   }
   cfg.num_shards = opt.num_shards;
   cfg.shard_protocols = {opt.protocol};
+  if (!opt.persist_dir.empty()) {
+    cfg.persist = persist::options::from_env(opt.persist_dir);
+  }
   return cfg;
 }
 
@@ -194,7 +198,7 @@ stress_report run_sim_stress(const stress_options& opt) {
   const std::uint64_t trigger = total / 3;
 
   std::uint64_t invoked = 0, guard = 0;
-  bool crashed = false;
+  bool crashed = false, restarted = false;
   bool partitioned = false, healed = false;
   std::optional<reconfig::sim_control> ctl;
   std::optional<reconfig::coordinator> coord;
@@ -227,6 +231,16 @@ stress_report run_sim_stress(const stress_options& opt) {
       partitioned = true;
       for (std::uint32_t i = 0; i < opt.partition_servers; ++i) {
         isolate(server_id(i), /*block=*/true);
+      }
+    }
+    if (crashed && opt.restart_crashed && !restarted &&
+        invoked >= 2 * trigger) {
+      restarted = true;
+      for (std::uint32_t i = 0; i < opt.crash_servers; ++i) {
+        // Replays snapshot + op log when persist_dir is set; the last
+        // third of the workload then runs against the full fleet, so a
+        // recovery that resurrected stale state shows up in the checker.
+        s.restart_server(opt.S - 1 - i);
       }
     }
     if (partitioned && !healed && invoked >= 2 * trigger) {
@@ -447,6 +461,19 @@ stress_report run_tcp_stress(const stress_options& opt) {
       }
       for (std::uint32_t i = 0; i < opt.partition_servers; ++i) {
         ts.cluster().server(i).set_fault_all(net::conn_fault::none);
+      }
+    }
+    if (opt.crash_servers > 0 && opt.restart_crashed) {
+      // Restart two thirds of the way in, on the original ports, with
+      // snapshot + op-log replay when persist_dir is set; clients
+      // reconnect lazily and the final third of the workload verifies
+      // the rejoined servers' state through the checker.
+      while (attempts.load(std::memory_order_relaxed) < 2 * trigger &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      for (std::uint32_t i = 0; i < opt.crash_servers; ++i) {
+        ts.restart_server(opt.S - 1 - i);
       }
     }
   }

@@ -45,6 +45,13 @@ struct stress_options {
   /// Crash this many servers (<= t) a third of the way into the run
   /// (sim: world::crash; TCP: node::stop).
   std::uint32_t crash_servers{0};
+  /// Restart every crashed server two thirds of the way in (sim:
+  /// sim_store::restart_server; TCP: tcp_store::restart_server). With
+  /// persist_dir set the rejoining server replays its snapshot + op log
+  /// before serving (the crash-RECOVERY schedule); without it the server
+  /// rejoins empty, which is only safe because a state-less rejoiner is
+  /// indistinguishable from a still-crashed replica within the t budget.
+  bool restart_crashed{false};
   /// Partition this many servers (<= t, a minority) from EVERY other
   /// process a third of the way in, and heal two thirds of the way in.
   /// Sim: link-level cuts (world::partition) -- messages stall in
@@ -67,6 +74,10 @@ struct stress_options {
   bool reshard{false};
   std::uint32_t reshard_num_shards{0};
   std::vector<std::string> reshard_protocols{};
+  /// Non-empty: enable per-server durable state (src/persist/) rooted at
+  /// this directory. Fsync policy comes from FASTREG_FSYNC (default
+  /// interval); crash-then-restart schedules replay from here.
+  std::string persist_dir{};
   /// Tag used in dump file names and failure messages.
   std::string label{"stress"};
 };

@@ -8,7 +8,11 @@ namespace fastreg::net {
 
 cluster::cluster(system_config cfg, const protocol& proto, node_options nopt,
                  cluster_options copt)
-    : cfg_(std::move(cfg)), copt_(copt), book_(std::make_shared<address_book>()) {
+    : cfg_(std::move(cfg)),
+      copt_(copt),
+      proto_(&proto),
+      nopt_(nopt),
+      book_(std::make_shared<address_book>()) {
   // Servers first: bind ephemeral listeners so the address book is
   // complete before any client node exists.
   node_options sopt = nopt;
@@ -69,6 +73,25 @@ void cluster::stop() {
     for (auto& n : readers_) n->stop();
   }
   for (auto& n : servers_) n->stop();
+}
+
+void cluster::restart_server(std::uint32_t i) {
+  FASTREG_EXPECTS(i < servers_.size());
+  const std::uint16_t port = book_->server_ports[i];
+  // Destroying the node closes its listener and every connection; a
+  // client whose socket HUPs lazily reconnects at the next send, and the
+  // address book still routes it to the same port. A listening socket
+  // never enters TIME_WAIT (and listen_on sets SO_REUSEADDR), so the
+  // rebind below cannot race the old socket's teardown.
+  servers_[i]->stop();
+  servers_[i].reset();
+  node_options sopt = nopt_;
+  sopt.reactors = std::max<std::uint32_t>(1, copt_.server_reactors);
+  auto n = std::make_unique<node>(cfg_, proto_->make_server(cfg_, i), book_,
+                                  sopt);
+  n->bind_listener(port);
+  servers_[i] = std::move(n);
+  if (started_) servers_[i]->start();
 }
 
 node& cluster::client_node(const process_id& pid) {

@@ -54,6 +54,15 @@ class cluster {
   void start();
   void stop();
 
+  /// Tears server i's node down (closing its listener and connections;
+  /// peers observe HUP and reconnect lazily) and rebuilds it on the SAME
+  /// port with a freshly constructed automaton from the deployment's
+  /// protocol -- which replays persistent state when the protocol is so
+  /// configured. Started immediately when the cluster is running. Safe
+  /// for a node that was stop()ed earlier (the crash-then-restart
+  /// schedule); do not call concurrently with start()/stop().
+  void restart_server(std::uint32_t i);
+
   /// Per-client-node accessors (per-node topology only; a hub cluster
   /// has no per-client nodes -- use client_node()/client_actor()).
   [[nodiscard]] node& writer(std::uint32_t i = 0) {
@@ -89,6 +98,11 @@ class cluster {
  private:
   system_config cfg_;
   cluster_options copt_;
+  /// For restart_server: the deployment's protocol (owned by the caller,
+  /// outlives the cluster -- same lifetime contract as the constructor
+  /// reference) and the node options every server was built with.
+  const protocol* proto_;
+  node_options nopt_;
   std::shared_ptr<address_book> book_;
   std::vector<std::unique_ptr<node>> servers_;
   std::vector<std::unique_ptr<node>> readers_;

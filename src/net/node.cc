@@ -263,9 +263,22 @@ void node::stop() {
 }
 
 void node::wake(reactor& r) {
+  // A lost wakeup strands every task posted to this reactor until the
+  // next epoll timeout: retry EINTR, and log anything else. EAGAIN is
+  // benign -- the eventfd counter is saturated, so a wakeup is already
+  // pending and the reactor cannot miss the queue.
   const std::uint64_t one = 1;
-  [[maybe_unused]] const auto n =
-      ::write(r.event_fd.get(), &one, sizeof one);
+  for (;;) {
+    const ssize_t n = ::write(r.event_fd.get(), &one, sizeof one);
+    if (n == static_cast<ssize_t>(sizeof one)) return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    LOG_WARN("%s: reactor %u wakeup write failed (%s); posted tasks may "
+             "wait a full epoll timeout",
+             to_string(self_).c_str(), r.index,
+             n < 0 ? std::strerror(errno) : "short write");
+    return;
+  }
 }
 
 void node::post_to(reactor& r, std::function<void()> fn) {
@@ -573,7 +586,17 @@ void node::reactor_main(reactor& r) {
       std::lock_guard<std::mutex> lk(r.q_mu);
       if (!r.tasks.empty()) wait_ms = 0;
     }
-    const int n = ::epoll_wait(r.epoll_fd.get(), events, 64, wait_ms);
+    // EINTR (or any other failure) yields n = -1: skip the dispatch loop
+    // below rather than indexing events[] with garbage, but still run the
+    // task drain -- a signal must not delay posted work.
+    int n = ::epoll_wait(r.epoll_fd.get(), events, 64, wait_ms);
+    if (n < 0) {
+      if (errno != EINTR) {
+        LOG_WARN("%s: reactor %u epoll_wait failed: %s",
+                 to_string(self_).c_str(), r.index, std::strerror(errno));
+      }
+      n = 0;
+    }
     // Drain posted tasks first (includes invocations and shipped sends).
     std::deque<std::function<void()>> tasks;
     {
@@ -593,14 +616,19 @@ void node::reactor_main(reactor& r) {
       const int fd = events[i].data.fd;
       if (fd == r.event_fd.get()) {
         std::uint64_t buf;
-        while (::read(r.event_fd.get(), &buf, sizeof buf) > 0) {
+        // Retry EINTR so the counter actually drains (a level-triggered
+        // eventfd would re-fire anyway, but burning an extra epoll pass
+        // per signal is pointless).
+        while (::read(r.event_fd.get(), &buf, sizeof buf) > 0 ||
+               errno == EINTR) {
         }
         continue;
       }
       if (fd == r.timer_fd.get()) {
         std::uint64_t expirations;
         while (::read(r.timer_fd.get(), &expirations, sizeof expirations) >
-               0) {
+                   0 ||
+               errno == EINTR) {
         }
         window_expired = true;
         continue;
@@ -683,6 +711,7 @@ void node::handle_readable(reactor& r, int fd) {
     // discard everything (still detect EOF).
     for (;;) {
       const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;  // interrupted, not dead
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
       if (n <= 0) {
         close_conn(r, fd);
@@ -695,6 +724,10 @@ void node::handle_readable(reactor& r, int fd) {
   bool reset = false;
   for (;;) {
     const ssize_t n = ::read(fd, buf, sizeof buf);
+    // EINTR is a signal, not a peer event: falling through to the n <= 0
+    // branch here tore down a healthy connection on every stray SIGPROF/
+    // SIGCHLD, surfacing as conn_resets under load. Retry instead.
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n <= 0) {
       close_conn(r, fd);
@@ -809,6 +842,7 @@ void node::flush(reactor& r, int fd, connection& c) {
       c.out.consume(static_cast<std::size_t>(n));
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;  // interrupted write: retry
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     close_conn(r, fd);
     return;

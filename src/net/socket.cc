@@ -79,7 +79,13 @@ unique_fd connect_to(std::uint16_t port) {
 }
 
 std::optional<unique_fd> accept_one(int listen_fd) {
-  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  // Retry EINTR: returning nullopt exits the caller's accept loop, and
+  // with a level-triggered epoll the pending connection would only be
+  // picked up a full poll cycle later (or stall behind a signal storm).
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     return std::nullopt;
   }

@@ -1,0 +1,187 @@
+#include "persist/durable.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "common/log.h"
+
+namespace fastreg::persist {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const std::string& ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    LOG_ERROR("persist: cannot create directory %s: %s", dir.c_str(),
+              ec.message().c_str());
+  }
+  return dir;
+}
+
+}  // namespace
+
+std::string server_durability::log_path_for(const std::string& dir,
+                                            std::uint32_t index) {
+  return dir + "/server_" + std::to_string(index) + ".log";
+}
+
+std::string server_durability::snap_path_for(const std::string& dir,
+                                             std::uint32_t index) {
+  return dir + "/server_" + std::to_string(index) + ".snap";
+}
+
+server_durability::server_durability(options opt, std::uint32_t server_index)
+    : opt_(std::move(opt)),
+      index_(server_index),
+      snap_path_(snap_path_for(ensure_dir(opt_.dir), server_index)),
+      log_(log_path_for(opt_.dir, server_index), opt_.fsync,
+           opt_.fsync_interval_ms) {
+  // Server construction is a control-plane event (deployment, restart,
+  // reconfig), the same exemption store::server::bind_metrics uses.
+  obs::allow_hot_registration exempt;
+  auto& reg = obs::registry::instance();
+  const std::string lbl = "node=\"" + to_string(server_id(index_)) + "\"";
+  pm_.log_bytes = &reg.get_counter("fastreg_persist_log_bytes_total", lbl);
+  pm_.log_records = &reg.get_counter("fastreg_persist_log_records_total", lbl);
+  pm_.fsyncs = &reg.get_counter("fastreg_persist_fsyncs_total", lbl);
+  pm_.snapshots = &reg.get_counter("fastreg_persist_snapshots_total", lbl);
+  pm_.replayed_records =
+      &reg.get_counter("fastreg_persist_replayed_records_total", lbl);
+  pm_.torn_tail_truncations =
+      &reg.get_counter("fastreg_persist_torn_tail_truncations_total", lbl);
+  pm_.replay_ns = &reg.get_histogram("fastreg_persist_replay_ns", lbl);
+  replay();
+}
+
+void server_durability::replay() {
+  const std::uint64_t t0 = steady_now_ns();
+  std::string snap_err;
+  if (auto snap = load_snapshot_file(snap_path_, &snap_err)) {
+    rec_.epoch = snap->epoch;
+    rec_.found = true;
+    for (auto& [obj, s] : snap->objects) {
+      rec_.objects[obj] = std::move(s);
+    }
+  } else if (!snap_err.empty()) {
+    // A snapshot that fails validation is rejected wholesale; the log
+    // (whose records survived independent CRC checks) is still replayed.
+    LOG_ERROR("persist: server %u: %s -- starting from the op log alone",
+              index_, snap_err.c_str());
+  }
+  auto loaded = wal::load(log_.path(), /*repair=*/true);
+  if (loaded.truncated()) pm_.torn_tail_truncations->inc();
+  for (auto& rec : loaded.records) {
+    rec_.found = true;
+    if (rec.epoch > rec_.epoch) rec_.epoch = rec.epoch;
+    switch (rec.k) {
+      case log_record::kind::op:
+      case log_record::kind::seed:
+        rec_.objects[rec.obj] = std::move(rec.snap);
+        break;
+      case log_record::kind::epoch_mark:
+        // The install set these objects aside for migration: their
+        // recovered state is void in the new generation (post-mark seed
+        // records re-establish the ones this server was re-seeded with).
+        for (const auto obj : rec.fenced) rec_.objects.erase(obj);
+        break;
+    }
+  }
+  pm_.replayed_records->inc(loaded.records.size());
+  pm_.replay_ns->observe(steady_now_ns() - t0);
+  if (rec_.found) {
+    LOG_INFO("persist: server %u recovered %zu objects at epoch %llu "
+             "(%zu log records replayed%s)",
+             index_, rec_.objects.size(),
+             static_cast<unsigned long long>(rec_.epoch),
+             loaded.records.size(),
+             loaded.truncated() ? ", torn tail truncated" : "");
+  }
+}
+
+void server_durability::discard_recovered() {
+  LOG_WARN("persist: server %u discarding recovered state at epoch %llu "
+           "(%zu objects): the fleet's shard map moved on while this "
+           "server was down; it re-bootstraps via the seed-fetch path",
+           index_, static_cast<unsigned long long>(rec_.epoch),
+           rec_.objects.size());
+  rec_ = {};
+  log_.reset();
+  std::error_code ec;
+  std::filesystem::remove(snap_path_, ec);
+}
+
+void server_durability::append(const log_record& rec) {
+  const std::uint64_t bytes_before = log_.bytes_appended();
+  const std::uint64_t fsyncs_before = log_.fsyncs_;
+  log_.append(rec);
+  pm_.log_bytes->inc(log_.bytes_appended() - bytes_before);
+  pm_.log_records->inc();
+  if (log_.fsyncs_ > fsyncs_before) {
+    pm_.fsyncs->inc(log_.fsyncs_ - fsyncs_before);
+  }
+  ++since_snapshot_;
+}
+
+void server_durability::append_op(epoch_t epoch, object_id obj,
+                                  const register_snapshot& s) {
+  log_record rec;
+  rec.k = log_record::kind::op;
+  rec.epoch = epoch;
+  rec.obj = obj;
+  rec.snap = s;
+  append(rec);
+}
+
+void server_durability::append_seed(epoch_t epoch, object_id obj,
+                                    const register_snapshot& s) {
+  log_record rec;
+  rec.k = log_record::kind::seed;
+  rec.epoch = epoch;
+  rec.obj = obj;
+  rec.snap = s;
+  append(rec);
+}
+
+void server_durability::append_epoch_mark(
+    epoch_t epoch, const std::vector<object_id>& fenced) {
+  log_record rec;
+  rec.k = log_record::kind::epoch_mark;
+  rec.epoch = epoch;
+  rec.fenced = fenced;
+  append(rec);
+}
+
+void server_durability::write_snapshot(
+    epoch_t epoch,
+    std::vector<std::pair<object_id, register_snapshot>> objects) {
+  snapshot_data snap;
+  snap.epoch = epoch;
+  snap.objects = std::move(objects);
+  std::string err;
+  if (!write_snapshot_file(snap_path_, snap, opt_.fsync, &err)) {
+    LOG_ERROR("persist: server %u snapshot failed: %s -- keeping the log "
+              "(replay falls back to it)",
+              index_, err.c_str());
+    // Retry only after another snapshot_every records accumulate, not on
+    // every subsequent append.
+    since_snapshot_ = 0;
+    return;
+  }
+  pm_.snapshots->inc();
+  since_snapshot_ = 0;
+  // The snapshot covers everything the log held; a crash between the
+  // rename above and this truncate replays snapshot + full log, which is
+  // correct (later records win) -- just slower, and only until the next
+  // snapshot.
+  log_.reset();
+}
+
+}  // namespace fastreg::persist

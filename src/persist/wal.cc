@@ -1,0 +1,451 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/serialization.h"
+
+namespace fastreg::persist {
+
+namespace {
+
+constexpr std::uint32_t k_snap_magic = 0x4e535246;  // "FRSN" little-endian
+constexpr std::uint32_t k_snap_version = 1;
+/// Frame header: payload length + payload CRC.
+constexpr std::size_t k_frame_header = 8;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Writes all of `data`, retrying EINTR and short writes. Returns false
+/// on a real error (errno preserved for the caller's log line).
+bool full_write(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads the whole file into a byte vector; nullopt when it cannot be
+/// opened (missing file included -- callers distinguish via errno).
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+void encode_snapshot_fields(byte_writer& w, object_id obj,
+                            const register_snapshot& s) {
+  w.put_u64(obj);
+  w.put_i64(s.ts);
+  w.put_i32(s.wid);
+  w.put_string(s.val);
+  w.put_string(s.prev);
+  w.put_bytes(s.sig);
+}
+
+bool decode_snapshot_fields(byte_reader& r, object_id& obj,
+                            register_snapshot& s) {
+  const auto o = r.get_u64();
+  const auto ts = r.get_i64();
+  const auto wid = r.get_i32();
+  auto val = r.get_string();
+  auto prev = r.get_string();
+  auto sig = r.get_bytes();
+  if (!o || !ts || !wid || !val || !prev || !sig) return false;
+  obj = *o;
+  s.ts = *ts;
+  s.wid = *wid;
+  s.val = std::move(*val);
+  s.prev = std::move(*prev);
+  s.sig = std::move(*sig);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_record(const log_record& rec) {
+  byte_writer w;
+  w.put_u8(static_cast<std::uint8_t>(rec.k));
+  w.put_u64(rec.epoch);
+  if (rec.k == log_record::kind::epoch_mark) {
+    w.put_u32(static_cast<std::uint32_t>(rec.fenced.size()));
+    for (const auto obj : rec.fenced) w.put_u64(obj);
+  } else {
+    encode_snapshot_fields(w, rec.obj, rec.snap);
+  }
+  return w.take();
+}
+
+std::optional<log_record> decode_record(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  const auto kind = r.get_u8();
+  const auto epoch = r.get_u64();
+  if (!kind || !epoch) return std::nullopt;
+  log_record rec;
+  rec.epoch = *epoch;
+  switch (*kind) {
+    case static_cast<std::uint8_t>(log_record::kind::op):
+    case static_cast<std::uint8_t>(log_record::kind::seed):
+      rec.k = static_cast<log_record::kind>(*kind);
+      if (!decode_snapshot_fields(r, rec.obj, rec.snap)) return std::nullopt;
+      break;
+    case static_cast<std::uint8_t>(log_record::kind::epoch_mark): {
+      rec.k = log_record::kind::epoch_mark;
+      const auto n = r.get_u32();
+      if (!n) return std::nullopt;
+      rec.fenced.reserve(*n);
+      for (std::uint32_t i = 0; i < *n; ++i) {
+        const auto obj = r.get_u64();
+        if (!obj) return std::nullopt;
+        rec.fenced.push_back(*obj);
+      }
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.exhausted()) return std::nullopt;  // trailing garbage in the frame
+  return rec;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ crc32 --
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  // IEEE 802.3 reflected polynomial, table built on first use.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xffffffffu;
+  for (const auto b : data) {
+    c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------- options --
+
+const char* to_string(fsync_policy p) {
+  switch (p) {
+    case fsync_policy::never:
+      return "never";
+    case fsync_policy::interval:
+      return "interval";
+    case fsync_policy::every_op:
+      return "every_op";
+  }
+  return "?";
+}
+
+fsync_policy parse_fsync_policy(const std::string& s, fsync_policy fallback) {
+  if (s == "never") return fsync_policy::never;
+  if (s == "interval") return fsync_policy::interval;
+  if (s == "every_op") return fsync_policy::every_op;
+  return fallback;
+}
+
+options options::from_env(std::string dir) {
+  options o;
+  o.dir = std::move(dir);
+  if (const char* env = std::getenv("FASTREG_FSYNC")) {
+    o.fsync = parse_fsync_policy(env, o.fsync);
+  }
+  return o;
+}
+
+// -------------------------------------------------------------------- wal --
+
+wal::wal(std::string path, fsync_policy policy,
+         std::uint64_t fsync_interval_ms)
+    : path_(std::move(path)),
+      policy_(policy),
+      fsync_interval_ms_(fsync_interval_ms) {
+  do {
+    fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC,
+                 0644);
+  } while (fd_ < 0 && errno == EINTR);
+  if (fd_ < 0) {
+    LOG_ERROR("persist: cannot open op log %s: %s -- continuing without "
+              "durability",
+              path_.c_str(), std::strerror(errno));
+  }
+  last_sync_ns_ = steady_now_ns();
+}
+
+wal::~wal() {
+  if (fd_ >= 0) {
+    if (policy_ != fsync_policy::never && dirty_bytes_ > 0) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void wal::append(const log_record& rec) {
+  if (fd_ < 0) return;
+  const auto payload = encode_record(rec);
+  byte_writer frame;
+  frame.put_u32(static_cast<std::uint32_t>(payload.size()));
+  frame.put_u32(crc32(payload));
+  std::vector<std::uint8_t> bytes = frame.take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  if (!full_write(fd_, bytes.data(), bytes.size())) {
+    LOG_ERROR("persist: append to %s failed: %s -- closing the log "
+              "(server keeps serving without durability)",
+              path_.c_str(), std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  ++appended_;
+  bytes_ += bytes.size();
+  dirty_bytes_ += bytes.size();
+  maybe_sync();
+}
+
+void wal::maybe_sync() {
+  if (fd_ < 0 || dirty_bytes_ == 0) return;
+  switch (policy_) {
+    case fsync_policy::never:
+      return;
+    case fsync_policy::every_op:
+      break;
+    case fsync_policy::interval: {
+      const std::uint64_t now = steady_now_ns();
+      if (now - last_sync_ns_ < fsync_interval_ms_ * 1'000'000ull) return;
+      break;
+    }
+  }
+  sync();
+}
+
+void wal::sync() {
+  if (fd_ < 0 || dirty_bytes_ == 0) return;
+  ::fsync(fd_);
+  ++fsyncs_;
+  dirty_bytes_ = 0;
+  last_sync_ns_ = steady_now_ns();
+}
+
+void wal::reset() {
+  if (fd_ < 0) return;
+  if (::ftruncate(fd_, 0) != 0) {
+    LOG_ERROR("persist: truncate of %s after snapshot failed: %s",
+              path_.c_str(), std::strerror(errno));
+  }
+  dirty_bytes_ = 0;
+}
+
+wal_load_result wal::load(const std::string& path, bool repair) {
+  wal_load_result out;
+  const auto bytes = read_file(path);
+  if (!bytes) return out;  // no log yet: empty result, no warning
+  const auto& data = *bytes;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::span<const std::uint8_t> rest(data.data() + pos,
+                                             data.size() - pos);
+    byte_reader hdr(rest);
+    const auto len = hdr.get_u32();
+    const auto crc = hdr.get_u32();
+    if (!len || !crc || pos + k_frame_header + *len > data.size()) {
+      out.warning = "torn tail: incomplete frame at offset " +
+                    std::to_string(pos) + " (" +
+                    std::to_string(data.size() - pos) + " trailing bytes)";
+      break;
+    }
+    const auto payload = rest.subspan(k_frame_header, *len);
+    if (crc32(payload) != *crc) {
+      out.warning = "corrupt record at offset " + std::to_string(pos) +
+                    ": CRC mismatch (stored " + std::to_string(*crc) +
+                    ", computed " + std::to_string(crc32(payload)) +
+                    "); dropping it and everything after";
+      break;
+    }
+    auto rec = decode_record(payload);
+    if (!rec) {
+      out.warning = "corrupt record at offset " + std::to_string(pos) +
+                    ": CRC valid but payload undecodable; dropping it "
+                    "and everything after";
+      break;
+    }
+    out.records.push_back(std::move(*rec));
+    pos += k_frame_header + *len;
+  }
+  out.valid_bytes = pos;
+  out.dropped_bytes = data.size() - pos;
+  if (out.truncated()) {
+    LOG_WARN("persist: %s: %s (%llu valid records, %llu bytes kept, %llu "
+             "bytes dropped)",
+             path.c_str(), out.warning.c_str(),
+             static_cast<unsigned long long>(out.records.size()),
+             static_cast<unsigned long long>(out.valid_bytes),
+             static_cast<unsigned long long>(out.dropped_bytes));
+    if (repair && ::truncate(path.c_str(),
+                             static_cast<off_t>(out.valid_bytes)) != 0) {
+      LOG_ERROR("persist: repair-truncate of %s to %llu bytes failed: %s",
+                path.c_str(),
+                static_cast<unsigned long long>(out.valid_bytes),
+                std::strerror(errno));
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- snapshots --
+
+bool write_snapshot_file(const std::string& path, const snapshot_data& snap,
+                         fsync_policy policy, std::string* err) {
+  byte_writer body;
+  body.put_u64(snap.epoch);
+  body.put_u32(static_cast<std::uint32_t>(snap.objects.size()));
+  for (const auto& [obj, s] : snap.objects) {
+    encode_snapshot_fields(body, obj, s);
+  }
+  const auto payload = body.take();
+  byte_writer file;
+  file.put_u32(k_snap_magic);
+  file.put_u32(k_snap_version);
+  file.put_u32(static_cast<std::uint32_t>(payload.size()));
+  file.put_u32(crc32(payload));
+  std::vector<std::uint8_t> bytes = file.take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (err) *err = "open " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  if (!full_write(fd, bytes.data(), bytes.size())) {
+    if (err) *err = "write " + tmp + ": " + std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // The rename is only atomic-durable if the tmp's bytes are on disk
+  // first; under fsync never the page cache is the declared contract.
+  if (policy != fsync_policy::never) ::fsync(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (err) *err = "rename " + tmp + " -> " + path + ": " +
+                    std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<snapshot_data> load_snapshot_file(const std::string& path,
+                                                std::string* err) {
+  if (err) err->clear();
+  const auto bytes = read_file(path);
+  if (!bytes) {
+    if (errno != ENOENT && err) {
+      *err = "open " + path + ": " + std::strerror(errno);
+    }
+    return std::nullopt;
+  }
+  byte_reader r{std::span<const std::uint8_t>(*bytes)};
+  const auto magic = r.get_u32();
+  const auto version = r.get_u32();
+  const auto len = r.get_u32();
+  const auto crc = r.get_u32();
+  if (!magic || *magic != k_snap_magic) {
+    if (err) *err = "snapshot " + path + " rejected: bad magic";
+    return std::nullopt;
+  }
+  if (!version || *version != k_snap_version) {
+    if (err) {
+      *err = "snapshot " + path + " rejected: unsupported version " +
+             std::to_string(version.value_or(0));
+    }
+    return std::nullopt;
+  }
+  if (!len || !crc || r.remaining() != *len) {
+    if (err) {
+      *err = "snapshot " + path + " rejected: truncated (" +
+             std::to_string(bytes->size()) + " bytes on disk)";
+    }
+    return std::nullopt;
+  }
+  const auto payload = std::span(*bytes).subspan(bytes->size() - *len);
+  if (crc32(payload) != *crc) {
+    if (err) {
+      *err = "snapshot " + path + " rejected: CRC mismatch (stored " +
+             std::to_string(*crc) + ", computed " +
+             std::to_string(crc32(payload)) + ")";
+    }
+    return std::nullopt;
+  }
+  byte_reader body(payload);
+  const auto epoch = body.get_u64();
+  const auto count = body.get_u32();
+  if (!epoch || !count) {
+    if (err) *err = "snapshot " + path + " rejected: undecodable header";
+    return std::nullopt;
+  }
+  snapshot_data snap;
+  snap.epoch = *epoch;
+  snap.objects.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    object_id obj;
+    register_snapshot s;
+    if (!decode_snapshot_fields(body, obj, s)) {
+      if (err) {
+        *err = "snapshot " + path + " rejected: undecodable object entry " +
+               std::to_string(i);
+      }
+      return std::nullopt;
+    }
+    snap.objects.emplace_back(obj, std::move(s));
+  }
+  return snap;
+}
+
+}  // namespace fastreg::persist

@@ -1,0 +1,136 @@
+// CRC-framed append-only op log + atomic per-object snapshot files: the
+// on-disk primitives behind a store server's durable state.
+//
+// Log format: a sequence of records, each framed as
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//
+// with the payload encoded by common/serialization.h (little-endian):
+//
+//   u8 kind | u64 epoch | kind-specific fields
+//     op / seed:    u64 object | i64 ts | i32 wid | string val |
+//                   string prev | bytes sig
+//     epoch_mark:   u32 n | n x u64 fenced objects
+//
+// A record is appended AFTER the server applied the state change, so a
+// torn tail (crash mid-append) only loses suffix state the crash model
+// already tolerates. load() stops at the first frame that is incomplete
+// or fails its CRC, reports why, and (repair mode) truncates the file to
+// the last valid frame so the next append continues a clean log.
+//
+// Snapshot format (separate file, rewritten atomically via tmp+rename):
+//
+//   u32 magic "FRSN" | u32 version | u32 payload_len | u32 crc32(payload)
+//   | payload = u64 epoch | u32 count | count x (u64 object | i64 ts |
+//                i32 wid | string val | string prev | bytes sig)
+//
+// A snapshot that fails validation is REJECTED with a diagnostic (the
+// server starts from the log alone, or empty); it is never partially
+// applied.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "persist/options.h"
+#include "registers/automaton.h"
+
+namespace fastreg::persist {
+
+/// CRC-32 (IEEE 802.3, reflected), the frame checksum.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+struct log_record {
+  enum class kind : std::uint8_t { op = 1, seed = 2, epoch_mark = 3 };
+  kind k{kind::op};
+  epoch_t epoch{k_initial_epoch};
+  /// op / seed only.
+  object_id obj{0};
+  register_snapshot snap{};
+  /// epoch_mark only: objects fenced (set aside for migration) at the
+  /// install; replay drops their recovered state -- the new generation
+  /// re-seeds them through records appended after the mark.
+  std::vector<object_id> fenced{};
+
+  friend bool operator==(const log_record&, const log_record&) = default;
+};
+
+struct wal_load_result {
+  std::vector<log_record> records{};
+  /// Prefix of the file covered by valid frames.
+  std::uint64_t valid_bytes{0};
+  /// Bytes past the last valid frame (torn tail or corrupt record).
+  std::uint64_t dropped_bytes{0};
+  /// Human-readable reason the scan stopped early; empty on a clean read.
+  std::string warning{};
+
+  [[nodiscard]] bool truncated() const { return dropped_bytes > 0; }
+};
+
+/// The append side of one server's op log. Append failures are logged and
+/// counted, never fatal: a server that cannot persist keeps serving (it
+/// degrades to the in-memory-only behavior the crash budget covers).
+class wal {
+ public:
+  wal(std::string path, fsync_policy policy, std::uint64_t fsync_interval_ms);
+  ~wal();
+  wal(const wal&) = delete;
+  wal& operator=(const wal&) = delete;
+
+  void append(const log_record& rec);
+  /// Forces an fsync now (policy-independent; used by tests).
+  void sync();
+  /// Empties the log (the snapshot that was just written supersedes it).
+  void reset();
+
+  [[nodiscard]] std::uint64_t records_appended() const { return appended_; }
+  [[nodiscard]] std::uint64_t bytes_appended() const { return bytes_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Scans `path` front to back. With `repair`, a file with a torn or
+  /// corrupt tail is truncated on disk to its valid prefix (the contract
+  /// "a stopped server rejoins from the last valid CRC frame").
+  [[nodiscard]] static wal_load_result load(const std::string& path,
+                                            bool repair);
+
+ private:
+  void maybe_sync();
+
+  std::string path_;
+  fsync_policy policy_;
+  std::uint64_t fsync_interval_ms_;
+  int fd_{-1};
+  std::uint64_t appended_{0};
+  std::uint64_t bytes_{0};
+  std::uint64_t fsyncs_{0};
+  /// steady_clock nanoseconds of the last fsync (interval policy).
+  std::uint64_t last_sync_ns_{0};
+  /// Un-synced bytes since the last fsync (skip no-op fsyncs).
+  std::uint64_t dirty_bytes_{0};
+
+  friend class server_durability;
+};
+
+struct snapshot_data {
+  epoch_t epoch{k_initial_epoch};
+  std::vector<std::pair<object_id, register_snapshot>> objects{};
+};
+
+/// Atomically replaces `path` with the encoded snapshot (tmp + rename;
+/// fsync'd before the rename unless `policy` is never). Returns false and
+/// fills `err` on I/O failure.
+bool write_snapshot_file(const std::string& path, const snapshot_data& snap,
+                         fsync_policy policy, std::string* err);
+
+/// Loads and validates a snapshot file. nullopt with empty `err` when the
+/// file does not exist; nullopt with a diagnostic in `err` when it exists
+/// but fails validation (bad magic/version/CRC/truncation) -- the caller
+/// must reject it wholesale.
+[[nodiscard]] std::optional<snapshot_data> load_snapshot_file(
+    const std::string& path, std::string* err);
+
+}  // namespace fastreg::persist

@@ -79,6 +79,10 @@ std::shared_ptr<const store::shard_map> build_next_map(
   cfg.base = cur.config().base;
   cfg.num_shards = plan.num_shards;
   cfg.shard_protocols = plan.shard_protocols;
+  // Durability rides across epochs: a reshard must not silently turn a
+  // persistent fleet volatile (a server reconstructed under the new map
+  // replays and fences against it -- see store::server's recovery path).
+  cfg.persist = cur.config().persist;
   return std::make_shared<const store::shard_map>(std::move(cfg),
                                                   cur.epoch() + 1);
 }

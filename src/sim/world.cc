@@ -371,6 +371,13 @@ std::uint64_t world::run_timed_until(rng& r, delay_model& delays,
 
 void world::crash(const process_id& p) { crashed_.insert(p); }
 
+void world::restart(const process_id& p, std::unique_ptr<automaton> a) {
+  FASTREG_EXPECTS(a != nullptr);
+  crashed_.erase(p);
+  armed_partial_crash_.erase(p);
+  replace_automaton(p, std::move(a));
+}
+
 void world::crash_after_sends(const process_id& p, std::size_t deliver_first) {
   armed_partial_crash_[p] = deliver_first;
 }

@@ -186,6 +186,13 @@ class world final : public netout {
   /// Arms a partial-broadcast crash: during p's next send burst only the
   /// first `deliver_first` messages reach mset, then p crashes.
   void crash_after_sends(const process_id& p, std::size_t deliver_first);
+  /// Un-crashes p and swaps in `a` as its automaton -- the crash model's
+  /// "restart": the replacement starts from whatever state its
+  /// constructor rebuilt (empty, or replayed from persistent storage --
+  /// see src/persist). Messages sent to p while it was crashed were
+  /// consumed, exactly what a rebooted process never receiving them
+  /// looks like.
+  void restart(const process_id& p, std::unique_ptr<automaton> a);
 
   // --------------------------------------------------------- partitions --
   // Link-level partitions, the asynchronous model's "messages between a

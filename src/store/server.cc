@@ -26,6 +26,64 @@ server::server(std::shared_ptr<const shard_map> shards, std::uint32_t index)
   shard_ops_.assign(map_->num_shards(), 0);
   bind_metrics();
   sm_.epoch->set(static_cast<std::int64_t>(map_->epoch()));
+  if (map_->config().persist.enabled()) {
+    durable_ = std::make_unique<persist::server_durability>(
+        map_->config().persist, index_);
+    recover_from_disk();
+  }
+}
+
+void server::recover_from_disk() {
+  const auto& rec = durable_->recovered();
+  if (!rec.found) return;  // fresh server: bootstrap normally
+  if (rec.epoch != map_->epoch()) {
+    // Epoch fence: the fleet installed a newer map while this server was
+    // down (or this process was handed a directory from another life).
+    // Which objects moved between the recovered epoch and now is
+    // unknowable without the intermediate maps, so the only safe rejoin
+    // is to discard and re-bootstrap: a server without state is exactly
+    // the crashed replica the protocols' t budget already covers, and
+    // the lazy seed-fetch path repopulates moved objects on demand.
+    durable_->discard_recovered();
+    return;
+  }
+  for (const auto& [obj, snap] : rec.objects) {
+    auto& inner = inner_for(obj);
+    if (snap.ts != k_initial_ts) {
+      auto* s = as_seedable(&inner);
+      FASTREG_CHECK(s != nullptr);
+      s->seed_state(snap);
+    }
+    persisted_wts_[obj] = wts_t{snap.ts, snap.wid};
+    ++recovered_objects_;
+  }
+}
+
+void server::maybe_persist(object_id obj) {
+  if (!durable_) return;
+  const auto it = objects_.find(obj);
+  if (it == objects_.end()) return;
+  auto* s = as_seedable(it->second.get());
+  if (s == nullptr) return;
+  auto snap = s->peek_state();
+  const wts_t w{snap.ts, snap.wid};
+  wts_t& last = persisted_wts_[obj];  // default {k_initial_ts, 0}
+  if (!(last < w)) return;  // nothing new became durable at this replica
+  durable_->append_op(map_->epoch(), obj, snap);
+  last = w;
+  maybe_snapshot();
+}
+
+void server::maybe_snapshot() {
+  if (!durable_ || !durable_->snapshot_due()) return;
+  std::vector<std::pair<object_id, register_snapshot>> objs;
+  objs.reserve(objects_.size());
+  for (const auto& [obj, a] : objects_) {
+    if (auto* s = as_seedable(a.get())) {
+      objs.emplace_back(obj, s->peek_state());
+    }
+  }
+  durable_->write_snapshot(map_->epoch(), std::move(objs));
 }
 
 void server::bind_metrics() {
@@ -136,6 +194,19 @@ void server::install_map(std::shared_ptr<const shard_map> next,
   force_moved_ = force_move;
   prev_map_ = std::move(map_);
   map_ = std::move(next);
+  if (durable_) {
+    // The mark advances the recovered epoch on replay and voids the
+    // fenced objects' recovered state: their new-generation seeds land
+    // as post-mark seed records. Unmoved objects' records stay valid
+    // across the boundary.
+    std::vector<object_id> fenced;
+    fenced.reserve(prev_objects_.size());
+    for (const auto& [obj, a] : prev_objects_) {
+      fenced.push_back(obj);
+      persisted_wts_.erase(obj);
+    }
+    durable_->append_epoch_mark(map_->epoch(), fenced);
+  }
   shard_ops_.assign(map_->num_shards(), 0);
   bind_metrics();  // shard count may have changed
   sm_.epoch->set(static_cast<std::int64_t>(map_->epoch()));
@@ -216,6 +287,11 @@ void server::adopt_seed(object_id obj, const register_snapshot& snap) {
     s->seed_state(snap);
   }
   seed_snaps_.emplace(obj, snap);
+  if (durable_) {
+    durable_->append_seed(map_->epoch(), obj, snap);
+    persisted_wts_[obj] = wts_t{snap.ts, snap.wid};
+    maybe_snapshot();
+  }
   // Push the seed to every peer whose fetch_req this server answered
   // empty-handed; their buffered traffic is waiting on it.
   const auto subs = fetch_subs_.find(obj);
@@ -460,6 +536,7 @@ void server::handle_one(const process_id& from, const message& m) {
     tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt, false,
                           m.trace, m.span);
     inner_for(m.obj).on_message(tagged, from, m);
+    maybe_persist(m.obj);
     return;
   }
   // Client data message: apply the epoch fence, then count it against
@@ -494,6 +571,7 @@ void server::handle_one(const process_id& from, const message& m) {
   tagging_netout tagged(outbox_, m.obj, map_->epoch(), m.attempt, false,
                         m.trace, m.span);
   inner_for(m.obj).on_message(tagged, from, m);
+  maybe_persist(m.obj);
 }
 
 void server::on_message(netout& net, const process_id& from,

@@ -52,6 +52,7 @@
 
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "persist/durable.h"
 #include "store/batching.h"
 #include "store/shard_map.h"
 
@@ -125,6 +126,21 @@ class server final : public automaton {
   }
   void reset_shard_ops();
 
+  // ------------------------------------------------------------- persist --
+  /// The durability engine when map_->config().persist is enabled, null
+  /// otherwise. Construction replayed snapshot + log tail and, when the
+  /// recovered epoch matched the map's, re-installed every recovered
+  /// object (the rejoin path); a mismatch discarded the state (the fleet
+  /// reconfigured while this server was down -- it re-bootstraps through
+  /// the lazy seed-fetch path like a brand-new server).
+  [[nodiscard]] persist::server_durability* durable() {
+    return durable_.get();
+  }
+  /// Objects re-installed from disk at construction (diagnostic).
+  [[nodiscard]] std::size_t recovered_objects() const {
+    return recovered_objects_;
+  }
+
  private:
   /// A lazy seed fetch in flight for one moved, un-seeded object.
   struct fetch_state {
@@ -164,6 +180,15 @@ class server final : public automaton {
   /// Replays what a now-seeded fetch buffered.
   void finish_fetch(object_id obj);
   void send_nack(const process_id& to, const message& m);
+  /// Appends an op record when serving a message advanced obj's durable
+  /// timestamp (protocol-agnostic: compares peek_state() against the last
+  /// persisted wts). No-op without durability.
+  void maybe_persist(object_id obj);
+  /// Writes a full-state snapshot (and truncates the log) when one is due.
+  void maybe_snapshot();
+  /// Construction-time recovery: installs the replayed state if its epoch
+  /// matches the current map, discards it otherwise.
+  void recover_from_disk();
 
   std::shared_ptr<const shard_map> map_;
   /// Map of the previous epoch; null until the first install.
@@ -196,6 +221,15 @@ class server final : public automaton {
   /// Lifetime count of buffered-fetch overflow nacks (see accessor).
   std::uint64_t fetch_overflow_nacks_{0};
   batch_collector outbox_;
+  /// Durability engine; null when persistence is off. NOT cloned: a
+  /// fork()'d sibling appending to the same file would interleave two
+  /// histories in one log (clones exist only for adversary surgery,
+  /// which never persists).
+  std::unique_ptr<persist::server_durability> durable_;
+  /// Last wts persisted per object; an op record is appended only when
+  /// serving a message advanced past it.
+  std::unordered_map<object_id, wts_t> persisted_wts_;
+  std::size_t recovered_objects_{0};
 
   /// Registry handles (per-server label), resolved in the constructor.
   /// The members above stay the source of truth for the accessors --

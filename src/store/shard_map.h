@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "persist/options.h"
 #include "registers/automaton.h"
 
 namespace fastreg::store {
@@ -29,6 +30,10 @@ struct store_config {
   /// Registry names, assigned to shards round-robin. Single-writer shard
   /// protocols require base.W() == 1 (one writer client owns every key).
   std::vector<std::string> shard_protocols{{"abd"}};
+  /// Per-server durability (src/persist): op log + periodic snapshots
+  /// under persist.dir, replayed when a server is reconstructed. Off by
+  /// default (empty dir) -- the in-memory-only historical behavior.
+  persist::options persist{};
 
   [[nodiscard]] std::string describe() const;
 };

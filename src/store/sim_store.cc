@@ -29,6 +29,15 @@ server& sim_store::server_at(std::uint32_t i) {
   return *s;
 }
 
+server& sim_store::restart_server(std::uint32_t i) {
+  // make_server consults the protocol's CURRENT map (maps_->get()), so a
+  // rejoin after a reshard fences against the latest epoch, not the
+  // deployment-time one.
+  world_.restart(server_id(i),
+                 proto_.make_server(proto_.config().base, i));
+  return server_at(i);
+}
+
 void sim_store::record_invoke(const process_id& p, const std::string& key,
                               bool is_put, const value_t& v) {
   open_[p][key] =

@@ -39,6 +39,12 @@ class sim_store {
   [[nodiscard]] client& writer_client(std::uint32_t i);
   [[nodiscard]] server& server_at(std::uint32_t i);
 
+  /// Restarts server i (typically after world().crash): builds a fresh
+  /// server automaton under the CURRENT shard map -- replaying its
+  /// persistent log + snapshot when config().persist is enabled, empty
+  /// otherwise -- and swaps it in un-crashed. Returns the new server.
+  server& restart_server(std::uint32_t i);
+
   // ----------------------------------------------------------- invocations --
   void invoke_get(std::uint32_t reader_index, const std::string& key);
   void invoke_put(std::uint32_t writer_index, const std::string& key,

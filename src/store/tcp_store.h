@@ -49,6 +49,12 @@ class tcp_store {
   void start() { cluster_.start(); }
   void stop() { cluster_.stop(); }
 
+  /// Restarts server i's node on its original port with a freshly built
+  /// store server automaton -- replaying its op log + snapshot when
+  /// config().persist is enabled (the rejoin-with-state path), empty
+  /// otherwise. Use after cluster().server(i).stop() killed it mid-run.
+  void restart_server(std::uint32_t i) { cluster_.restart_server(i); }
+
   [[nodiscard]] const store_config& config() const {
     return proto_.config();
   }

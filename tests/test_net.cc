@@ -2,12 +2,19 @@
 // real localhost sockets.
 #include <gtest/gtest.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "checker/atomicity.h"
 #include "net/cluster.h"
 #include "net/framing.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "registers/registry.h"
 #include "sim_test_util.h"
 
@@ -368,6 +375,85 @@ TEST(Cluster, ServerStopModelsCrashToleratedByQuorum) {
   ASSERT_TRUE(r0.has_value());
   EXPECT_EQ(r0->val, "after-crash");
   c.stop();
+}
+
+/// Sum of every registry counter series whose name starts with `prefix`
+/// (labels vary per node/reactor; the total is what the test cares about).
+double counter_total(const std::string& prefix) {
+  double total = 0;
+  for (const auto& s : obs::snapshot()) {
+    if (s.name.rfind(prefix, 0) == 0) total += s.value;
+  }
+  return total;
+}
+
+TEST(Cluster, SignalStormDuringWorkloadClosesZeroConnections) {
+  // An interrupted syscall is a signal, not a peer event: before the
+  // EINTR-aware read/writev/accept/epoll paths, every stray signal that
+  // landed in a reactor mid-read tore down a healthy connection (the
+  // n <= 0 fallthrough called close_conn), and the workload survived
+  // only by silently reconnecting. This drives a workload under a
+  // SIGUSR1 storm aimed at the reactor threads and asserts nothing was
+  // closed: zero new accepts (no reconnects) and zero stream resets.
+  struct sigaction sa{};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART: syscalls must see EINTR
+  struct sigaction old_sa{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  cluster c(make_cfg(5, 1, 2), *make_protocol("fast_swmr"));
+  c.start();
+  // Warm-up pass: every client-server connection exists afterwards, so
+  // any accept during the storm pass can only be a reconnect.
+  ASSERT_TRUE(c.writer().blocking_write("warmup"));
+  ASSERT_TRUE(c.reader(0).blocking_read().has_value());
+  ASSERT_TRUE(c.reader(1).blocking_read().has_value());
+
+  // Block SIGUSR1 on this thread (and, by mask inheritance, the storm
+  // thread): the kernel then delivers the process-directed signals below
+  // only to threads that keep it unblocked -- the reactor threads
+  // c.start() spawned before this mask change.
+  sigset_t storm_set, old_set;
+  sigemptyset(&storm_set);
+  sigaddset(&storm_set, SIGUSR1);
+  ASSERT_EQ(pthread_sigmask(SIG_BLOCK, &storm_set, &old_set), 0);
+
+  const double accepts_before =
+      counter_total("fastreg_net_reactor_accepts_total");
+  const double resets_before =
+      counter_total("fastreg_net_conn_resets_total");
+
+  // Full-rate storm (no sleep): the sockets are nonblocking, so a signal
+  // only lands "inside" read/writev during the microseconds the syscall
+  // actually runs -- maximizing delivery frequency and payload size is
+  // what makes the window hittable at all.
+  std::atomic<bool> storming{true};
+  std::thread storm([&] {
+    while (storming.load(std::memory_order_relaxed)) {
+      ::kill(::getpid(), SIGUSR1);
+      ::sched_yield();
+    }
+  });
+  const std::string big(16 * 1024, 'x');  // multi-read-sized frames
+  for (int k = 1; k <= 100; ++k) {
+    ASSERT_TRUE(c.writer().blocking_write(big + std::to_string(k)));
+    ASSERT_TRUE(c.reader(0).blocking_read().has_value());
+    ASSERT_TRUE(c.reader(1).blocking_read().has_value());
+  }
+  storming.store(false);
+  storm.join();
+
+  EXPECT_EQ(counter_total("fastreg_net_reactor_accepts_total"),
+            accepts_before)
+      << "a connection was closed and re-accepted during the storm";
+  EXPECT_EQ(counter_total("fastreg_net_conn_resets_total"), resets_before);
+
+  const auto hist = c.gather_history();
+  EXPECT_TRUE(checker::check_swmr_atomicity(hist).ok);
+  c.stop();
+  ASSERT_EQ(pthread_sigmask(SIG_SETMASK, &old_set, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGUSR1, &old_sa, nullptr), 0);
 }
 
 TEST(Cluster, MwmrTwoWritersOverTcp) {

@@ -9,7 +9,9 @@
 // the failing per-key history was dumped to. FASTREG_STRESS_ITERS scales
 // the op counts (the nightly soak job sets it to 20).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <fstream>
 
 #include "benchutil/stress.h"
@@ -204,6 +206,56 @@ TEST(StressSoak, MwmrTcpCrashAndReshardMidRun) {
   const auto rep = run_tcp_stress(opt);
   expect_ok(rep);
   EXPECT_EQ(rep.final_epoch, 1u) << rep.describe();
+}
+
+// --------------------------------- crash, restart-with-state, verify --
+
+/// Scratch durability directory for one soak run, removed afterwards.
+struct soak_dir {
+  explicit soak_dir(const char* tag)
+      : path(std::filesystem::temp_directory_path() /
+             (std::string("fastreg_soak_") + tag + "_" +
+              std::to_string(::getpid()))) {
+    std::filesystem::create_directories(path);
+  }
+  ~soak_dir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::filesystem::path path;
+};
+
+TEST(StressSoak, MwmrSimCrashThenRestartWithDurableState) {
+  // The crash-RECOVERY soak: a server is killed a third of the way into
+  // a contended multi-writer run and restarted at two thirds, replaying
+  // its snapshot + op log (fsync policy from FASTREG_FSYNC -- the ASan
+  // recovery job runs this under `never`). The final third hammers the
+  // rejoined server, so recovered-but-stale state is a checker violation.
+  soak_dir dir("sim_restart");
+  auto opt = mwmr_base("soak_mwmr_sim_restart");
+  opt.puts_per_writer = stress_iters(1300);
+  opt.gets_per_reader = stress_iters(1300);
+  opt.crash_servers = 1;
+  opt.restart_crashed = true;
+  opt.persist_dir = dir.path.string();
+  const auto rep = run_sim_stress(opt);
+  expect_ok(rep);
+  EXPECT_GE(rep.max_key_ops, 5000u) << rep.describe();
+}
+
+TEST(StressSoak, MwmrTcpCrashThenRestartWithDurableState) {
+  // Same schedule over real sockets: node::stop mid-load, then
+  // tcp_store::restart_server rebinds the original port and replays;
+  // clients reconnect lazily and every history must still linearize.
+  soak_dir dir("tcp_restart");
+  auto opt = mwmr_base("soak_mwmr_tcp_restart");
+  opt.puts_per_writer = stress_iters(250);
+  opt.gets_per_reader = stress_iters(250);
+  opt.crash_servers = 1;
+  opt.restart_crashed = true;
+  opt.persist_dir = dir.path.string();
+  const auto rep = run_tcp_stress(opt);
+  expect_ok(rep);
 }
 
 // -------------------------------------- reshard with a real handoff --
